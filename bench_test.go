@@ -1,0 +1,359 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// measured-vs-paper results):
+//
+//	BenchmarkTable3Row/*      one Table 3 row per iteration (reduced K)
+//	BenchmarkFig4/*           Figure 4 points (multi-round vs one-round)
+//	BenchmarkFig5/*           Figure 5 points (flush-probability sweep)
+//	BenchmarkSchedulerSweep/* §6.5 violation exposure per model
+//	BenchmarkExecution/*      raw interpreter throughput per benchmark
+//	BenchmarkChecker/*        SC / linearizability checker throughput
+//	BenchmarkSAT/*            repair-formula minimal-model extraction
+//	BenchmarkAblation/*       design-choice ablations (DESIGN.md)
+//
+// Reported custom metrics: fences/op (inferred fences), violations/op
+// (exposed violations), execs/op (executions to convergence).
+package dfence_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dfence/internal/core"
+	"dfence/internal/eval"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/sat"
+	"dfence/internal/sched"
+	"dfence/internal/spec"
+)
+
+// benchCfg builds a reduced-budget synthesis configuration that still
+// converges to the Table 3 answers for the given cell.
+func benchCfg(b *progs.Benchmark, model memmodel.Model, crit spec.Criterion, seed int64) core.Config {
+	fp := 0.5
+	if model == memmodel.TSO {
+		fp = 0.1
+	}
+	return core.Config{
+		Model:            model,
+		Criterion:        crit,
+		NewSpec:          b.NewSpec(),
+		CheckGarbage:     b.CheckGarbage,
+		RelaxStealAborts: b.RelaxStealAborts,
+		ExecsPerRound:    400,
+		MaxRounds:        8,
+		FlushProb:        fp,
+		Seed:             seed,
+		ValidateFences:   true,
+	}
+}
+
+// BenchmarkTable3Row regenerates one Table 3 row per iteration.
+func BenchmarkTable3Row(b *testing.B) {
+	for _, bench := range progs.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			fences := 0
+			for i := 0; i < b.N; i++ {
+				crits := []spec.Criterion{spec.MemorySafety}
+				if !bench.SkipSeqCheck {
+					crits = append(crits, spec.SeqConsistency, spec.Linearizability)
+				}
+				for _, crit := range crits {
+					for _, m := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+						res, err := core.Synthesize(bench.Program(), benchCfg(bench, m, crit, int64(i+1)))
+						if err != nil {
+							b.Fatal(err)
+						}
+						fences += len(res.Fences)
+					}
+				}
+			}
+			b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 points: executions-per-round K in
+// multi-round vs one-round repair mode (Cilk THE, SC, PSO).
+func BenchmarkFig4(b *testing.B) {
+	subject, err := progs.ByName(eval.Fig4Subject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{100, 500, 1000} {
+		for _, oneRound := range []bool{false, true} {
+			mode := "multi-round"
+			if oneRound {
+				mode = "one-round"
+			}
+			b.Run(fmt.Sprintf("K=%d/%s", k, mode), func(b *testing.B) {
+				fences, execs := 0, 0
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(subject, memmodel.PSO, spec.SeqConsistency, int64(i+1))
+					cfg.ExecsPerRound = k
+					cfg.ValidateFences = false
+					if oneRound {
+						cfg.MaxRounds = 1
+					}
+					res, err := core.Synthesize(subject.Program(), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fences += res.SynthesizedFences
+					execs += res.TotalExecutions
+				}
+				b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+				b.ReportMetric(float64(execs)/float64(b.N), "execs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 points: fences synthesized vs flush
+// probability, split into needed and redundant.
+func BenchmarkFig5(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, fp := range []float64{0.1, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("flush=%.1f", fp), func(b *testing.B) {
+			synthesized, needed := 0, 0
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(subject, memmodel.PSO, spec.Linearizability, int64(i+1))
+				cfg.FlushProb = fp
+				res, err := core.Synthesize(subject.Program(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				synthesized += res.SynthesizedFences
+				needed += len(res.Fences)
+			}
+			b.ReportMetric(float64(synthesized)/float64(b.N), "synthesized/op")
+			b.ReportMetric(float64(needed)/float64(b.N), "needed/op")
+		})
+	}
+}
+
+// BenchmarkSchedulerSweep measures §6.5: violations exposed per 200 runs
+// at the model's recommended flush probability vs a mismatched one.
+func BenchmarkSchedulerSweep(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		model memmodel.Model
+		fp    float64
+	}{
+		{memmodel.TSO, 0.1}, {memmodel.TSO, 0.9},
+		{memmodel.PSO, 0.5}, {memmodel.PSO, 0.9},
+	} {
+		b.Run(fmt.Sprintf("%v/flush=%.1f", c.model, c.fp), func(b *testing.B) {
+			viol := 0
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(subject, c.model, spec.SeqConsistency, int64(i+1))
+				cfg.FlushProb = c.fp
+				viol += core.CheckOnly(subject.Program(), cfg, 200)
+			}
+			b.ReportMetric(float64(viol)/float64(b.N), "violations/op")
+		})
+	}
+}
+
+// BenchmarkExecution measures raw interpreter throughput: one complete
+// scheduled execution of each benchmark per iteration.
+func BenchmarkExecution(b *testing.B) {
+	for _, bench := range progs.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			p := bench.Program()
+			steps := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := sched.Run(p, memmodel.PSO, nil, sched.DefaultOptions(int64(i)))
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkChecker measures the history checkers on realistic histories
+// extracted from real executions.
+func BenchmarkChecker(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := subject.Program()
+	var histories [][]spec.Op
+	for s := int64(0); s < 20; s++ {
+		res := sched.Run(p, memmodel.PSO, nil, sched.DefaultOptions(s))
+		histories = append(histories, spec.RelaxStealAborts(spec.CompleteOps(res.History)))
+	}
+	b.Run("sequential-consistency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec.IsSequentiallyConsistent(histories[i%len(histories)], spec.NewDeque)
+		}
+	})
+	b.Run("linearizability", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec.IsLinearizable(histories[i%len(histories)], spec.NewDeque)
+		}
+	})
+}
+
+// BenchmarkSAT measures minimal-model extraction on random monotone
+// formulas shaped like accumulated repair formulas.
+func BenchmarkSAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const nvars = 24
+	var clauses [][]sat.Lit
+	for i := 0; i < 60; i++ {
+		w := 2 + rng.Intn(6)
+		c := make([]sat.Lit, w)
+		for j := range c {
+			c[j] = sat.Lit(1 + rng.Intn(nvars))
+		}
+		clauses = append(clauses, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sat.MinimalModels(nvars, clauses)
+	}
+}
+
+// BenchmarkAblation exercises the design choices called out in DESIGN.md.
+func BenchmarkAblation(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// 1. Minimal-model selection vs enforcing every mentioned predicate.
+	b.Run("minimize=on", func(b *testing.B) {
+		fences := 0
+		for i := 0; i < b.N; i++ {
+			cfg := benchCfg(subject, memmodel.PSO, spec.SeqConsistency, int64(i+1))
+			cfg.ValidateFences = false
+			res, err := core.Synthesize(subject.Program(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fences += res.SynthesizedFences
+		}
+		b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+	})
+	b.Run("minimize=off", func(b *testing.B) {
+		fences := 0
+		for i := 0; i < b.N; i++ {
+			cfg := benchCfg(subject, memmodel.PSO, spec.SeqConsistency, int64(i+1))
+			cfg.ValidateFences = false
+			cfg.NoMinimize = true
+			res, err := core.Synthesize(subject.Program(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fences += res.SynthesizedFences
+		}
+		b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+	})
+
+	// 2. Partial-order reduction on/off: raw execution cost.
+	p := subject.Program()
+	for _, por := range []int{64, 0} {
+		b.Run(fmt.Sprintf("PORWindow=%d", por), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := sched.DefaultOptions(int64(i))
+				opts.PORWindow = por
+				sched.Run(p, memmodel.PSO, nil, opts)
+			}
+		})
+	}
+
+	// 3. Fence validation on/off: fence-count delta.
+	for _, validate := range []bool{true, false} {
+		b.Run(fmt.Sprintf("validate=%v", validate), func(b *testing.B) {
+			fences := 0
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(subject, memmodel.PSO, spec.Linearizability, int64(i+1))
+				cfg.ValidateFences = validate
+				res, err := core.Synthesize(subject.Program(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fences += len(res.Fences)
+			}
+			b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+		})
+	}
+}
+
+// BenchmarkOptimizer measures the IR optimizer's effect: compile time cost
+// per pass and the interpretation speedup of optimized programs.
+func BenchmarkOptimizer(b *testing.B) {
+	subject, err := progs.ByName("michael-alloc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pass", func(b *testing.B) {
+		removed := 0
+		for i := 0; i < b.N; i++ {
+			p := subject.Program()
+			removed += ir.Optimize(p)
+		}
+		b.ReportMetric(float64(removed)/float64(b.N), "removed/op")
+	})
+	raw := subject.Program()
+	opt := subject.Program()
+	ir.Optimize(opt)
+	b.Run("exec-raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.Run(raw, memmodel.PSO, nil, sched.DefaultOptions(int64(i)))
+		}
+	})
+	b.Run("exec-optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.Run(opt, memmodel.PSO, nil, sched.DefaultOptions(int64(i)))
+		}
+	})
+}
+
+// BenchmarkSchedulerStrategy compares the paper's random scheduler with
+// the PCT-style priority strategy on violation exposure.
+func BenchmarkSchedulerStrategy(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := subject.Program()
+	newSpec := subject.NewSpec()
+	for _, strat := range []sched.Strategy{sched.Random, sched.Priority} {
+		strat := strat
+		b.Run(strat.String(), func(b *testing.B) {
+			viol := 0
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < 200; s++ {
+					opts := sched.Options{
+						Seed: int64(i*200 + s), FlushProb: 0.5,
+						MaxSteps: 100000, PORWindow: 64, Strategy: strat,
+					}
+					res := sched.Run(p, memmodel.PSO, nil, opts)
+					if res.Violation != nil || res.StepLimitHit {
+						continue
+					}
+					ops := spec.RelaxStealAborts(spec.CompleteOps(res.History))
+					if !spec.IsSequentiallyConsistent(ops, newSpec) {
+						viol++
+					}
+				}
+			}
+			b.ReportMetric(float64(viol)/float64(b.N), "violations/op")
+		})
+	}
+}

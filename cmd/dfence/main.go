@@ -1,0 +1,191 @@
+// Command dfence synthesizes memory fences for a concurrent mini-C
+// program, the way the paper's DFENCE tool consumed a C algorithm plus a
+// client:
+//
+//	dfence -model pso -spec sc -seq deque program.mc
+//
+// The program must contain a main function acting as the client (forking
+// worker threads that call the algorithm's operations, which are declared
+// with the `operation` keyword). The tool repeatedly executes the program
+// under the flush-delaying demonic scheduler, repairs the violating
+// executions it finds, and prints the inferred fence placements.
+//
+// Flags:
+//
+//	-model   memory model: sc, tso, pso (default pso)
+//	-spec    criterion: safety, sc, lin (default sc)
+//	-seq     sequential spec for sc/lin: deque, wsq-lifo, wsq-fifo, queue, set, alloc
+//	-execs   executions per round, K (default 1000)
+//	-rounds  maximum repair rounds (default 10)
+//	-flush   flush probability (default 0.1 tso / 0.5 pso)
+//	-seed    random seed (default 1)
+//	-validate  prune redundant fences after convergence (default true)
+//	-disasm  print the compiled IR and exit
+//	-builtin use a built-in benchmark instead of a file (e.g. chase-lev)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfence/internal/core"
+	"dfence/internal/eval"
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/spec"
+)
+
+func main() {
+	var (
+		modelF   = flag.String("model", "pso", "memory model: sc, tso, pso")
+		specF    = flag.String("spec", "sc", "criterion: safety, sc, lin")
+		seqF     = flag.String("seq", "deque", "sequential specification: deque, wsq-lifo, wsq-fifo, queue, set, alloc")
+		execs    = flag.Int("execs", 1000, "executions per round (K)")
+		rounds   = flag.Int("rounds", 10, "maximum repair rounds")
+		flushP   = flag.Float64("flush", 0, "flush probability (0 = model default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		validate = flag.Bool("validate", true, "prune redundant fences after convergence")
+		disasm   = flag.Bool("disasm", false, "print compiled IR and exit")
+		optimize = flag.Bool("optimize", false, "run the IR optimizer (fold/propagate/DCE) before analysis")
+		withCAS  = flag.Bool("cas", false, "enforce predicates with dummy-location CAS instead of fences (TSO only, §4.2)")
+		builtin  = flag.String("builtin", "", "use a built-in benchmark (see cmd/experiments -table2)")
+		witness  = flag.Bool("witness", false, "print the captured counterexample schedule")
+		redund   = flag.Bool("redundant", false, "discover redundant fences in an already-fenced program (§6.3.1) instead of synthesizing")
+	)
+	flag.Parse()
+
+	prog, benchmark, err := loadProgram(*builtin, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence:", err)
+		os.Exit(1)
+	}
+	if *optimize {
+		removed := ir.Optimize(prog)
+		fmt.Fprintf(os.Stderr, "optimizer removed %d instructions\n", removed)
+	}
+	if *disasm {
+		fmt.Print(prog.Disasm())
+		return
+	}
+
+	model, err := memmodel.ParseModel(*modelF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence:", err)
+		os.Exit(1)
+	}
+	crit, ok := spec.ParseCriterion(*specF)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dfence: unknown criterion %q (want safety, sc, lin)\n", *specF)
+		os.Exit(1)
+	}
+
+	cfg := core.Config{
+		Model:          model,
+		Criterion:      crit,
+		ExecsPerRound:  *execs,
+		MaxRounds:      *rounds,
+		FlushProb:      *flushP,
+		Seed:           *seed,
+		ValidateFences: *validate,
+		EnforceWithCAS: *withCAS,
+	}
+	if benchmark != nil {
+		cfg.NewSpec = benchmark.NewSpec()
+		cfg.CheckGarbage = benchmark.CheckGarbage
+		cfg.RelaxStealAborts = benchmark.RelaxStealAborts
+	} else if crit != spec.MemorySafety {
+		newSpec, err := spec.ByName(*seqF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			os.Exit(1)
+		}
+		cfg.NewSpec = newSpec
+	}
+
+	if *redund {
+		labels, err := core.FindRedundantFences(prog, cfg, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fences in program: %d\n", len(prog.Fences()))
+		fmt.Printf("redundant under %v/%v: %d\n", model, crit, len(labels))
+		for _, l := range labels {
+			in := prog.InstrAt(l)
+			fn := prog.FuncOf(l)
+			fmt.Printf("  %v in %s (line %d)\n", in.Kind, fn.Name, in.Line)
+		}
+		return
+	}
+
+	res, err := core.Synthesize(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence:", err)
+		os.Exit(1)
+	}
+	report(res, model, crit)
+	if *witness && res.Witness != nil {
+		fmt.Printf("witness schedule: %s\n", res.Witness)
+	}
+	if res.Unfixable {
+		os.Exit(3)
+	}
+}
+
+func loadProgram(builtin string, args []string) (*ir.Program, *progs.Benchmark, error) {
+	if builtin != "" {
+		b, err := progs.ByName(builtin)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b.Program(), b, nil
+	}
+	if len(args) != 1 {
+		return nil, nil, fmt.Errorf("usage: dfence [flags] program.mc (or -builtin name)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := lang.Compile(string(src))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", args[0], err)
+	}
+	return prog, nil, nil
+}
+
+func report(res *core.Result, model memmodel.Model, crit spec.Criterion) {
+	fmt.Printf("model=%v spec=%v rounds=%d executions=%d\n", model, crit, len(res.Rounds), res.TotalExecutions)
+	for i, r := range res.Rounds {
+		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted\n",
+			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted))
+	}
+	switch {
+	case res.Unfixable:
+		fmt.Println("result: CANNOT SATISFY — a violation has no fence-based repair")
+		fmt.Println("  example:", res.UnfixableExample)
+	case !res.Converged:
+		fmt.Println("result: did not converge within the round budget")
+	default:
+		fmt.Println("result: converged")
+	}
+	if res.Redundant > 0 {
+		fmt.Printf("validation pruned %d redundant fence(s)\n", res.Redundant)
+	}
+	if res.Witness != nil {
+		fmt.Printf("witness (%s): %d scheduling decisions, replayable with sched.Replay\n",
+			res.WitnessViolation, res.Witness.Len())
+	}
+	if len(res.Fences) == 0 {
+		fmt.Println("fences required: none")
+		return
+	}
+	fmt.Printf("fences required: %d\n", len(res.Fences))
+	for _, f := range res.Fences {
+		d := eval.DescribeFence(res.Program, f)
+		fmt.Printf("  %v %s\n", f.Kind, d)
+	}
+}

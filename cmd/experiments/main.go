@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+//
+//	experiments -table2            benchmark inventory (Table 2)
+//	experiments -table3            fence-inference matrix (Table 3)
+//	experiments -table3 -bench X   one Table 3 row
+//	experiments -fig4              fences vs executions-per-round (Figure 4)
+//	experiments -fig5              fences vs flush probability (Figure 5)
+//	experiments -sweep             violation exposure vs flush probability (§6.5)
+//	experiments -all               everything
+//
+// All runs are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dfence/internal/eval"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/spec"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "print the benchmark inventory (Table 2)")
+		table3 = flag.Bool("table3", false, "run the fence-inference matrix (Table 3)")
+		fig4   = flag.Bool("fig4", false, "run the executions-per-round sweep (Figure 4)")
+		fig5   = flag.Bool("fig5", false, "run the flush-probability sweep (Figure 5)")
+		sweep  = flag.Bool("sweep", false, "violation exposure vs flush probability (§6.5)")
+		all    = flag.Bool("all", false, "run everything")
+		bench  = flag.String("bench", "", "restrict -table3 to one benchmark")
+		execs  = flag.Int("execs", 1000, "executions per round (K)")
+		seed   = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+	if !*table2 && !*table3 && !*fig4 && !*fig5 && !*sweep && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true}
+
+	if *table2 || *all {
+		fmt.Println("== Table 2: benchmarks ==")
+		fmt.Println(eval.Table2(progs.All()))
+	}
+	if *table3 || *all {
+		benches := progs.All()
+		if *bench != "" {
+			b, err := progs.ByName(*bench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			benches = []*progs.Benchmark{b}
+		}
+		fmt.Println("== Table 3: inferred fences ==")
+		start := time.Now()
+		rows, err := eval.Table3(benches, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.FormatTable3(rows))
+		fmt.Printf("(%d rows in %.1fs)\n\n", len(rows), time.Since(start).Seconds())
+	}
+	if *fig4 || *all {
+		fmt.Println("== Figure 4 ==")
+		pts, err := eval.Fig4([]int{50, 100, 200, 500, 1000, 2000}, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.FormatFig4(pts))
+		fmt.Println()
+	}
+	if *fig5 || *all {
+		fmt.Println("== Figure 5 ==")
+		probs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98}
+		pts, err := eval.Fig5(probs, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.FormatFig5(pts))
+		fmt.Println()
+		// The redundancy effect is most visible on Chase-Lev under
+		// linearizability; print it as a second series.
+		pts2, err := eval.Fig5For("chase-lev", spec.Linearizability, probs, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(eval.FormatFig5Titled("Chase-Lev, linearizability, PSO", pts2))
+		fmt.Println()
+	}
+	if *sweep || *all {
+		fmt.Println("== Scheduler sweep (§6.5): chase-lev SC violations per 1000 runs ==")
+		probs := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+		for _, m := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+			res, err := eval.SchedulerSweep("chase-lev", m, spec.SeqConsistency, probs, 1000, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: ", m)
+			for _, p := range probs {
+				fmt.Printf("p=%.2f:%d  ", p, res[p])
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command litmus runs the memory-model conformance suite, printing the
+// outcome histogram of every test under every model and flagging any
+// forbidden outcome or missing distinguishing outcome.
+//
+//	litmus [-runs N] [-seed S] [-test NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dfence/internal/litmus"
+	"dfence/internal/memmodel"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 1000, "executions per (test, model)")
+		seed = flag.Int64("seed", 42, "base seed")
+		name = flag.String("test", "", "run a single test")
+	)
+	flag.Parse()
+
+	tests := litmus.All()
+	if *name != "" {
+		t, err := litmus.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tests = []*litmus.Test{t}
+	}
+
+	failed := 0
+	for _, t := range tests {
+		fmt.Printf("== %s — %s\n", t.Name, t.Descr)
+		for _, m := range []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO} {
+			fp := 0.4
+			if m == memmodel.TSO {
+				fp = 0.15
+			}
+			got, err := t.Check(m, *runs, fp, *seed)
+			status := "ok"
+			if err != nil {
+				status = "FAIL: " + err.Error()
+				failed++
+			}
+			var keys []string
+			for o := range got {
+				keys = append(keys, string(o))
+			}
+			sort.Strings(keys)
+			fmt.Printf("  %-3v [%s]:", m, status)
+			for _, k := range keys {
+				fmt.Printf(" %s×%d", k, got[litmus.Outcome(k)])
+			}
+			fmt.Println()
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d conformance failures\n", failed)
+		os.Exit(1)
+	}
+}

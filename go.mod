@@ -1,0 +1,3 @@
+module dfence
+
+go 1.22

@@ -1,0 +1,466 @@
+// Package core implements DFENCE's top-level dynamic synthesis loop
+// (paper Algorithm 1). Given a program, a correctness specification, and a
+// memory model, it repeatedly executes the program under the flush-
+// delaying demonic scheduler, collects the repair disjunction of every
+// violating execution via the instrumented semantics, conjoins them into
+// the global repair formula φ, and — at the end of each round — enforces a
+// minimal satisfying assignment of φ as fences. Synthesis converges when a
+// full round of executions exposes no violation.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+	"dfence/internal/sched"
+	"dfence/internal/spec"
+	"dfence/internal/synth"
+)
+
+// Config controls one synthesis run.
+type Config struct {
+	// Model is the memory model to synthesize for.
+	Model memmodel.Model
+	// Criterion selects the specification: memory safety only,
+	// operation-level sequential consistency, or linearizability.
+	Criterion spec.Criterion
+	// NewSpec constructs the sequential specification consulted by the SC
+	// and linearizability checks. May be nil for MemorySafety.
+	NewSpec func() spec.Sequential
+	// CheckGarbage additionally applies the "no garbage tasks returned"
+	// history check (used for the idempotent WSQs, §6.2).
+	CheckGarbage bool
+	// RelaxStealAborts treats contended steal()=EMPTY results as aborts
+	// (spec.RelaxStealAborts) — used by the work-stealing benchmarks whose
+	// published steal returns ABORT on a lost race.
+	RelaxStealAborts bool
+	// ExecsPerRound is K, the number of executions gathered before each
+	// repair (the realization of Algorithm 1's nondeterministic choice "?"
+	// as an iteration count, §5.2). Default 1000.
+	ExecsPerRound int
+	// MaxRounds bounds the number of repair rounds. Default 12.
+	MaxRounds int
+	// FlushProb is the scheduler's flush probability (§6.5: ≈0.1 for TSO,
+	// ≈0.5 for PSO). If zero, the model-specific default is used.
+	FlushProb float64
+	// MaxStepsPerExec bounds each execution. Default 100000.
+	MaxStepsPerExec int
+	// Seed makes the whole synthesis deterministic. Executions use seeds
+	// Seed + round*ExecsPerRound + i.
+	Seed int64
+	// MergeFences enables the redundant-fence merge pass after synthesis
+	// converges (§5.2). Default off; Table 3 runs use it.
+	MergeFences bool
+	// ValidateFences greedily re-tests each synthesized fence after
+	// convergence: a fence whose removal leaves ValidateExecs executions
+	// violation-free is dropped as redundant. This separates needed from
+	// redundant fences — the distinction behind the paper's Figure 5
+	// discussion of low flush probabilities inferring redundant fences.
+	ValidateFences bool
+	// ValidateExecs is the per-trial execution budget of the validation
+	// pass (default: 2 * ExecsPerRound).
+	ValidateExecs int
+	// MinimizeSolutions selects minimal satisfying assignments (the paper's
+	// behaviour). If false, the raw first SAT model is enforced — kept as
+	// an ablation knob.
+	NoMinimize bool
+	// EnforceWithCAS realizes ordering predicates as dummy-location CAS
+	// instructions instead of fences (paper §4.2, TSO only).
+	EnforceWithCAS bool
+	// NoWitness disables counterexample capture (one extra traced
+	// execution when the first violation is found).
+	NoWitness bool
+}
+
+func (c *Config) fill() {
+	if c.ExecsPerRound <= 0 {
+		c.ExecsPerRound = 1000
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 12
+	}
+	if c.FlushProb <= 0 {
+		if c.Model == memmodel.TSO {
+			c.FlushProb = 0.1
+		} else {
+			c.FlushProb = 0.5
+		}
+	}
+	if c.MaxStepsPerExec <= 0 {
+		c.MaxStepsPerExec = 100000
+	}
+}
+
+// Round records one repair round's statistics.
+type Round struct {
+	// Executions is the number of runs performed this round.
+	Executions int
+	// Violations is how many of them violated the specification.
+	Violations int
+	// DistinctClauses is the number of distinct repair disjunctions
+	// accumulated into φ.
+	DistinctClauses int
+	// Predicates is the number of distinct ordering predicates seen.
+	Predicates int
+	// Inserted lists the fences enforced at the end of the round.
+	Inserted []synth.InsertedFence
+}
+
+// Result is the outcome of Synthesize.
+type Result struct {
+	// Program is the repaired program (a clone; the input is untouched).
+	Program *ir.Program
+	// Fences are all fences inserted across rounds, in insertion order.
+	Fences []synth.InsertedFence
+	// Rounds holds per-round statistics.
+	Rounds []Round
+	// Converged reports that the final round saw no violations.
+	Converged bool
+	// Unfixable reports that synthesis did not converge and at least one
+	// violating execution had no candidate repairs — fences cannot fix the
+	// program under this specification (the paper's Table 3 "-" entries).
+	Unfixable bool
+	// EmptyRepairs counts violating executions whose repair disjunction
+	// was empty across the whole synthesis (they may still be transient:
+	// if synthesis converges afterwards, Unfixable stays false).
+	EmptyRepairs int
+	// UnfixableExample describes one empty-repair violation, if any.
+	UnfixableExample string
+	// TotalExecutions counts all runs across rounds.
+	TotalExecutions int
+	// MergedAway is the number of redundant fences removed by the merge
+	// pass (0 if disabled).
+	MergedAway int
+	// Redundant is the number of synthesized fences dropped by the
+	// validation pass (0 if disabled). Fences then holds only the
+	// validated, necessary fences.
+	Redundant int
+	// SynthesizedFences is the raw count before validation/merging.
+	SynthesizedFences int
+	// Witness is the schedule of the first violating execution observed
+	// (against the program as it was in that round): a reproducible
+	// counterexample the user can sched.Replay. Nil if no violation or
+	// witness capture is disabled.
+	Witness *sched.Trace
+	// WitnessViolation describes what the witness violated.
+	WitnessViolation string
+}
+
+// Summary renders a human-readable account of the synthesis.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d executions=%d converged=%v", len(r.Rounds), r.TotalExecutions, r.Converged)
+	if r.Unfixable {
+		fmt.Fprintf(&b, " UNFIXABLE (%s)", r.UnfixableExample)
+	}
+	fmt.Fprintf(&b, "\nfences inserted: %d", len(r.Fences))
+	for _, f := range r.Fences {
+		fmt.Fprintf(&b, "\n  %s", f)
+	}
+	if r.MergedAway > 0 {
+		fmt.Fprintf(&b, "\nmerged away: %d", r.MergedAway)
+	}
+	return b.String()
+}
+
+// violates judges one execution against the configuration's specification.
+func violates(cfg *Config, res *interp.Result) bool {
+	if res.StepLimitHit {
+		return false // inconclusive
+	}
+	if res.Violation != nil {
+		return true
+	}
+	ops := spec.CompleteOps(res.History)
+	if cfg.RelaxStealAborts {
+		ops = spec.RelaxStealAborts(ops)
+	}
+	return !spec.Check(cfg.Criterion, ops, cfg.NewSpec, cfg.CheckGarbage)
+}
+
+// Synthesize runs Algorithm 1 on a clone of prog and returns the repaired
+// program together with the synthesis trace. The input program must be
+// linked.
+func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
+	cfg.fill()
+	if cfg.Criterion != spec.MemorySafety && cfg.NewSpec == nil {
+		return nil, fmt.Errorf("core: criterion %v requires a sequential specification", cfg.Criterion)
+	}
+	work := prog.Clone()
+	result := &Result{Program: work}
+
+	collector := synth.NewCollector(cfg.Model)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		formula := synth.NewFormula() // φ := true at the start of each round
+		stats := Round{}
+		for i := 0; i < cfg.ExecsPerRound; i++ {
+			collector.Reset()
+			opts := sched.Options{
+				Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
+				FlushProb: cfg.FlushProb,
+				MaxSteps:  cfg.MaxStepsPerExec,
+				PORWindow: 64,
+			}
+			res := sched.Run(work, cfg.Model, collector, opts)
+			stats.Executions++
+			result.TotalExecutions++
+			if !violates(&cfg, res) {
+				continue
+			}
+			stats.Violations++
+			if result.Witness == nil && !cfg.NoWitness {
+				// Re-run the same seed traced to capture a reproducible
+				// counterexample schedule.
+				if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); violates(&cfg, wres) {
+					result.Witness = tr
+					result.WitnessViolation = describeViolation(wres)
+				}
+			}
+			d := collector.Disjunction()
+			if len(d) == 0 {
+				// No candidate repairs: this execution cannot be avoided by
+				// the predicate class (Algorithm 1 aborts here; we record it
+				// and keep going — later rounds may still fix everything
+				// else, and if a clean round is reached the empty-repair
+				// executions were spurious for the final program).
+				result.EmptyRepairs++
+				if result.UnfixableExample == "" {
+					result.UnfixableExample = describeViolation(res)
+				}
+				continue
+			}
+			if err := formula.AddExecution(d); err != nil {
+				return nil, err
+			}
+		}
+		stats.DistinctClauses = formula.NumClauses()
+		stats.Predicates = formula.NumPredicates()
+
+		if stats.Violations == 0 {
+			result.Rounds = append(result.Rounds, stats)
+			result.Converged = true
+			break
+		}
+		if formula.Empty() {
+			// Every violation this round was unfixable.
+			result.Rounds = append(result.Rounds, stats)
+			break
+		}
+		sols := formula.MinimalSolutions()
+		chosen := sols[0] // smallest, lexicographically first (deterministic)
+		if cfg.NoMinimize {
+			// Ablation: take the union of all predicates in the largest
+			// minimal solution's place — emulate a non-minimal SAT model by
+			// enforcing every predicate mentioned in some minimal solution.
+			seen := map[synth.Predicate]bool{}
+			chosen = chosen[:0:0]
+			for _, s := range sols {
+				for _, p := range s {
+					if !seen[p] {
+						seen[p] = true
+						chosen = append(chosen, p)
+					}
+				}
+			}
+		}
+		var fences []synth.InsertedFence
+		var err error
+		if cfg.EnforceWithCAS {
+			fences, err = synth.EnforceWithCAS(work, cfg.Model, chosen)
+		} else {
+			fences, err = synth.Enforce(work, chosen)
+		}
+		if err != nil {
+			return nil, err
+		}
+		stats.Inserted = fences
+		result.Fences = append(result.Fences, fences...)
+		result.Rounds = append(result.Rounds, stats)
+		if len(fences) == 0 && stats.Violations > 0 {
+			// No progress possible (all fences already present yet
+			// violations persist): stop rather than loop.
+			break
+		}
+	}
+
+	result.Unfixable = !result.Converged && result.EmptyRepairs > 0
+	result.SynthesizedFences = len(result.Fences)
+	if cfg.ValidateFences && !cfg.EnforceWithCAS && result.Converged && len(result.Fences) > 0 {
+		if err := validateFences(prog, &cfg, result); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MergeFences {
+		result.MergedAway = synth.MergeFences(result.Program)
+	}
+	return result, nil
+}
+
+// validateFences greedily removes fences whose absence no longer produces
+// violations, rebuilding the result program from the original plus the
+// surviving fences. Validation runs use a disjoint seed block so fences are
+// not kept merely because the synthesis schedules recur.
+func validateFences(orig *ir.Program, cfg *Config, result *Result) error {
+	budget := cfg.ValidateExecs
+	if budget <= 0 {
+		budget = 3 * cfg.ExecsPerRound
+	}
+	// Sweep flush probabilities: a missing fence's violation rate peaks at
+	// model-dependent probabilities (paper Fig. 5), so trying only the
+	// synthesis setting under-detects.
+	probs := []float64{0.1, 0.3, cfg.FlushProb}
+	seedBase := cfg.Seed + 1_000_003
+	trial := func(fences []synth.InsertedFence) (bool, error) {
+		p := orig.Clone()
+		if _, err := synth.InsertFences(p, fences); err != nil {
+			return false, err
+		}
+		for i := 0; i < budget; i++ {
+			opts := sched.Options{
+				Seed:      seedBase + int64(i),
+				FlushProb: probs[i%len(probs)],
+				MaxSteps:  cfg.MaxStepsPerExec,
+				PORWindow: 64,
+			}
+			res := sched.Run(p, cfg.Model, nil, opts)
+			if violates(cfg, res) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	kept := append([]synth.InsertedFence(nil), result.Fences...)
+	// Try dropping fences newest-first: later rounds react to rarer
+	// violations and are the likelier over-fit.
+	for i := len(kept) - 1; i >= 0; i-- {
+		candidate := append(append([]synth.InsertedFence(nil), kept[:i]...), kept[i+1:]...)
+		ok, err := trial(candidate)
+		if err != nil {
+			return err
+		}
+		if ok {
+			kept = candidate
+			result.Redundant++
+		}
+	}
+	p := orig.Clone()
+	final, err := synth.InsertFences(p, kept)
+	if err != nil {
+		return err
+	}
+	result.Program = p
+	result.Fences = final
+	return nil
+}
+
+func describeViolation(res *interp.Result) string {
+	if res.Violation != nil {
+		return res.Violation.Error()
+	}
+	ops := spec.CompleteOps(res.History)
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return "history not accepted: " + strings.Join(parts, " ")
+}
+
+// FindRedundantFences examines an already-fenced program (§6.3.1: "our
+// tool discovered a redundant (store-load) fence in the take operation"):
+// it greedily removes each existing fence instruction and re-tests; fences
+// whose removal leaves every execution violation-free are reported as
+// redundant. The returned labels identify the removable fences in prog;
+// prog itself is not modified.
+func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.Label, error) {
+	cfg.fill()
+	if cfg.Criterion != spec.MemorySafety && cfg.NewSpec == nil {
+		return nil, fmt.Errorf("core: criterion %v requires a sequential specification", cfg.Criterion)
+	}
+	if execsPerFence <= 0 {
+		execsPerFence = 2 * cfg.ExecsPerRound
+	}
+	probs := []float64{0.1, 0.3, cfg.FlushProb}
+	clean := func(p *ir.Program) bool {
+		for i := 0; i < execsPerFence; i++ {
+			opts := sched.Options{
+				Seed:      cfg.Seed + int64(i),
+				FlushProb: probs[i%len(probs)],
+				MaxSteps:  cfg.MaxStepsPerExec,
+				PORWindow: 64,
+			}
+			if violates(&cfg, sched.Run(p, cfg.Model, nil, opts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if !clean(prog) {
+		return nil, fmt.Errorf("core: program violates its specification even with all fences present")
+	}
+	kept := prog.Fences()
+	var redundant []ir.Label
+	for i := len(kept) - 1; i >= 0; i-- {
+		// Try without fence i (and without those already found redundant).
+		trial := prog.Clone()
+		drop := append(append([]ir.Label(nil), redundant...), kept[i])
+		removeFences(trial, drop)
+		if clean(trial) {
+			redundant = append(redundant, kept[i])
+		}
+	}
+	return redundant, nil
+}
+
+// removeFences deletes the fence instructions with the given labels,
+// retargeting branches to their successors.
+func removeFences(p *ir.Program, labels []ir.Label) {
+	for _, l := range labels {
+		f := p.FuncOf(l)
+		if f == nil {
+			continue
+		}
+		idx := f.IndexOf(l)
+		if idx < 0 || f.Code[idx].Op != ir.OpFence || idx+1 >= len(f.Code) {
+			continue
+		}
+		succ := f.Code[idx+1].Label
+		for j := range f.Code {
+			in := &f.Code[j]
+			if in.Op != ir.OpBr && in.Op != ir.OpCondBr {
+				continue
+			}
+			if in.Target == l {
+				in.Target = succ
+			}
+			if in.Op == ir.OpCondBr && in.Target2 == l {
+				in.Target2 = succ
+			}
+		}
+		f.Code = append(f.Code[:idx], f.Code[idx+1:]...)
+		f.Rebuild()
+	}
+}
+
+// CheckOnly runs n executions without synthesizing and reports how many
+// violate the specification — used to validate programs (e.g. checking
+// that Cilk's THE is not linearizable even under SC, §6.6) and by the
+// scheduler-effectiveness benchmarks.
+func CheckOnly(prog *ir.Program, cfg Config, n int) (violations int) {
+	cfg.fill()
+	for i := 0; i < n; i++ {
+		opts := sched.Options{
+			Seed:      cfg.Seed + int64(i),
+			FlushProb: cfg.FlushProb,
+			MaxSteps:  cfg.MaxStepsPerExec,
+			PORWindow: 64,
+		}
+		res := sched.Run(prog, cfg.Model, nil, opts)
+		if violates(&cfg, res) {
+			violations++
+		}
+	}
+	return violations
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/memmodel"
+	"dfence/internal/spec"
+)
+
+// The §6.3.1 experiment: hand the tool an over-fenced implementation and
+// let it discover which fences are redundant.
+
+// overFencedMP: the message-passing pattern with the one required
+// store-store fence plus two gratuitous ones.
+const overFencedMP = `
+int data = 0;
+int flag = 0;
+
+void producer() {
+  fence();       // redundant: nothing buffered yet
+  data = 42;
+  fence_ss();    // required: orders data before flag on PSO
+  flag = 1;
+}
+
+void consumer() {
+  while (!flag) { }
+  fence_sl();    // redundant: loads are never delayed
+  assert(data == 42);
+}
+
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1;
+  join t2;
+  return 0;
+}
+`
+
+func TestFindRedundantFencesMP(t *testing.T) {
+	prog, err := lang.Compile(overFencedMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Fences()); got != 3 {
+		t.Fatalf("program has %d fences, want 3", got)
+	}
+	cfg := Config{
+		Model:         memmodel.PSO,
+		Criterion:     spec.MemorySafety,
+		ExecsPerRound: 400,
+		Seed:          5,
+	}
+	redundant, err := FindRedundantFences(prog, cfg, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redundant) != 2 {
+		t.Fatalf("found %d redundant fences, want 2 (the leading fence and the consumer's)", len(redundant))
+	}
+	// The required fence (between the data and flag stores in producer)
+	// must NOT be among them.
+	for _, l := range redundant {
+		in := prog.InstrAt(l)
+		if in == nil || in.Op != ir.OpFence {
+			t.Fatalf("redundant label L%d is not a fence", l)
+		}
+		if in.Kind == ir.FenceStoreStore {
+			t.Errorf("the required store-store fence was declared redundant")
+		}
+	}
+	// Input program untouched.
+	if got := len(prog.Fences()); got != 3 {
+		t.Errorf("FindRedundantFences mutated the input (now %d fences)", got)
+	}
+}
+
+func TestFindRedundantFencesRejectsBrokenProgram(t *testing.T) {
+	// A program violating its spec with all fences present cannot be
+	// analyzed for redundancy.
+	src := strings.Replace(overFencedMP, "fence_ss();    // required", "// no fence", 1)
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: memmodel.PSO, Criterion: spec.MemorySafety, ExecsPerRound: 400, Seed: 5}
+	if _, err := FindRedundantFences(prog, cfg, 800); err == nil {
+		t.Fatal("under-fenced program accepted")
+	}
+}
+
+func TestFindRedundantFencesCleanProgram(t *testing.T) {
+	// A fence-free correct program reports nothing.
+	prog, err := lang.Compile(`
+int main() {
+  print(1);
+  return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: memmodel.PSO, Criterion: spec.MemorySafety, ExecsPerRound: 50, Seed: 1}
+	redundant, err := FindRedundantFences(prog, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redundant) != 0 {
+		t.Errorf("redundant = %v on a fence-free program", redundant)
+	}
+}
+
+// TestFindRedundantFencesOverFencedChaseLev: take the fence-free SPSC-style
+// program from core_test, insert the one required fence plus a gratuitous
+// one, and check that exactly the gratuitous fence is reported.
+func TestFindRedundantFencesOverFencedSPSC(t *testing.T) {
+	p, storeItems, storeT := buildSPSC(t)
+	if _, err := p.InsertFenceAfter(storeItems, ir.FenceStoreStore); err != nil {
+		t.Fatal(err)
+	}
+	extra, err := p.InsertFenceAfter(storeT, ir.FenceStoreStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model:         memmodel.PSO,
+		Criterion:     spec.SeqConsistency,
+		NewSpec:       spec.NewDeque,
+		ExecsPerRound: 400,
+		Seed:          11,
+	}
+	redundant, err := FindRedundantFences(p, cfg, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redundant) != 1 || redundant[0] != extra {
+		t.Errorf("redundant = %v, want exactly the post-T fence L%d", redundant, extra)
+	}
+}

@@ -1,0 +1,259 @@
+// Package eval regenerates the paper's evaluation artifacts: Table 2
+// (benchmark inventory), Table 3 (inferred fences per benchmark ×
+// specification × memory model), Figure 4 (inferred fences vs executions
+// per round, multi-round vs one round), and Figure 5 (synthesized fences
+// vs flush probability). The cmd/experiments binary and the repository's
+// benchmark harness both drive this package.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfence/internal/core"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/spec"
+	"dfence/internal/synth"
+)
+
+// Options tunes an evaluation run. Zero values select the paper's
+// settings.
+type Options struct {
+	// ExecsPerRound is K (default 1000; §6.3.2).
+	ExecsPerRound int
+	// MaxRounds bounds repair rounds (default 10).
+	MaxRounds int
+	// Seed makes everything deterministic (default 1).
+	Seed int64
+	// Validate prunes redundant fences after convergence (default true in
+	// the Table 3 runs).
+	Validate bool
+	// FlushProbTSO / FlushProbPSO override the scheduler flush
+	// probabilities (defaults 0.1 / 0.5 — §6.5).
+	FlushProbTSO float64
+	FlushProbPSO float64
+}
+
+func (o *Options) fill() {
+	if o.ExecsPerRound <= 0 {
+		o.ExecsPerRound = 1000
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FlushProbTSO <= 0 {
+		o.FlushProbTSO = 0.1
+	}
+	if o.FlushProbPSO <= 0 {
+		o.FlushProbPSO = 0.5
+	}
+}
+
+func (o *Options) flushFor(m memmodel.Model) float64 {
+	if m == memmodel.TSO {
+		return o.FlushProbTSO
+	}
+	return o.FlushProbPSO
+}
+
+// FenceDesc renders one inferred fence the way Table 3 does: method plus
+// the source lines the fence sits between.
+type FenceDesc struct {
+	Func string
+	Kind ir.FenceKind
+	// LineBefore is the source line of the store the fence follows;
+	// LineAfter the line of the next instruction (0 = method end).
+	LineBefore, LineAfter int
+}
+
+func (f FenceDesc) String() string {
+	after := "-"
+	if f.LineAfter > 0 {
+		after = fmt.Sprint(f.LineAfter)
+	}
+	return fmt.Sprintf("(%s, %d:%s)", f.Func, f.LineBefore, after)
+}
+
+// Cell is one Table 3 cell: the outcome of synthesis for one benchmark
+// under one (criterion, model) pair.
+type Cell struct {
+	Fences      []FenceDesc
+	Converged   bool
+	Unfixable   bool
+	Synthesized int // before validation
+	Executions  int
+}
+
+// String renders the cell Table 3 style: "0" for no fences, "-" for
+// cannot-satisfy.
+func (c Cell) String() string {
+	if c.Unfixable || !c.Converged {
+		return "-"
+	}
+	if len(c.Fences) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(c.Fences))
+	for i, f := range c.Fences {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Row is one Table 3 row.
+type Row struct {
+	Benchmark *progs.Benchmark
+	// Cells indexed by [criterion][model]: criteria MemorySafety, SC, Lin;
+	// models TSO, PSO.
+	Cells map[spec.Criterion]map[memmodel.Model]Cell
+	// Size metrics (Table 3's last columns).
+	SourceLOC       int
+	IRInstrs        int
+	InsertionPoints int
+}
+
+// criteria lists Table 3's specification columns in order.
+var criteria = []spec.Criterion{spec.MemorySafety, spec.SeqConsistency, spec.Linearizability}
+
+// models lists Table 3's memory-model sub-columns in order.
+var models = []memmodel.Model{memmodel.TSO, memmodel.PSO}
+
+// SynthesizeCell runs fence synthesis for one cell.
+func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Model, o Options) (Cell, error) {
+	o.fill()
+	cfg := core.Config{
+		Model:            model,
+		Criterion:        crit,
+		NewSpec:          b.NewSpec(),
+		CheckGarbage:     b.CheckGarbage,
+		RelaxStealAborts: b.RelaxStealAborts,
+		ExecsPerRound:    o.ExecsPerRound,
+		MaxRounds:        o.MaxRounds,
+		FlushProb:        o.flushFor(model),
+		Seed:             o.Seed,
+		ValidateFences:   o.Validate,
+	}
+	res, err := core.Synthesize(b.Program(), cfg)
+	if err != nil {
+		return Cell{}, err
+	}
+	return cellFrom(res), nil
+}
+
+func cellFrom(res *core.Result) Cell {
+	c := Cell{
+		Converged:   res.Converged,
+		Unfixable:   res.Unfixable,
+		Synthesized: res.SynthesizedFences,
+		Executions:  res.TotalExecutions,
+	}
+	for _, f := range res.Fences {
+		c.Fences = append(c.Fences, DescribeFence(res.Program, f))
+	}
+	sort.Slice(c.Fences, func(i, j int) bool {
+		a, b := c.Fences[i], c.Fences[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.LineBefore < b.LineBefore
+	})
+	return c
+}
+
+// DescribeFence locates a synthesized fence in source terms.
+func DescribeFence(p *ir.Program, f synth.InsertedFence) FenceDesc {
+	d := FenceDesc{Func: f.Func, Kind: f.Kind}
+	fn := p.FuncOf(f.Label)
+	if fn == nil {
+		return d
+	}
+	idx := fn.IndexOf(f.Label)
+	if idx > 0 {
+		d.LineBefore = int(fn.Code[idx-1].Line)
+	}
+	// Find the next instruction from a later source line; treat trailing
+	// returns as method end.
+	for j := idx + 1; j < len(fn.Code); j++ {
+		in := &fn.Code[j]
+		if in.Op == ir.OpRet {
+			break
+		}
+		if in.Line != 0 && int(in.Line) != d.LineBefore {
+			d.LineAfter = int(in.Line)
+			break
+		}
+	}
+	return d
+}
+
+// Table3 runs the full Table 3 matrix. Benchmarks whose SC/linearizability
+// specifications are future work (the iWSQs) get "-" in those columns
+// without running, as in the paper.
+func Table3(benchmarks []*progs.Benchmark, o Options) ([]Row, error) {
+	o.fill()
+	var rows []Row
+	for _, b := range benchmarks {
+		p := b.Program()
+		row := Row{
+			Benchmark:       b,
+			Cells:           map[spec.Criterion]map[memmodel.Model]Cell{},
+			SourceLOC:       b.SourceLOC(),
+			IRInstrs:        p.CountInstrs(),
+			InsertionPoints: p.CountStores(),
+		}
+		for _, crit := range criteria {
+			row.Cells[crit] = map[memmodel.Model]Cell{}
+			for _, m := range models {
+				if b.SkipSeqCheck && crit != spec.MemorySafety {
+					row.Cells[crit][m] = Cell{Converged: false, Unfixable: true}
+					continue
+				}
+				cell, err := SynthesizeCell(b, crit, m, o)
+				if err != nil {
+					return nil, fmt.Errorf("%s %v/%v: %w", b.Name, crit, m, err)
+				}
+				row.Cells[crit][m] = cell
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows as text.
+func FormatTable3(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s | %-28s | %-44s | %-44s | %5s %5s %5s\n",
+		"Benchmark", "Memory Safety (TSO | PSO)", "Sequential Consistency (TSO | PSO)",
+		"Linearizability (TSO | PSO)", "SLOC", "IR", "Ins")
+	b.WriteString(strings.Repeat("-", 170) + "\n")
+	for _, r := range rows {
+		cell := func(c spec.Criterion) string {
+			return r.Cells[c][memmodel.TSO].String() + " | " + r.Cells[c][memmodel.PSO].String()
+		}
+		fmt.Fprintf(&b, "%-14s | %-28s | %-44s | %-44s | %5d %5d %5d\n",
+			r.Benchmark.Name, cell(spec.MemorySafety), cell(spec.SeqConsistency),
+			cell(spec.Linearizability), r.SourceLOC, r.IRInstrs, r.InsertionPoints)
+	}
+	return b.String()
+}
+
+// Table2 renders the benchmark inventory.
+func Table2(benchmarks []*progs.Benchmark) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-28s %-10s %s\n", "Name", "Paper name", "Spec", "Notes")
+	for _, bm := range benchmarks {
+		notes := ""
+		if bm.CheckGarbage {
+			notes = "idempotent: no-garbage + memory safety only"
+		}
+		fmt.Fprintf(&b, "%-14s %-28s %-10s %s\n", bm.Name, bm.Paper, bm.SpecName, notes)
+	}
+	return b.String()
+}

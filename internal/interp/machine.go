@@ -1,0 +1,559 @@
+// Package interp is the DFENCE execution engine: a small-step interpreter
+// for the IR of package ir running under a pluggable relaxed memory model
+// (package memmodel). It is the from-scratch replacement for the paper's
+// extended LLVM interpreter (lli): it supports user-level threads
+// (fork/join/self), per-thread store buffers for TSO and PSO, scheduler-
+// driven flush transitions, memory-safety checking, operation history
+// recording, and an observation hook used by the fence synthesizer.
+//
+// The interpreter exposes individual transitions (StepThread, FlushOne) so
+// that a demonic scheduler (package sched) fully controls interleaving and
+// flush timing, exactly as in the paper's architecture.
+package interp
+
+import (
+	"fmt"
+
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// frame is one activation record.
+type frame struct {
+	fn     *ir.Func
+	regs   []int64
+	pc     int    // index into fn.Code
+	retDst ir.Reg // caller register receiving the return value (NoReg: dropped)
+	isOp   bool   // operation frame: its return emits an EventResponse
+}
+
+// Thread is one user-level thread, mirroring the paper's ThreadStacks map:
+// a thread identifier owning a list of execution contexts plus its store
+// buffers.
+type Thread struct {
+	ID      int
+	frames  []frame
+	buf     *memmodel.Buffers
+	opDepth int // >0 while executing inside an operation
+}
+
+// Finished reports whether the thread has run to completion. Its buffers
+// may still hold pending stores; the JOIN rule additionally requires the
+// buffers to drain (paper Semantics 1).
+func (t *Thread) Finished() bool { return len(t.frames) == 0 }
+
+// Buffers exposes the thread's store buffers (read-only use intended).
+func (t *Thread) Buffers() *memmodel.Buffers { return t.buf }
+
+// Machine executes one program run. It is not safe for concurrent use;
+// create one Machine per execution.
+type Machine struct {
+	prog  *ir.Program
+	model memmodel.Model
+	obs   Observer
+
+	mem      []int64
+	units    unitTracker
+	threads  []*Thread
+	history  []Event
+	output   []int64
+	steps    int
+	violated *Violation
+	exitCode int64
+}
+
+// heapGap is the number of unaddressable guard words placed between
+// allocations so that small overflows land outside every unit and are
+// caught (a strengthening over contiguous layout; detection-only, no
+// semantic effect).
+const heapGap = 1
+
+// NewMachine prepares an execution of prog under the given memory model.
+// prog must be linked. obs may be nil.
+func NewMachine(prog *ir.Program, model memmodel.Model, obs Observer) *Machine {
+	m := &Machine{prog: prog, model: model, obs: obs}
+	m.mem = make([]int64, prog.GlobalsSize())
+	for _, g := range prog.Globals {
+		m.units.add(g.Addr, g.Size)
+		copy(m.mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	entry := prog.Funcs[prog.Entry]
+	main := &Thread{ID: 0, buf: memmodel.New(model)}
+	main.frames = append(main.frames, frame{
+		fn:     entry,
+		regs:   make([]int64, entry.NumRegs),
+		retDst: ir.NoReg,
+	})
+	m.threads = []*Thread{main}
+	return m
+}
+
+// Threads returns the live thread table (index = thread id).
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Steps returns the number of transitions taken so far.
+func (m *Machine) Steps() int { return m.steps }
+
+// Violation returns the first violation, or nil.
+func (m *Machine) Violation() *Violation { return m.violated }
+
+// History returns the operation history recorded so far.
+func (m *Machine) History() []Event { return m.history }
+
+// Output returns the values printed so far.
+func (m *Machine) Output() []int64 { return m.output }
+
+// ExitCode returns main's return value.
+func (m *Machine) ExitCode() int64 { return m.exitCode }
+
+// Done reports whether the execution has ended: a violation occurred, or
+// every thread finished with drained buffers.
+func (m *Machine) Done() bool {
+	if m.violated != nil {
+		return true
+	}
+	for _, t := range m.threads {
+		if !t.Finished() || !t.buf.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// CanExec reports whether thread tid can execute its next instruction
+// right now (it has one, and any join it is blocked on has become ready).
+// A thread whose next instruction is a fence or CAS with pending buffered
+// stores can still "execute": its step is a forced flush.
+func (m *Machine) CanExec(tid int) bool {
+	t := m.threads[tid]
+	if t.Finished() {
+		return false
+	}
+	in := m.current(t)
+	if in.Op == ir.OpJoin {
+		target := t.frames[len(t.frames)-1].regs[in.A]
+		return m.joinReady(target)
+	}
+	return true
+}
+
+// CanFlush reports whether thread tid has pending buffered stores.
+func (m *Machine) CanFlush(tid int) bool { return !m.threads[tid].buf.Empty() }
+
+// Actable reports whether the scheduler can give thread tid a turn at all.
+func (m *Machine) Actable(tid int) bool { return m.CanExec(tid) || m.CanFlush(tid) }
+
+func (m *Machine) joinReady(target int64) bool {
+	if target < 0 || target >= int64(len(m.threads)) {
+		// Joining a bogus id can never succeed; treat as never-ready (the
+		// runner will report deadlock).
+		return false
+	}
+	u := m.threads[target]
+	return u.Finished() && u.buf.Empty()
+}
+
+func (m *Machine) current(t *Thread) *ir.Instr {
+	fr := &t.frames[len(t.frames)-1]
+	return &fr.fn.Code[fr.pc]
+}
+
+// StepKind describes what a transition did, for scheduler bookkeeping.
+type StepKind uint8
+
+const (
+	// StepLocal executed an instruction touching only registers or
+	// provably thread-local memory (partial-order-reduction candidates).
+	StepLocal StepKind = iota
+	// StepShared executed an instruction visible to other threads.
+	StepShared
+	// StepFlush committed one buffered store to main memory.
+	StepFlush
+	// StepBlocked means the thread could not act (should not normally be
+	// scheduled in this state).
+	StepBlocked
+)
+
+// FlushOne commits the oldest pending store of thread tid for the given
+// address (PSO) or the FIFO head (TSO; addr ignored) to main memory,
+// performing the memory-safety check of the FLUSH transition.
+func (m *Machine) FlushOne(tid int, addr int64) StepKind {
+	t := m.threads[tid]
+	e, ok := t.buf.FlushOldest(addr)
+	if !ok {
+		return StepBlocked
+	}
+	m.steps++
+	m.commit(tid, e)
+	return StepFlush
+}
+
+// commit writes a flushed entry to main memory with safety checking.
+func (m *Machine) commit(tid int, e memmodel.Entry) {
+	if !m.checkAddr(tid, e.Label, e.Addr, "store (at flush)") {
+		return
+	}
+	m.mem[e.Addr] = e.Val
+}
+
+func (m *Machine) checkAddr(tid int, l ir.Label, addr int64, what string) bool {
+	if addr > 0 && addr < int64(len(m.mem)) && m.units.contains(addr) {
+		return true
+	}
+	kind := "out-of-bounds"
+	if addr == 0 {
+		kind = "null-dereference"
+	}
+	m.fail(&Violation{
+		Kind:   VMemSafety,
+		Thread: tid,
+		Label:  l,
+		Msg:    fmt.Sprintf("%s %s of address %d", kind, what, addr),
+	})
+	return false
+}
+
+func (m *Machine) fail(v *Violation) {
+	if m.violated == nil {
+		m.violated = v
+	}
+}
+
+// forcedFlush performs one flush step on behalf of an instruction that
+// requires (some of) the buffers to drain before it can execute.
+func (m *Machine) forcedFlush(tid int, addr int64) StepKind {
+	t := m.threads[tid]
+	if m.model == memmodel.PSO && addr >= 0 && !t.buf.EmptyFor(addr) {
+		return m.FlushOne(tid, addr)
+	}
+	pend := t.buf.PendingAddrs()
+	if len(pend) == 0 {
+		return StepBlocked
+	}
+	return m.FlushOne(tid, pend[0])
+}
+
+// StepThread performs one transition of thread tid: a forced flush if the
+// next instruction needs empty buffers, otherwise the next instruction.
+// If the thread has finished but still has pending stores, the step is a
+// flush. Returns what kind of step occurred.
+func (m *Machine) StepThread(tid int) StepKind {
+	if m.violated != nil {
+		return StepBlocked
+	}
+	t := m.threads[tid]
+	if t.Finished() {
+		if t.buf.Empty() {
+			return StepBlocked
+		}
+		pend := t.buf.PendingAddrs()
+		return m.FlushOne(tid, pend[0])
+	}
+	fr := &t.frames[len(t.frames)-1]
+	in := &fr.fn.Code[fr.pc]
+
+	// Instructions that require drained buffers first (FENCE, CAS, and the
+	// flush half of JOIN handled via joinReady) trigger forced flushes.
+	switch in.Op {
+	case ir.OpFence:
+		if !t.buf.Empty() {
+			return m.forcedFlush(tid, -1)
+		}
+	case ir.OpCas:
+		a := fr.regs[in.A]
+		if !t.buf.EmptyFor(a) {
+			return m.forcedFlush(tid, a)
+		}
+	case ir.OpFork:
+		// Thread creation is a synchronization point (pthread_create
+		// implies a full barrier): the parent's buffers drain so the child
+		// observes everything written before the fork.
+		if !t.buf.Empty() {
+			return m.forcedFlush(tid, -1)
+		}
+	case ir.OpJoin:
+		if !m.joinReady(fr.regs[in.A]) {
+			return StepBlocked
+		}
+	}
+
+	m.steps++
+	return m.exec(t, fr, in)
+}
+
+func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
+	advance := true
+	kind := StepLocal
+	switch in.Op {
+	case ir.OpConst:
+		fr.regs[in.Dst] = in.Imm
+	case ir.OpGlobal:
+		fr.regs[in.Dst] = in.Imm
+	case ir.OpMov:
+		fr.regs[in.Dst] = fr.regs[in.A]
+	case ir.OpBin:
+		fr.regs[in.Dst] = in.Bin.Eval(fr.regs[in.A], fr.regs[in.B])
+	case ir.OpNot:
+		if fr.regs[in.A] == 0 {
+			fr.regs[in.Dst] = 1
+		} else {
+			fr.regs[in.Dst] = 0
+		}
+	case ir.OpNeg:
+		fr.regs[in.Dst] = -fr.regs[in.A]
+
+	case ir.OpLoad:
+		addr := fr.regs[in.A]
+		if in.ThreadLocal {
+			if !m.checkAddr(t.ID, in.Label, addr, "load") {
+				return StepShared
+			}
+			fr.regs[in.Dst] = m.mem[addr]
+			break // stays StepLocal
+		}
+		kind = StepShared
+		m.observe(t, in.Label, AccLoad, addr)
+		if v, ok := t.buf.Lookup(addr); ok {
+			fr.regs[in.Dst] = v // LOAD-B
+		} else {
+			if !m.checkAddr(t.ID, in.Label, addr, "load") {
+				return StepShared
+			}
+			fr.regs[in.Dst] = m.mem[addr] // LOAD-G
+		}
+
+	case ir.OpStore:
+		addr := fr.regs[in.A]
+		val := fr.regs[in.B]
+		if in.ThreadLocal {
+			if !m.checkAddr(t.ID, in.Label, addr, "store") {
+				return StepShared
+			}
+			m.mem[addr] = val
+			break
+		}
+		kind = StepShared
+		m.observe(t, in.Label, AccStore, addr)
+		if m.model == memmodel.SC {
+			if !m.checkAddr(t.ID, in.Label, addr, "store") {
+				return StepShared
+			}
+			m.mem[addr] = val
+		} else {
+			t.buf.Put(addr, val, in.Label)
+		}
+
+	case ir.OpCas:
+		kind = StepShared
+		addr := fr.regs[in.A]
+		m.observe(t, in.Label, AccCas, addr)
+		if !m.checkAddr(t.ID, in.Label, addr, "cas") {
+			return StepShared
+		}
+		if m.mem[addr] == fr.regs[in.B] {
+			m.mem[addr] = fr.regs[in.C]
+			fr.regs[in.Dst] = 1
+		} else {
+			fr.regs[in.Dst] = 0
+		}
+
+	case ir.OpFence:
+		kind = StepShared // buffers already empty (forced flushes ran)
+
+	case ir.OpBr:
+		fr.pc = fr.fn.IndexOf(in.Target)
+		advance = false
+	case ir.OpCondBr:
+		if fr.regs[in.A] != 0 {
+			fr.pc = fr.fn.IndexOf(in.Target)
+		} else {
+			fr.pc = fr.fn.IndexOf(in.Target2)
+		}
+		advance = false
+
+	case ir.OpCall:
+		callee := m.prog.Funcs[in.Func]
+		nf := frame{
+			fn:     callee,
+			regs:   make([]int64, callee.NumRegs),
+			retDst: in.Dst,
+		}
+		for i, a := range in.Args {
+			nf.regs[i] = fr.regs[a]
+		}
+		if callee.IsOperation && t.opDepth == 0 {
+			nf.isOp = true
+			t.opDepth++
+			args := make([]int64, len(in.Args))
+			copy(args, nf.regs[:len(in.Args)])
+			m.history = append(m.history, Event{
+				Kind: EventInvoke, Thread: t.ID, Op: callee.Name, Args: args,
+			})
+		} else if callee.IsOperation {
+			t.opDepth++
+		}
+		fr.pc++ // return lands after the call
+		t.frames = append(t.frames, nf)
+		advance = false
+
+	case ir.OpRet:
+		var val int64
+		hasVal := in.HasVal
+		if hasVal {
+			val = fr.regs[in.A]
+		}
+		if fr.isOp {
+			m.history = append(m.history, Event{
+				Kind: EventResponse, Thread: t.ID, Op: fr.fn.Name, Ret: val, HasRet: hasVal,
+			})
+		}
+		if fr.fn.IsOperation {
+			t.opDepth--
+		}
+		retDst := fr.retDst
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) == 0 {
+			if t.ID == 0 {
+				m.exitCode = val
+			}
+		} else if hasVal && retDst != ir.NoReg {
+			caller := &t.frames[len(t.frames)-1]
+			caller.regs[retDst] = val
+		}
+		advance = false
+		kind = StepShared // returns are scheduling points (keeps POR honest)
+
+	case ir.OpFork:
+		callee := m.prog.Funcs[in.Func]
+		nt := &Thread{ID: len(m.threads), buf: memmodel.New(m.model)}
+		nf := frame{
+			fn:     callee,
+			regs:   make([]int64, callee.NumRegs),
+			retDst: ir.NoReg,
+		}
+		for i, a := range in.Args {
+			nf.regs[i] = fr.regs[a]
+		}
+		if callee.IsOperation {
+			nf.isOp = true
+			nt.opDepth++
+			args := make([]int64, len(in.Args))
+			copy(args, nf.regs[:len(in.Args)])
+			m.history = append(m.history, Event{
+				Kind: EventInvoke, Thread: nt.ID, Op: callee.Name, Args: args,
+			})
+		}
+		nt.frames = append(nt.frames, nf)
+		m.threads = append(m.threads, nt)
+		fr.regs[in.Dst] = int64(nt.ID)
+		kind = StepShared
+
+	case ir.OpJoin:
+		kind = StepShared // readiness checked by caller
+
+	case ir.OpSelf:
+		fr.regs[in.Dst] = int64(t.ID)
+
+	case ir.OpAlloc:
+		size := fr.regs[in.A]
+		if size < 1 {
+			size = 1
+		}
+		base := int64(len(m.mem)) + heapGap
+		grown := make([]int64, base+size)
+		copy(grown, m.mem)
+		m.mem = grown
+		m.units.add(base, size)
+		fr.regs[in.Dst] = base
+		kind = StepShared
+
+	case ir.OpFree:
+		addr := fr.regs[in.A]
+		if !m.units.remove(addr) {
+			m.fail(&Violation{
+				Kind:   VMemSafety,
+				Thread: t.ID,
+				Label:  in.Label,
+				Msg:    fmt.Sprintf("free of invalid pointer %d", addr),
+			})
+			return StepShared
+		}
+		// Per the paper, free does not flush write buffers; pending stores
+		// to the freed unit will fault at flush time (use-after-free).
+		kind = StepShared
+
+	case ir.OpAssert:
+		if fr.regs[in.A] == 0 {
+			m.fail(&Violation{
+				Kind:   VAssert,
+				Thread: t.ID,
+				Label:  in.Label,
+				Msg:    in.Msg,
+			})
+			return StepShared
+		}
+
+	case ir.OpPrint:
+		m.output = append(m.output, fr.regs[in.A])
+
+	default:
+		m.fail(&Violation{
+			Kind:   VAssert,
+			Thread: t.ID,
+			Label:  in.Label,
+			Msg:    fmt.Sprintf("cannot execute opcode %v", in.Op),
+		})
+		return StepShared
+	}
+	if advance {
+		fr.pc++
+	}
+	return kind
+}
+
+// observe reports a shared access to the Observer with the same-thread
+// pending stores to other addresses (instrumented Semantics 2).
+func (m *Machine) observe(t *Thread, l ir.Label, kind AccessKind, addr int64) {
+	if m.obs == nil || m.model == memmodel.SC {
+		return
+	}
+	entries := t.buf.PendingOther(addr)
+	if len(entries) == 0 {
+		return // no pending stores to other locations: no predicates arise
+	}
+	pend := make([]PendingStore, len(entries))
+	for i, e := range entries {
+		pend[i] = PendingStore{Label: e.Label, Addr: e.Addr}
+	}
+	m.obs.OnSharedAccess(t.ID, l, kind, addr, pend)
+}
+
+// MemRead returns the committed value at addr (tests/inspection only).
+func (m *Machine) MemRead(addr int64) int64 {
+	if addr < 0 || addr >= int64(len(m.mem)) {
+		return 0
+	}
+	return m.mem[addr]
+}
+
+// GlobalValue returns the committed value of the named global's first word.
+func (m *Machine) GlobalValue(name string) (int64, bool) {
+	g := m.prog.Global(name)
+	if g == nil {
+		return 0, false
+	}
+	return m.mem[g.Addr], true
+}
+
+// Result snapshots the execution outcome. stepLimitHit is supplied by the
+// runner that enforced the budget.
+func (m *Machine) Result(stepLimitHit bool) *Result {
+	return &Result{
+		Violation:    m.violated,
+		History:      m.history,
+		Output:       m.output,
+		Steps:        m.steps,
+		StepLimitHit: stepLimitHit,
+		ExitCode:     m.exitCode,
+	}
+}

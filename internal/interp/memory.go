@@ -1,0 +1,59 @@
+package interp
+
+import "sort"
+
+// unit is one tracked region of memory: a global variable or a live heap
+// allocation. Accesses outside every live unit are memory-safety
+// violations (paper §5.2: globals are found by scanning the global
+// segment, heap units come from malloc/mmap and disappear on free).
+type unit struct {
+	base int64
+	size int64
+}
+
+// unitTracker indexes live units by base address. The paper keeps units in
+// a self-balanced binary tree keyed by starting address; a sorted slice
+// with binary search is the equivalent structure (same O(log n) lookup,
+// simpler in Go, and unit counts here are small).
+type unitTracker struct {
+	units []unit // sorted by base, non-overlapping
+}
+
+// add registers a new live unit. Units never overlap by construction (the
+// heap is a bump allocator and globals are linked disjointly).
+func (t *unitTracker) add(base, size int64) {
+	i := sort.Search(len(t.units), func(i int) bool { return t.units[i].base >= base })
+	t.units = append(t.units, unit{})
+	copy(t.units[i+1:], t.units[i:])
+	t.units[i] = unit{base: base, size: size}
+}
+
+// remove deletes the unit with exactly the given base. It reports whether
+// such a unit existed (freeing a bad pointer is itself a violation).
+func (t *unitTracker) remove(base int64) bool {
+	i := sort.Search(len(t.units), func(i int) bool { return t.units[i].base >= base })
+	if i >= len(t.units) || t.units[i].base != base {
+		return false
+	}
+	t.units = append(t.units[:i], t.units[i+1:]...)
+	return true
+}
+
+// contains reports whether addr falls inside a live unit.
+func (t *unitTracker) contains(addr int64) bool {
+	i := sort.Search(len(t.units), func(i int) bool { return t.units[i].base > addr })
+	if i == 0 {
+		return false
+	}
+	u := t.units[i-1]
+	return addr < u.base+u.size
+}
+
+// sizeAt returns the size of the unit based exactly at addr, or -1.
+func (t *unitTracker) sizeAt(base int64) int64 {
+	i := sort.Search(len(t.units), func(i int) bool { return t.units[i].base >= base })
+	if i < len(t.units) && t.units[i].base == base {
+		return t.units[i].size
+	}
+	return -1
+}

@@ -1,0 +1,235 @@
+// Package ir defines the intermediate representation interpreted by DFENCE:
+// a register-based instruction set implementing the statement forms of the
+// paper's Table 1 (load, store, cas, call, return, fork, join, fence, self)
+// plus the ALU, branching, and allocation operations needed to lower a
+// C-like surface language.
+//
+// Every instruction carries a stable Label that is unique within its
+// Program. Labels survive program mutation: inserting a fence after label l
+// allocates a fresh label for the fence and leaves all existing labels (and
+// the branch targets that refer to them) untouched. Ordering predicates and
+// synthesis results are expressed in terms of these labels.
+package ir
+
+import "fmt"
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; a validated program never contains it.
+	OpInvalid Op = iota
+
+	// OpConst sets Dst to the immediate Imm.
+	OpConst
+	// OpGlobal sets Dst to the address of global GlobalName (resolved at
+	// link time; Imm holds the resolved base address after linking).
+	OpGlobal
+	// OpMov copies register A to Dst.
+	OpMov
+	// OpBin applies Bin to registers A and B, storing the result in Dst.
+	OpBin
+	// OpNot sets Dst to 1 if register A is zero and 0 otherwise.
+	OpNot
+	// OpNeg sets Dst to the arithmetic negation of register A.
+	OpNeg
+
+	// OpLoad loads the word at address in register A into Dst. Subject to
+	// the active memory model (reads the thread's own store buffer first).
+	OpLoad
+	// OpStore stores register B to the address in register A. Under TSO/PSO
+	// the store enters the thread's store buffer.
+	OpStore
+	// OpCas compares the word at address in register A with register B and,
+	// if equal, stores register C; Dst receives 1 on success, 0 on failure.
+	// Executes atomically and only when the thread's store buffer for the
+	// location has drained (the scheduler flushes first).
+	OpCas
+	// OpFence drains the thread's store buffers. FenceK records the specific
+	// kind (store-store or store-load) for reporting.
+	OpFence
+
+	// OpBr jumps unconditionally to the instruction labelled Target.
+	OpBr
+	// OpCondBr jumps to Target if register A is non-zero, else to Target2.
+	OpCondBr
+
+	// OpCall invokes function Func with argument registers Args; the return
+	// value (if any) lands in Dst.
+	OpCall
+	// OpRet returns from the current function. If HasVal, register A holds
+	// the return value.
+	OpRet
+
+	// OpFork starts a new thread running function Func with argument
+	// registers Args and sets Dst to the new thread's id.
+	OpFork
+	// OpJoin blocks until the thread whose id is in register A finishes.
+	OpJoin
+	// OpSelf sets Dst to the calling thread's id.
+	OpSelf
+
+	// OpAlloc allocates a fresh memory unit of the word size in register A
+	// and sets Dst to its base address. Models mmap/sbrk: the unit is
+	// tracked for memory-safety checking.
+	OpAlloc
+	// OpFree releases the memory unit based at the address in register A.
+	// Per the paper, freeing does not flush store buffers.
+	OpFree
+
+	// OpAssert checks that register A is non-zero and reports a safety
+	// violation otherwise. Msg describes the assertion.
+	OpAssert
+	// OpPrint appends register A to the execution's output (for tests and
+	// examples).
+	OpPrint
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpConst:   "const",
+	OpGlobal:  "global",
+	OpMov:     "mov",
+	OpBin:     "bin",
+	OpNot:     "not",
+	OpNeg:     "neg",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpCas:     "cas",
+	OpFence:   "fence",
+	OpBr:      "br",
+	OpCondBr:  "condbr",
+	OpCall:    "call",
+	OpRet:     "ret",
+	OpFork:    "fork",
+	OpJoin:    "join",
+	OpSelf:    "self",
+	OpAlloc:   "alloc",
+	OpFree:    "free",
+	OpAssert:  "assert",
+	OpPrint:   "print",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Bin enumerates binary ALU operations.
+type Bin uint8
+
+const (
+	BinAdd Bin = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+var binNames = [...]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div",
+	BinMod: "mod", BinAnd: "and", BinOr: "or", BinXor: "xor",
+	BinShl: "shl", BinShr: "shr", BinEq: "eq", BinNe: "ne",
+	BinLt: "lt", BinLe: "le", BinGt: "gt", BinGe: "ge",
+}
+
+func (b Bin) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// Eval applies the binary operation to two word operands. Division and
+// modulus by zero yield zero (the interpreter reports them separately).
+func (b Bin) Eval(x, y int64) int64 {
+	switch b {
+	case BinAdd:
+		return x + y
+	case BinSub:
+		return x - y
+	case BinMul:
+		return x * y
+	case BinDiv:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case BinMod:
+		if y == 0 {
+			return 0
+		}
+		return x % y
+	case BinAnd:
+		return x & y
+	case BinOr:
+		return x | y
+	case BinXor:
+		return x ^ y
+	case BinShl:
+		return x << (uint64(y) & 63)
+	case BinShr:
+		return x >> (uint64(y) & 63)
+	case BinEq:
+		return b2i(x == y)
+	case BinNe:
+		return b2i(x != y)
+	case BinLt:
+		return b2i(x < y)
+	case BinLe:
+		return b2i(x <= y)
+	case BinGt:
+		return b2i(x > y)
+	case BinGe:
+		return b2i(x >= y)
+	}
+	panic(fmt.Sprintf("ir: unknown binary op %d", b))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FenceKind distinguishes the specific fences DFENCE inserts. All kinds
+// drain the executing thread's store buffers; the kind records which
+// reordering the fence was synthesized to prevent (paper §4.2: "we insert a
+// more specific fence (store-load or store-store) depending on whether the
+// statement at k is a load or a store").
+type FenceKind uint8
+
+const (
+	// FenceFull is a full barrier (programmer-written fence()).
+	FenceFull FenceKind = iota
+	// FenceStoreStore orders a store before later stores.
+	FenceStoreStore
+	// FenceStoreLoad orders a store before later loads.
+	FenceStoreLoad
+)
+
+func (k FenceKind) String() string {
+	switch k {
+	case FenceFull:
+		return "fence"
+	case FenceStoreStore:
+		return "fence(st-st)"
+	case FenceStoreLoad:
+		return "fence(st-ld)"
+	}
+	return fmt.Sprintf("fencekind(%d)", uint8(k))
+}

@@ -1,0 +1,213 @@
+package ir
+
+import (
+	"testing"
+)
+
+// buildArith constructs main: r = (2+3)*4 via explicit consts; ret r.
+func buildArith(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	b := NewFuncBuilder(p, "main", 0)
+	two := b.Const(2)
+	three := b.Const(3)
+	five := b.BinOp(BinAdd, two, three)
+	four := b.Const(4)
+	r := b.BinOp(BinMul, five, four)
+	b.RetVal(r)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptimizeFoldsConstantArithmetic(t *testing.T) {
+	p := buildArith(t)
+	before := p.CountInstrs()
+	removed := Optimize(p)
+	if removed == 0 {
+		t.Fatal("nothing optimized")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after optimize: %v", err)
+	}
+	after := p.CountInstrs()
+	if after >= before {
+		t.Errorf("instructions %d -> %d, expected shrink", before, after)
+	}
+	// The result must now be a single constant feeding ret.
+	f := p.Funcs["main"]
+	if len(f.Code) != 2 {
+		t.Fatalf("want [const; ret], got %d instrs:\n%s", len(f.Code), p.Disasm())
+	}
+	if f.Code[0].Op != OpConst || f.Code[0].Imm != 20 {
+		t.Errorf("folded value = %v, want const 20", f.Code[0].String())
+	}
+}
+
+func TestOptimizeFoldsConstantBranch(t *testing.T) {
+	p := NewProgram()
+	b := NewFuncBuilder(p, "main", 0)
+	one := b.Const(1)
+	taken, els := b.CondBrF(one)
+	taken.Here()
+	x := b.Const(10)
+	b.RetVal(x)
+	els.Here()
+	y := b.Const(20)
+	b.RetVal(y)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range p.Funcs["main"].Code {
+		if in.Op == OpCondBr {
+			t.Error("constant conditional branch not folded")
+		}
+	}
+}
+
+func TestOptimizeKeepsSideEffects(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewFuncBuilder(p, "main", 0)
+	ga := b.GlobalAddr("g")
+	v := b.Const(5)
+	b.Store(ga, v, "g")
+	lv, _ := b.Load(ga, "g")
+	b.Print(lv)
+	b.Fence(FenceFull)
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	ops := map[Op]int{}
+	for _, in := range p.Funcs["main"].Code {
+		ops[in.Op]++
+	}
+	for _, need := range []Op{OpStore, OpLoad, OpPrint, OpFence} {
+		if ops[need] == 0 {
+			t.Errorf("%v eliminated — it has side effects", need)
+		}
+	}
+}
+
+func TestOptimizeDeadCodeRetargetsBranches(t *testing.T) {
+	// A loop whose head is a dead Mov: the back edge must retarget.
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewFuncBuilder(p, "main", 0)
+	ga := b.GlobalAddr("g")
+	i := b.Const(0)
+	ten := b.Const(10)
+	one := b.Const(1)
+	head := b.NextLabel()
+	dead := b.NewReg()
+	b.Mov(dead, one) // dead: never read
+	c := b.BinOp(BinLt, i, ten)
+	body, exit := b.CondBrF(c)
+	body.Here()
+	b.Store(ga, i, "g")
+	b.BinTo(i, BinAdd, i, one)
+	b.Br(head)
+	exit.Here()
+	fin, _ := b.Load(ga, "g")
+	b.RetVal(fin)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if removed := Optimize(p); removed == 0 {
+		t.Fatal("dead mov not removed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("branches broken: %v", err)
+	}
+	for _, in := range p.Funcs["main"].Code {
+		if in.Op == OpMov {
+			t.Error("dead mov survived")
+		}
+	}
+}
+
+func TestOptimizePreservesLabelsOfSharedAccesses(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewFuncBuilder(p, "main", 0)
+	ga := b.GlobalAddr("g")
+	v := b.Const(5)
+	st := b.Store(ga, v, "g")
+	ld, lLbl := b.Load(ga, "g")
+	b.RetVal(ld)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	if p.InstrAt(st) == nil || p.InstrAt(st).Op != OpStore {
+		t.Error("store label lost")
+	}
+	if p.InstrAt(lLbl) == nil || p.InstrAt(lLbl).Op != OpLoad {
+		t.Error("load label lost")
+	}
+}
+
+func TestOptimizeCopyPropagation(t *testing.T) {
+	p := NewProgram()
+	if err := p.AddGlobal(&Global{Name: "g", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewFuncBuilder(p, "main", 0)
+	ga := b.GlobalAddr("g")
+	v := b.Const(9)
+	cp := b.NewReg()
+	b.Mov(cp, v) // copy
+	b.Store(ga, cp, "g")
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	f := p.Funcs["main"]
+	movs, consts := 0, 0
+	for _, in := range f.Code {
+		switch in.Op {
+		case OpMov:
+			movs++
+		case OpConst:
+			consts++
+		}
+	}
+	if movs != 0 {
+		t.Error("copy not propagated away")
+	}
+	if consts != 1 {
+		t.Errorf("%d consts remain, want 1 (the dead duplicate removed)", consts)
+	}
+}

@@ -1,0 +1,254 @@
+package lang
+
+// The AST mirrors the surface syntax closely; semantic analysis decorates
+// expressions with types (see types.go) and lowering walks these nodes.
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDecl
+	Consts  []*ConstDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a record type.
+type StructDecl struct {
+	Name   string
+	Fields []Param // reuse Param: name + type expression
+	Line   int
+}
+
+// ConstDecl declares a compile-time integer constant.
+type ConstDecl struct {
+	Name string
+	Expr Expr // must fold to a constant
+	Line int
+}
+
+// GlobalDecl declares a global variable (scalar, array, or struct).
+type GlobalDecl struct {
+	Name     string
+	TypeX    TypeExpr
+	ArrayLen int64 // 0 for scalars
+	Init     Expr  // optional scalar initializer
+	Line     int
+}
+
+// Param is a declared name with a type. For function parameters, Sym is
+// bound by sema so lowering shares the symbol with the uses.
+type Param struct {
+	Name  string
+	TypeX TypeExpr
+	Line  int
+	Sym   *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name        string
+	Params      []Param
+	RetX        TypeExpr
+	Body        *BlockStmt
+	IsOperation bool
+	Line        int
+}
+
+// TypeExpr is a syntactic type: base name ("int", "void", or a struct
+// name) plus pointer depth.
+type TypeExpr struct {
+	Base string
+	Ptrs int
+	Line int
+}
+
+// --- statements ---
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// DeclStmt declares a local: type name [= init]; Sym is bound by sema.
+type DeclStmt struct {
+	Name  string
+	TypeX TypeExpr
+	Init  Expr
+	Line  int
+	Sym   *Symbol
+}
+
+// AssignStmt is lvalue = expr;
+type AssignStmt struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if (cond) then [else els].
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt or nil
+	Line int
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is for (init; cond; post) body; any part may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt or ExprStmt
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	X    Expr
+	Line int
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// JoinStmt is join expr;
+type JoinStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*JoinStmt) stmtNode()     {}
+
+// --- expressions ---
+
+// Expr is the expression interface. Type() is filled by sema.
+type Expr interface {
+	exprNode()
+	Type() *Type
+	setType(*Type)
+	Pos() int
+}
+
+type exprBase struct {
+	typ  *Type
+	Line int
+}
+
+func (e *exprBase) Type() *Type     { return e.typ }
+func (e *exprBase) setType(t *Type) { e.typ = t }
+func (e *exprBase) Pos() int        { return e.Line }
+
+// IntLit is an integer literal (null lexes to IntLit 0).
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// Ident references a local, parameter, global, or constant.
+type Ident struct {
+	exprBase
+	Name string
+	// Sym is resolved by sema.
+	Sym *Symbol
+}
+
+// Unary is !x, -x, *x, or &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison, and bit ops.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Logical is x && y or x || y (short-circuit).
+type Logical struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Index is base[idx].
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Field is base.name (Arrow false) or base->name (Arrow true).
+type Field struct {
+	exprBase
+	Base  Expr
+	Name  string
+	Arrow bool
+	// Offset/FieldType resolved by sema.
+	Offset    int64
+	FieldType *Type
+}
+
+// Call invokes a function or intrinsic. Intrinsics are recognized by name
+// during sema: cas, fence, fence_ss, fence_sl, alloc, free, self, assert,
+// print, lock, unlock, sizeof.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Fork is fork f(args).
+type Fork struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// SizeOf is sizeof(TypeName), folded by sema.
+type SizeOf struct {
+	exprBase
+	TypeName string
+}
+
+func (*IntLit) exprNode()  {}
+func (*Ident) exprNode()   {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}
+func (*Logical) exprNode() {}
+func (*Index) exprNode()   {}
+func (*Field) exprNode()   {}
+func (*Call) exprNode()    {}
+func (*Fork) exprNode()    {}
+func (*SizeOf) exprNode()  {}

@@ -1,0 +1,305 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+	"dfence/internal/sched"
+)
+
+// runProg executes an already-compiled program under the given model.
+func runProg(t *testing.T, prog *ir.Program, model memmodel.Model) *interp.Result {
+	t.Helper()
+	res := sched.Run(prog, model, nil, sched.DefaultOptions(1))
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	return res
+}
+
+func TestDisasmStructure(t *testing.T) {
+	prog, err := Compile(`
+int g = 3;
+operation int bump(int d) {
+  g = g + d;
+  return g;
+}
+int main() {
+  return bump(2);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Disasm()
+	for _, want := range []string{
+		"global g[1]",
+		"operation bump",
+		"func main",
+		"load",
+		"store",
+		"call bump",
+		"ret",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	res := run(t, `
+int main() {
+  print(2 + 3 * 4);        // 14
+  print((2 + 3) * 4);      // 20
+  print(10 - 4 - 3);       // 3 (left assoc)
+  print(20 / 2 / 5);       // 2
+  print(1 + 2 == 3);       // 1
+  print(1 < 2 == 1);       // (1<2)==1 = 1
+  print(1 | 2 + 1);        // 1 | 3 = 3 (| looser than +)
+  print(!1 + 1);           // (!1)+1 = 1
+  print(- 2 * 3);          // -6
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 14, 20, 3, 2, 1, 1, 3, 1, -6)
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	res := run(t, `
+// leading comment
+int /* inline */ main() {
+  int x = 1; // trailing
+  /* block
+     spanning lines */
+  return x;
+}`, memmodel.SC)
+	if res.ExitCode != 1 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	res := run(t, `
+int main() {
+  int x = 1;
+  {
+    int x = 2;
+    print(x);
+  }
+  print(x);
+  for (int x = 9; x < 10; x = x + 1) {
+    print(x);
+  }
+  print(x);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 2, 1, 9, 1)
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	res := run(t, `
+int main() {
+  int i = 0;
+  int j = 10;
+  while (i < 5 && j > 7) {
+    i = i + 1;
+    j = j - 1;
+  }
+  print(i);
+  print(j);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 3, 7)
+}
+
+func TestEmptyForParts(t *testing.T) {
+	res := run(t, `
+int main() {
+  int i = 0;
+  for (; i < 3;) {
+    i = i + 1;
+  }
+  print(i);
+  int n = 0;
+  for (int k = 0; ; k = k + 1) {
+    if (k == 4) { break; }
+    n = n + 1;
+  }
+  print(n);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 3, 4)
+}
+
+func TestStructPointerChains(t *testing.T) {
+	res := run(t, `
+struct Node { int val; Node* next; }
+int main() {
+  Node* a = alloc(sizeof(Node));
+  Node* b = alloc(sizeof(Node));
+  Node* c = alloc(sizeof(Node));
+  a->next = b;
+  b->next = c;
+  c->val = 99;
+  print(a->next->next->val);
+  a->next->next->val = 100;
+  print(c->val);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 99, 100)
+}
+
+func TestGlobalStructWithStructArrayField(t *testing.T) {
+	res := run(t, `
+struct Inner { int a; int b; }
+struct Outer { int tag; Inner in; }
+Outer o;
+int main() {
+  o.tag = 1;
+  o.in.a = 2;
+  o.in.b = 3;
+  print(o.tag + o.in.a + o.in.b);
+  print(sizeof(Outer));
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 6, 3)
+}
+
+func TestRecursiveMutualFunctions(t *testing.T) {
+	res := run(t, `
+int isEven(int n) {
+  if (n == 0) { return 1; }
+  return isOdd(n - 1);
+}
+int isOdd(int n) {
+  if (n == 0) { return 0; }
+  return isEven(n - 1);
+}
+int main() {
+  print(isEven(10));
+  print(isOdd(7));
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 1, 1)
+}
+
+func TestOptimizeOnCompiledProgram(t *testing.T) {
+	prog, err := Compile(`
+int g = 0;
+int main() {
+  int a = 2 + 3;
+  int b = a * 4;
+  g = b;
+  return g;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := prog.CountInstrs()
+	ir.Optimize(prog)
+	if prog.CountInstrs() >= before {
+		t.Errorf("optimizer did not shrink compiled output: %d -> %d", before, prog.CountInstrs())
+	}
+	res := runProg(t, prog, memmodel.SC)
+	if res.ExitCode != 20 {
+		t.Errorf("exit = %d, want 20", res.ExitCode)
+	}
+}
+
+func TestNegativeConstants(t *testing.T) {
+	res := run(t, `
+const NEG = -5;
+int main() {
+  print(NEG);
+  print(-NEG);
+  int x = -3;
+  print(x % 2);  // Go-style: -1
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, -5, 5, -1)
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	res := run(t, `
+int main() {
+  print(((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 - 8))) / 2));
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 10)
+}
+
+func TestErrorForkUnknownFunction(t *testing.T) {
+	wantCompileError(t, `int main() { int t = fork nope(); join t; return 0; }`, "fork of undefined")
+}
+
+func TestErrorForkArgCount(t *testing.T) {
+	wantCompileError(t, `
+void w(int a) { }
+int main() { int t = fork w(); join t; return 0; }`, "expects 1 arguments")
+}
+
+func TestErrorSizeofUnknown(t *testing.T) {
+	wantCompileError(t, `int main() { return sizeof(Nope); }`, "unknown struct")
+}
+
+func TestErrorDotOnPointer(t *testing.T) {
+	wantCompileError(t, `
+struct N { int v; }
+int main() {
+  N* p = alloc(sizeof(N));
+  return p.v;
+}`, ". on non-struct")
+}
+
+func TestErrorAssignToArray(t *testing.T) {
+	wantCompileError(t, `
+int arr[4];
+int main() { arr = 0; return 0; }`, "cannot assign to array")
+}
+
+func TestErrorAssignToConst(t *testing.T) {
+	wantCompileError(t, `
+const K = 5;
+int main() { K = 6; return 0; }`, "cannot assign")
+}
+
+func TestErrorContinueOutsideLoop(t *testing.T) {
+	wantCompileError(t, `int main() { continue; return 0; }`, "continue outside loop")
+}
+
+func TestErrorGlobalStructInitializer(t *testing.T) {
+	wantCompileError(t, `
+struct P { int a; }
+P g = 5;
+int main() { return 0; }`, "scalar globals")
+}
+
+func TestErrorNonConstGlobalInit(t *testing.T) {
+	wantCompileError(t, `
+int f() { return 1; }
+int g = f();
+int main() { return 0; }`, "constant")
+}
+
+func TestErrorDuplicateField(t *testing.T) {
+	wantCompileError(t, `
+struct P { int a; int a; }
+int main() { return 0; }`, "duplicate field")
+}
+
+func TestErrorDuplicateParam(t *testing.T) {
+	wantCompileError(t, `
+int f(int a, int a) { return a; }
+int main() { return 0; }`, "duplicate parameter")
+}
+
+func TestErrorLocalRedeclared(t *testing.T) {
+	wantCompileError(t, `
+int main() {
+  int x = 1;
+  int x = 2;
+  return x;
+}`, "redeclared")
+}

@@ -1,0 +1,575 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"dfence/internal/interp"
+	"dfence/internal/memmodel"
+	"dfence/internal/sched"
+)
+
+// run compiles and executes a program under the given model, failing on
+// violations, and returns the result.
+func run(t *testing.T, src string, model memmodel.Model) *interp.Result {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res := sched.Run(prog, model, nil, sched.DefaultOptions(1))
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if res.StepLimitHit {
+		t.Fatal("step limit hit")
+	}
+	return res
+}
+
+func wantOutput(t *testing.T, res *interp.Result, want ...int64) {
+	t.Helper()
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func wantCompileError(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("compiled, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+// --- lexer ---
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("int x = 42; // comment\n/* block\n*/ x -> y != z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TEOF {
+			break
+		}
+		if tok.Kind == TInt {
+			texts = append(texts, "42")
+		} else {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"int", "x", "=", "42", ";", "x", "->", "y", "!=", "z"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", texts, want)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Tokenize("int x = 3abc;"); err == nil {
+		t.Error("malformed number accepted")
+	}
+	if _, err := Tokenize("x @ y"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	toks, err := Tokenize("a\nb\n  c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Errorf("lines = %d,%d,%d", toks[0].Line, toks[1].Line, toks[2].Line)
+	}
+	if toks[2].Col != 3 {
+		t.Errorf("col = %d, want 3", toks[2].Col)
+	}
+}
+
+// --- end-to-end compile & run ---
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+int main() {
+  int a = 7;
+  int b = 3;
+  print(a + b);
+  print(a - b);
+  print(a * b);
+  print(a / b);
+  print(a % b);
+  print(-a);
+  print(!0);
+  print(!5);
+  print(a < b);
+  print(a >= b);
+  print(a == 7);
+  print(a != 7);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 10, 4, 21, 2, 1, -7, 1, 0, 0, 1, 1, 0)
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i == 9) { break; }
+    sum = sum + i;
+  }
+  print(sum); // 1+3+5+7 = 16
+  int n = 0;
+  while (n < 5) { n = n + 1; }
+  print(n);
+  if (n == 5) { print(100); } else { print(200); }
+  if (n == 6) { print(300); } else if (n == 5) { print(400); } else { print(500); }
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 16, 5, 100, 400)
+}
+
+func TestShortCircuit(t *testing.T) {
+	res := run(t, `
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && bump();  // bump not called
+  print(a); print(g);
+  int b = 1 && bump();  // called
+  print(b); print(g);
+  int c = 1 || bump();  // not called
+  print(c); print(g);
+  int d = 0 || bump();  // called
+  print(d); print(g);
+  print(5 && 7);        // normalized to 1
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 0, 0, 1, 1, 1, 1, 1, 2, 1)
+}
+
+func TestGlobalsArraysAndConsts(t *testing.T) {
+	res := run(t, `
+const N = 4;
+const EMPTY = 0 - 1;
+int table[4];
+int total = 100;
+int main() {
+  for (int i = 0; i < N; i = i + 1) {
+    table[i] = i * i;
+  }
+  int s = 0;
+  for (int i = 0; i < N; i = i + 1) {
+    s = s + table[i];
+  }
+  print(s);        // 0+1+4+9
+  print(total);    // initializer
+  print(EMPTY);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 14, 100, -1)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := run(t, `
+int fib(int n) {
+  if (n <= 1) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  print(fib(10));
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 55)
+}
+
+func TestStructsAndPointers(t *testing.T) {
+	res := run(t, `
+struct Node {
+  int val;
+  Node* next;
+}
+struct Pair { int a; int b; }
+Pair g;
+int main() {
+  Node* n1 = alloc(sizeof(Node));
+  Node* n2 = alloc(sizeof(Node));
+  n1->val = 10;
+  n1->next = n2;
+  n2->val = 20;
+  n2->next = null;
+  print(n1->val);
+  print(n1->next->val);
+  print(n2->next == null);
+  g.a = 5;
+  g.b = 6;
+  print(g.a + g.b);
+  sysfree(n1);
+  sysfree(n2);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 10, 20, 1, 11)
+}
+
+func TestPointerArithmeticScales(t *testing.T) {
+	res := run(t, `
+struct Pair { int a; int b; }
+Pair arr[3];
+int main() {
+  Pair* p = arr;
+  p->a = 1;
+  Pair* q = p + 2;   // skips 2*sizeof(Pair) words
+  q->a = 3;
+  print(arr[0].a);
+  print(arr[2].a);
+  print(sizeof(Pair));
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 1, 3, 2)
+}
+
+func TestAddressOfGlobalAndDeref(t *testing.T) {
+	res := run(t, `
+int x = 5;
+int arr[3];
+int main() {
+  int* p = &x;
+  *p = 9;
+  print(x);
+  int* q = &arr[1];
+  *q = 7;
+  print(arr[1]);
+  print(*p + *q);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 9, 7, 16)
+}
+
+func TestCasIntrinsic(t *testing.T) {
+	res := run(t, `
+int x = 5;
+int main() {
+  int ok = cas(&x, 5, 8);
+  print(ok); print(x);
+  ok = cas(&x, 5, 9);
+  print(ok); print(x);
+  return 0;
+}`, memmodel.TSO)
+	wantOutput(t, res, 1, 8, 0, 8)
+}
+
+func TestForkJoinSelf(t *testing.T) {
+	res := run(t, `
+int counter = 0;
+void worker(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    while (1) {
+      int c = counter;
+      if (cas(&counter, c, c + 1)) { break; }
+    }
+  }
+}
+int main() {
+  print(self());
+  int t1 = fork worker(5);
+  int t2 = fork worker(7);
+  join t1;
+  join t2;
+  print(counter);
+  return 0;
+}`, memmodel.PSO)
+	wantOutput(t, res, 0, 12)
+}
+
+func TestLockUnlock(t *testing.T) {
+	res := run(t, `
+int mu = 0;
+int shared = 0;
+void worker() {
+  for (int i = 0; i < 10; i = i + 1) {
+    lock(&mu);
+    shared = shared + 1;
+    unlock(&mu);
+  }
+}
+int main() {
+  int t1 = fork worker();
+  int t2 = fork worker();
+  join t1;
+  join t2;
+  print(shared);
+  return 0;
+}`, memmodel.PSO)
+	wantOutput(t, res, 20)
+}
+
+func TestFencesCompile(t *testing.T) {
+	prog, err := Compile(`
+int x = 0; int y = 0;
+int main() {
+  x = 1;
+  fence_ss();
+  y = 1;
+  fence_sl();
+  int v = x;
+  fence();
+  return v;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Fences()); got != 3 {
+		t.Errorf("fence count = %d, want 3", got)
+	}
+}
+
+func TestOperationMarking(t *testing.T) {
+	prog, err := Compile(`
+int q = 0;
+operation void put(int v) { q = v; }
+operation int take() { return q; }
+int main() {
+  put(3);
+  int v = take();
+  return v;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Funcs["put"].IsOperation || !prog.Funcs["take"].IsOperation {
+		t.Error("operation flags missing")
+	}
+	if prog.Funcs["main"].IsOperation {
+		t.Error("main wrongly marked as operation")
+	}
+	res := sched.Run(prog, memmodel.TSO, nil, sched.DefaultOptions(2))
+	if len(res.History) != 4 {
+		t.Errorf("history = %v, want 4 events", res.History)
+	}
+	if res.ExitCode != 3 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestAssertTriggersViolation(t *testing.T) {
+	prog, err := Compile(`int main() { assert(1 == 2); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Run(prog, memmodel.SC, nil, sched.DefaultOptions(1))
+	if res.Violation == nil || res.Violation.Kind != interp.VAssert {
+		t.Fatalf("assert violation missing: %v", res.Violation)
+	}
+}
+
+func TestSourceLinesStamped(t *testing.T) {
+	prog, err := Compile(`
+int x = 0;
+int main() {
+  x = 7;
+  return x;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range prog.Funcs["main"].Code {
+		if in.Op.String() == "store" && in.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store to x not stamped with source line 4")
+	}
+}
+
+// --- error cases ---
+
+func TestErrorUndefinedIdent(t *testing.T) {
+	wantCompileError(t, `int main() { return zz; }`, "undefined identifier")
+}
+
+func TestErrorUndefinedFunction(t *testing.T) {
+	wantCompileError(t, `int main() { return f(); }`, "undefined function")
+}
+
+func TestErrorArgCount(t *testing.T) {
+	wantCompileError(t, `
+int f(int a, int b) { return a; }
+int main() { return f(1); }`, "expects 2 arguments")
+}
+
+func TestErrorNoMain(t *testing.T) {
+	wantCompileError(t, `int f() { return 0; }`, "no main")
+}
+
+func TestErrorAddressOfLocal(t *testing.T) {
+	wantCompileError(t, `
+int main() {
+  int x = 1;
+  int* p = &x;
+  return *p;
+}`, "address")
+}
+
+func TestErrorUnknownField(t *testing.T) {
+	wantCompileError(t, `
+struct Node { int val; }
+int main() {
+  Node* n = alloc(sizeof(Node));
+  return n->bogus;
+}`, "no field")
+}
+
+func TestErrorArrowOnInt(t *testing.T) {
+	wantCompileError(t, `
+int main() {
+  int x = 1;
+  return x->val;
+}`, "->")
+}
+
+func TestErrorBreakOutsideLoop(t *testing.T) {
+	wantCompileError(t, `int main() { break; return 0; }`, "break outside loop")
+}
+
+func TestErrorDuplicateGlobal(t *testing.T) {
+	wantCompileError(t, `int x; int x; int main() { return 0; }`, "redefined")
+}
+
+func TestErrorVoidReturnsValue(t *testing.T) {
+	wantCompileError(t, `void f() { return 3; } int main() { return 0; }`, "void function")
+}
+
+func TestErrorMissingReturnValue(t *testing.T) {
+	wantCompileError(t, `int f() { return; } int main() { return 0; }`, "must return a value")
+}
+
+func TestErrorCasNeedsAddress(t *testing.T) {
+	wantCompileError(t, `
+int main() {
+  int x = 1;
+  return cas(x, 1, 2);
+}`, "address")
+}
+
+func TestErrorStructLocal(t *testing.T) {
+	wantCompileError(t, `
+struct Pair { int a; int b; }
+int main() {
+  Pair p;
+  return 0;
+}`, "word-sized")
+}
+
+func TestErrorRecursiveStructValue(t *testing.T) {
+	wantCompileError(t, `
+struct Node { int v; Node inner; }
+int main() { return 0; }`, "pointer")
+}
+
+func TestErrorConstDivZero(t *testing.T) {
+	wantCompileError(t, `const X = 1 / 0; int main() { return 0; }`, "division by zero")
+}
+
+func TestErrorRedefineBuiltin(t *testing.T) {
+	wantCompileError(t, `int cas() { return 0; } int main() { return 0; }`, "builtin")
+}
+
+func TestErrorSyntax(t *testing.T) {
+	wantCompileError(t, `int main() { int = 5; return 0; }`, "expected identifier")
+	wantCompileError(t, `int main() { if 1 { } return 0; }`, `expected "("`)
+}
+
+func TestNestedLoopsBreakInner(t *testing.T) {
+	res := run(t, `
+int main() {
+  int hits = 0;
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 10; j = j + 1) {
+      if (j == 2) { break; }
+      hits = hits + 1;
+    }
+  }
+  print(hits); // 3 outer * 2 inner
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 6)
+}
+
+func TestWhileContinue(t *testing.T) {
+	res := run(t, `
+int main() {
+  int i = 0;
+  int odd = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 2 == 0) { continue; }
+    odd = odd + 1;
+  }
+  print(odd);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 5)
+}
+
+func TestForContinueRunsPost(t *testing.T) {
+	res := run(t, `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    if (i == 2) { continue; }
+    s = s + i;
+  }
+  print(s); // 0+1+3+4
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 8)
+}
+
+func TestGlobalStructArrayIndexing(t *testing.T) {
+	res := run(t, `
+struct Slot { int key; int val; }
+Slot slots[4];
+int main() {
+  for (int i = 0; i < 4; i = i + 1) {
+    slots[i].key = i;
+    slots[i].val = i * 10;
+  }
+  print(slots[3].key);
+  print(slots[3].val);
+  print(slots[0].val);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 3, 30, 0)
+}
+
+func TestBitOps(t *testing.T) {
+	res := run(t, `
+int main() {
+  print(6 & 3);
+  print(6 | 3);
+  print(6 ^ 3);
+  return 0;
+}`, memmodel.SC)
+	wantOutput(t, res, 2, 7, 5)
+}

@@ -1,0 +1,732 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	// structNames is pre-scanned so `Node* p;` parses as a declaration.
+	structNames map[string]bool
+}
+
+// Parse tokenizes and parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, structNames: map[string]bool{}}
+	// Pre-scan struct names for the declaration heuristic.
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].Kind == TKeyword && toks[i].Text == "struct" && toks[i+1].Kind == TIdent {
+			p.structNames[toks[i+1].Text] = true
+		}
+	}
+	return p.file()
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("line %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if p.cur().Kind == TPunct && p.cur().Text == s {
+		p.advance()
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+func (p *Parser) isPunct(s string) bool {
+	return p.cur().Kind == TPunct && p.cur().Text == s
+}
+
+func (p *Parser) isKeyword(s string) bool {
+	return p.cur().Kind == TKeyword && p.cur().Text == s
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TIdent {
+		return Token{}, p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.advance(), nil
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind == TKeyword && (t.Text == "int" || t.Text == "void") {
+		return true
+	}
+	return t.Kind == TIdent && p.structNames[t.Text]
+}
+
+// typeExpr parses base ptrs*.
+func (p *Parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	var base string
+	switch {
+	case p.isKeyword("int"), p.isKeyword("void"):
+		base = t.Text
+		p.advance()
+	case t.Kind == TIdent && p.structNames[t.Text]:
+		base = t.Text
+		p.advance()
+	default:
+		return TypeExpr{}, p.errf("expected type, found %s", t)
+	}
+	x := TypeExpr{Base: base, Line: t.Line}
+	for p.acceptPunct("*") {
+		x.Ptrs++
+	}
+	return x, nil
+}
+
+// --- top level ---
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TEOF {
+		switch {
+		case p.isKeyword("struct"):
+			d, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, d)
+		case p.isKeyword("const"):
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, d)
+		case p.isKeyword("operation"):
+			line := p.cur().Line
+			p.advance()
+			fn, err := p.funcDecl(line)
+			if err != nil {
+				return nil, err
+			}
+			fn.IsOperation = true
+			f.Funcs = append(f.Funcs, fn)
+		case p.isTypeStart():
+			// Global or function: type ident then '(' means function.
+			save := p.pos
+			tx, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.isPunct("(") {
+				p.pos = save
+				fn, err := p.funcDecl(tx.Line)
+				if err != nil {
+					return nil, err
+				}
+				f.Funcs = append(f.Funcs, fn)
+				continue
+			}
+			g := &GlobalDecl{Name: name.Text, TypeX: tx, Line: tx.Line}
+			if p.acceptPunct("[") {
+				if p.cur().Kind != TInt {
+					return nil, p.errf("expected array length")
+				}
+				g.ArrayLen = p.advance().Val
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+			}
+			if p.acceptPunct("=") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = e
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		default:
+			return nil, p.errf("unexpected %s at top level", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) structDecl() (*StructDecl, error) {
+	line := p.advance().Line // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	d := &StructDecl{Name: name.Text, Line: line}
+	for !p.acceptPunct("}") {
+		tx, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, Param{Name: fn.Text, TypeX: tx, Line: tx.Line})
+	}
+	// optional trailing semicolon after }
+	p.acceptPunct(";")
+	return d, nil
+}
+
+func (p *Parser) constDecl() (*ConstDecl, error) {
+	line := p.advance().Line // const
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.Text, Expr: e, Line: line}, nil
+}
+
+func (p *Parser) funcDecl(line int) (*FuncDecl, error) {
+	retx, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, RetX: retx, Line: line}
+	for !p.isPunct(")") {
+		tx, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pn.Text, TypeX: tx, Line: tx.Line})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// --- statements ---
+
+func (p *Parser) block() (*BlockStmt, error) {
+	line := p.cur().Line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for !p.acceptPunct("}") {
+		if p.cur().Kind == TEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.isKeyword("if"):
+		return p.ifStmt()
+	case p.isKeyword("while"):
+		return p.whileStmt()
+	case p.isKeyword("for"):
+		return p.forStmt()
+	case p.isKeyword("return"):
+		p.advance()
+		r := &ReturnStmt{Line: t.Line}
+		if !p.isPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		return r, p.expectPunct(";")
+	case p.isKeyword("break"):
+		p.advance()
+		return &BreakStmt{Line: t.Line}, p.expectPunct(";")
+	case p.isKeyword("continue"):
+		p.advance()
+		return &ContinueStmt{Line: t.Line}, p.expectPunct(";")
+	case p.isKeyword("join"):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &JoinStmt{X: e, Line: t.Line}, p.expectPunct(";")
+	case p.isTypeStart():
+		// Type keywords and struct names only ever begin declarations in
+		// this dialect (struct names are not expression identifiers).
+		return p.declStmt()
+	}
+	return p.simpleStmt(true)
+}
+
+func (p *Parser) declStmt() (Stmt, error) {
+	line := p.cur().Line
+	tx, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name.Text, TypeX: tx, Line: line}
+	if p.acceptPunct("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, p.expectPunct(";")
+}
+
+// simpleStmt parses `lvalue = expr;` or `expr;`. When wantSemi is false
+// (for-loop clauses) the trailing semicolon is not consumed.
+func (p *Parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	line := p.cur().Line
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var s Stmt
+	if p.acceptPunct("=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s = &AssignStmt{LHS: e, RHS: rhs, Line: line}
+	} else {
+		s = &ExprStmt{X: e, Line: line}
+	}
+	if wantSemi {
+		return s, p.expectPunct(";")
+	}
+	return s, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	line := p.advance().Line
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	if p.isKeyword("else") {
+		p.advance()
+		if p.isKeyword("if") {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	line := p.advance().Line
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	line := p.advance().Line
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	if !p.isPunct(";") {
+		var init Stmt
+		var err error
+		if p.isTypeStart() {
+			// decl without consuming the ';' twice: declStmt eats ';'
+			init, err = p.declStmtNoSemi()
+		} else {
+			init, err = p.simpleStmt(false)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) declStmtNoSemi() (Stmt, error) {
+	line := p.cur().Line
+	tx, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name.Text, TypeX: tx, Line: line}
+	if p.acceptPunct("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+// --- expressions (precedence climbing, C-like levels) ---
+//
+// Loosest to tightest: || , && , | , ^ , & , == != , < <= > >= , + - ,
+// * / % , unary, postfix.
+
+// expr := or
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+// binaryLevel parses a left-associative chain of the given operators over
+// the next-tighter level.
+func (p *Parser) binaryLevel(ops []string, next func() (Expr, error)) (Expr, error) {
+	x, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		if op.Kind != TPunct {
+			return x, nil
+		}
+		matched := false
+		for _, o := range ops {
+			if op.Text == o {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+		p.advance()
+		y, err := next()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op.Text, X: x, Y: y, exprBase: exprBase{Line: op.Line}}
+	}
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		line := p.advance().Line
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Logical{Op: "||", X: x, Y: y, exprBase: exprBase{Line: line}}
+	}
+	return x, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	x, err := p.bitOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		line := p.advance().Line
+		y, err := p.bitOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Logical{Op: "&&", X: x, Y: y, exprBase: exprBase{Line: line}}
+	}
+	return x, nil
+}
+
+func (p *Parser) bitOrExpr() (Expr, error) {
+	return p.binaryLevel([]string{"|"}, p.bitXorExpr)
+}
+
+func (p *Parser) bitXorExpr() (Expr, error) {
+	return p.binaryLevel([]string{"^"}, p.bitAndExpr)
+}
+
+func (p *Parser) bitAndExpr() (Expr, error) {
+	// `&` is binary AND here; the unary address-of case is handled in
+	// unaryExpr (prefix position).
+	return p.binaryLevel([]string{"&"}, p.eqExpr)
+}
+
+func (p *Parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]string{"==", "!="}, p.relExpr)
+}
+
+func (p *Parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]string{"<", "<=", ">", ">="}, p.addExpr)
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unaryExpr)
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "!", "-", "*", "&":
+			p.advance()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x, exprBase: exprBase{Line: t.Line}}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			line := p.advance().Line
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx, exprBase: exprBase{Line: line}}
+		case p.isPunct("->"):
+			line := p.advance().Line
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Field{Base: x, Name: name.Text, Arrow: true, exprBase: exprBase{Line: line}}
+		case p.isPunct("."):
+			line := p.advance().Line
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Field{Base: x, Name: name.Text, Arrow: false, exprBase: exprBase{Line: line}}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TInt:
+		p.advance()
+		return &IntLit{Val: t.Val, exprBase: exprBase{Line: t.Line}}, nil
+	case p.isKeyword("null"):
+		p.advance()
+		return &IntLit{Val: 0, exprBase: exprBase{Line: t.Line}}, nil
+	case p.isKeyword("sizeof"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &SizeOf{TypeName: name.Text, exprBase: exprBase{Line: t.Line}}, nil
+	case p.isKeyword("fork"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		return &Fork{Name: name.Text, Args: args, exprBase: exprBase{Line: t.Line}}, nil
+	case t.Kind == TIdent:
+		p.advance()
+		if p.isPunct("(") {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args, exprBase: exprBase{Line: t.Line}}, nil
+		}
+		return &Ident{Name: t.Text, exprBase: exprBase{Line: t.Line}}, nil
+	case p.isPunct("("):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}
+
+func (p *Parser) argList() ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.isPunct(")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return args, p.expectPunct(")")
+}

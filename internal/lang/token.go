@@ -1,0 +1,207 @@
+// Package lang implements the mini-C front end of the reproduction: a
+// lexer, recursive-descent parser, semantic analyzer, and a lowering pass
+// producing the IR of package ir. It replaces the paper's llvm-gcc → LLVM
+// bytecode path: the benchmark algorithms are written in this C dialect
+// and compiled to labelled IR that the interpreter and synthesizer
+// consume.
+//
+// The dialect covers what the paper's 13 benchmarks need: word-sized ints,
+// pointers, global scalars/arrays/structs, struct types, functions,
+// if/while/for control flow, short-circuit booleans, and the concurrency
+// primitives cas, fence (full, store-store, store-load), fork/join/self,
+// lock/unlock (lowered to a CAS spin loop wrapped in fences, §5.2), the
+// allocator hooks alloc/free (mmap analogues), and assert/print.
+// Functions may be marked `operation` to appear in checked histories.
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	TEOF Kind = iota
+	TIdent
+	TInt
+	TPunct   // single/multi char operators and delimiters
+	TKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // TInt value
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "end of file"
+	case TInt:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "struct": true, "const": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"operation": true, "fork": true, "join": true, "null": true,
+	"sizeof": true,
+}
+
+// Lexer tokenizes mini-C source.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			startLine := l.line
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("line %d: unterminated block comment", startLine)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-char punctuation, longest first
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||", "->"}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TEOF
+		return tok, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var s []rune
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			s = append(s, l.advance())
+		}
+		tok.Text = string(s)
+		if keywords[tok.Text] {
+			tok.Kind = TKeyword
+		} else {
+			tok.Kind = TIdent
+		}
+		return tok, nil
+	case unicode.IsDigit(r):
+		var v int64
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			v = v*10 + int64(l.advance()-'0')
+		}
+		if l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || l.peek() == '_') {
+			return tok, fmt.Errorf("line %d:%d: malformed number", tok.Line, tok.Col)
+		}
+		tok.Kind = TInt
+		tok.Val = v
+		return tok, nil
+	default:
+		for _, p2 := range punct2 {
+			if r == rune(p2[0]) && l.peek2() == rune(p2[1]) {
+				l.advance()
+				l.advance()
+				tok.Kind = TPunct
+				tok.Text = p2
+				return tok, nil
+			}
+		}
+		switch r {
+		case '+', '-', '*', '/', '%', '(', ')', '{', '}', '[', ']', ';', ',', '=', '<', '>', '!', '&', '.', '|', '^':
+			l.advance()
+			tok.Kind = TPunct
+			tok.Text = string(r)
+			return tok, nil
+		}
+		return tok, fmt.Errorf("line %d:%d: unexpected character %q", tok.Line, tok.Col, string(r))
+	}
+}
+
+// Tokenize consumes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package litmus is a conformance suite for the memory-model semantics:
+// the classical litmus tests (store buffering, message passing, load
+// buffering, coherence, IRIW, 2+2W) with their allowed/forbidden outcomes
+// under SC, TSO, and PSO. The store-buffer models implemented here are
+// multi-copy atomic and never delay loads, which fixes each verdict.
+//
+// Each test is a mini-C program whose interesting registers are printed;
+// an outcome is the tuple of printed values. Explore runs a test many
+// times under the flush-delaying scheduler and collects the outcomes seen.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/memmodel"
+	"dfence/internal/sched"
+)
+
+// Outcome is a printed result tuple, rendered "a,b,...".
+type Outcome string
+
+func outcomeOf(vals []int64) Outcome {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return Outcome(strings.Join(parts, ","))
+}
+
+// Verdict states what a given model may produce.
+type Verdict struct {
+	// Forbidden outcomes must never be observed under the model.
+	Forbidden []Outcome
+	// Distinguishing is an outcome the model allows but a stronger model
+	// forbids; Explore should observe it given enough runs ("" = none).
+	Distinguishing Outcome
+}
+
+// Test is one litmus test.
+type Test struct {
+	Name    string
+	Descr   string
+	Source  string
+	Results map[memmodel.Model]Verdict
+
+	once sync.Once
+	prog *ir.Program
+}
+
+// Program compiles the test (cached).
+func (t *Test) Program() *ir.Program {
+	t.once.Do(func() { t.prog = lang.MustCompile(t.Source) })
+	return t.prog
+}
+
+// Explore runs the test `runs` times under the given model and flush
+// probability, returning the multiset of outcomes.
+func (t *Test) Explore(model memmodel.Model, runs int, flushProb float64, seed int64) map[Outcome]int {
+	p := t.Program()
+	out := make(map[Outcome]int)
+	for i := 0; i < runs; i++ {
+		opts := sched.Options{
+			Seed:      seed + int64(i),
+			FlushProb: flushProb,
+			MaxSteps:  100000,
+			PORWindow: 64,
+		}
+		res := sched.Run(p, model, nil, opts)
+		if res.Violation != nil || res.StepLimitHit {
+			continue
+		}
+		out[outcomeOf(res.Output)]++
+	}
+	return out
+}
+
+// Check explores and verifies the verdict: no forbidden outcome observed;
+// the distinguishing outcome observed if one is expected. It returns the
+// outcomes and an error describing the first discrepancy.
+func (t *Test) Check(model memmodel.Model, runs int, flushProb float64, seed int64) (map[Outcome]int, error) {
+	got := t.Explore(model, runs, flushProb, seed)
+	v := t.Results[model]
+	for _, f := range v.Forbidden {
+		if n := got[f]; n > 0 {
+			return got, fmt.Errorf("litmus %s under %v: forbidden outcome %q observed %d times", t.Name, model, f, n)
+		}
+	}
+	if v.Distinguishing != "" && got[v.Distinguishing] == 0 {
+		return got, fmt.Errorf("litmus %s under %v: distinguishing outcome %q never observed in %d runs", t.Name, model, v.Distinguishing, runs)
+	}
+	return got, nil
+}
+
+// All returns the suite.
+func All() []*Test { return suite }
+
+// ByName finds a test.
+func ByName(name string) (*Test, error) {
+	for _, t := range suite {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("litmus: unknown test %q", name)
+}
+
+// Names lists the suite, sorted.
+func Names() []string {
+	out := make([]string, len(suite))
+	for i, t := range suite {
+		out[i] = t.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+var suite = []*Test{
+	{
+		Name:  "SB",
+		Descr: "store buffering: both loads may bypass both stores (TSO, PSO)",
+		Source: `
+int x = 0; int y = 0;
+void w1() { x = 1; print(y); }
+void w2() { y = 1; print(x); }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0,0"}},
+			memmodel.TSO: {Distinguishing: "0,0"},
+			memmodel.PSO: {Distinguishing: "0,0"},
+		},
+	},
+	{
+		Name:  "SB+fences",
+		Descr: "store buffering with store-load fences: SC restored on all models",
+		Source: `
+int x = 0; int y = 0;
+void w1() { x = 1; fence_sl(); print(y); }
+void w2() { y = 1; fence_sl(); print(x); }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0,0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"0,0"}},
+			memmodel.PSO: {Forbidden: []Outcome{"0,0"}},
+		},
+	},
+	{
+		Name:  "MP",
+		Descr: "message passing: only PSO reorders the data and flag stores",
+		Source: `
+int data = 0; int flag = 0;
+void producer() { data = 42; flag = 1; }
+void consumer() {
+  while (!flag) { }
+  print(data);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"0"}},
+			memmodel.PSO: {Distinguishing: "0"},
+		},
+	},
+	{
+		Name:  "MP+fence",
+		Descr: "message passing with a store-store fence: stale data forbidden everywhere",
+		Source: `
+int data = 0; int flag = 0;
+void producer() { data = 42; fence_ss(); flag = 1; }
+void consumer() {
+  while (!flag) { }
+  print(data);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"0"}},
+			memmodel.PSO: {Forbidden: []Outcome{"0"}},
+		},
+	},
+	{
+		Name:  "LB",
+		Descr: "load buffering: forbidden everywhere (loads are never delayed)",
+		Source: `
+int x = 0; int y = 0;
+void w1() { int r = y; x = 1; print(r); }
+void w2() { int r = x; y = 1; print(r); }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"1,1"}},
+			memmodel.TSO: {Forbidden: []Outcome{"1,1"}},
+			memmodel.PSO: {Forbidden: []Outcome{"1,1"}},
+		},
+	},
+	{
+		Name:  "CoRR",
+		Descr: "coherence: two reads of one location never go backwards",
+		Source: `
+int x = 0;
+void writer() { x = 1; }
+void reader() {
+  int r1 = x;
+  int r2 = x;
+  print(r1);
+  print(r2);
+}
+int main() {
+  int t1 = fork writer();
+  int t2 = fork reader();
+  join t1; join t2;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"1,0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"1,0"}},
+			memmodel.PSO: {Forbidden: []Outcome{"1,0"}},
+		},
+	},
+	{
+		Name:  "IRIW",
+		Descr: "independent reads of independent writes: store buffers are multi-copy atomic",
+		Source: `
+int x = 0; int y = 0;
+int ra = 0; int rb = 0; int rc = 0; int rd = 0;
+void wx() { x = 1; }
+void wy() { y = 1; }
+void r1() { int a = x; int b = y; ra = a; rb = b; }
+void r2() { int c = y; int d = x; rc = c; rd = d; }
+int main() {
+  int t1 = fork wx();
+  int t2 = fork wy();
+  int t3 = fork r1();
+  int t4 = fork r2();
+  join t1; join t2; join t3; join t4;
+  print(ra); print(rb); print(rc); print(rd);
+  return 0;
+}
+`,
+		// The forbidden relativity outcome: r1 sees x before y while r2
+		// sees y before x — impossible with a single main memory.
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"1,0,1,0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"1,0,1,0"}},
+			memmodel.PSO: {Forbidden: []Outcome{"1,0,1,0"}},
+		},
+	},
+	{
+		Name:  "CoWW",
+		Descr: "coherence: same-location store order is preserved on every model (per-address FIFO)",
+		Source: `
+int x = 0;
+void writer() { x = 1; x = 2; }
+void other() { x = 3; }
+int main() {
+  int t1 = fork writer();
+  int t2 = fork other();
+  join t1; join t2;
+  print(x);
+  return 0;
+}
+`,
+		// Final x must be the last committed store of some thread: 2 or 3,
+		// never 1 (x=1 cannot commit after x=2 from the same thread).
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"1"}},
+			memmodel.TSO: {Forbidden: []Outcome{"1"}},
+			memmodel.PSO: {Forbidden: []Outcome{"1"}},
+		},
+	},
+	{
+		Name:  "CoWR",
+		Descr: "read-own-write: a thread always sees its latest buffered store",
+		Source: `
+int x = 0;
+void w() { x = 7; print(x); }
+int main() {
+  int t1 = fork w();
+  join t1;
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"0"}},
+			memmodel.PSO: {Forbidden: []Outcome{"0"}},
+		},
+	},
+	{
+		Name:  "S",
+		Descr: "S shape: store-store into a racing read — only PSO lets the second store pass the first",
+		Source: `
+int x = 0; int y = 0;
+int r = 0;
+void w1() { x = 2; y = 1; }
+void w2() {
+  while (!y) { }
+  x = 1;
+}
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  print(x);
+  return 0;
+}
+`,
+		// w2 observes y=1 then stores x=1. Under SC/TSO, w1's x=2 committed
+		// before y=1, so the final x is 1 (or 2 only if... it cannot be 2:
+		// x=1 commits after the y-spin, hence after x=2). Under PSO y=1 may
+		// commit before x=2, so x=2 can land last: final x=2 is the
+		// distinguishing outcome.
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"2"}},
+			memmodel.TSO: {Forbidden: []Outcome{"2"}},
+			memmodel.PSO: {Distinguishing: "2"},
+		},
+	},
+	{
+		Name:  "MP+cas",
+		Descr: "message passing where the flag is raised by CAS: the CAS drain restores order on every model",
+		Source: `
+int data = 0; int flag = 0;
+void producer() {
+  data = 42;
+  cas(&flag, 0, 1);
+}
+void consumer() {
+  while (!flag) { }
+  print(data);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1; join t2;
+  return 0;
+}
+`,
+		// CAS executes only with drained buffers (TSO: the whole FIFO; PSO:
+		// hmm — PSO drains only flag's buffer, so data may still lag).
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"0"}},
+			memmodel.TSO: {Forbidden: []Outcome{"0"}},
+			memmodel.PSO: {Distinguishing: "0"},
+		},
+	},
+	{
+		Name:  "2+2W",
+		Descr: "two writers, two locations: only PSO can interleave the per-location flushes cyclically",
+		Source: `
+int x = 0; int y = 0;
+void w1() { x = 1; y = 2; }
+void w2() { y = 1; x = 2; }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  print(x);
+  print(y);
+  return 0;
+}
+`,
+		Results: map[memmodel.Model]Verdict{
+			memmodel.SC:  {Forbidden: []Outcome{"1,1"}},
+			memmodel.TSO: {Forbidden: []Outcome{"1,1"}},
+			memmodel.PSO: {Distinguishing: "1,1"},
+		},
+	},
+}

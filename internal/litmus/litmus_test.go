@@ -1,0 +1,122 @@
+package litmus
+
+import (
+	"testing"
+
+	"dfence/internal/memmodel"
+)
+
+// flushFor picks an exposure-friendly flush probability per model.
+func flushFor(m memmodel.Model) float64 {
+	if m == memmodel.TSO {
+		return 0.15
+	}
+	return 0.4
+}
+
+// TestConformance runs the whole suite under every model, verifying that
+// forbidden outcomes never appear and distinguishing outcomes do.
+func TestConformance(t *testing.T) {
+	for _, lt := range All() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO} {
+				got, err := lt.Check(m, 800, flushFor(m), 42)
+				if err != nil {
+					t.Errorf("%v", err)
+				}
+				if len(got) == 0 {
+					t.Errorf("%s under %v produced no outcomes", lt.Name, m)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteIsWellFormed checks the metadata: every test compiles, has
+// verdicts for all three models, and distinguishing outcomes are not also
+// forbidden.
+func TestSuiteIsWellFormed(t *testing.T) {
+	if len(All()) < 12 {
+		t.Fatalf("suite has %d tests, want >= 8", len(All()))
+	}
+	for _, lt := range All() {
+		if lt.Descr == "" {
+			t.Errorf("%s has no description", lt.Name)
+		}
+		p := lt.Program()
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", lt.Name, err)
+		}
+		for _, m := range []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO} {
+			v, ok := lt.Results[m]
+			if !ok {
+				t.Errorf("%s: no verdict for %v", lt.Name, m)
+				continue
+			}
+			for _, f := range v.Forbidden {
+				if f == v.Distinguishing {
+					t.Errorf("%s under %v: outcome %q both forbidden and distinguishing", lt.Name, m, f)
+				}
+			}
+		}
+	}
+}
+
+// TestModelStrengthChain: an outcome forbidden under PSO must also be
+// forbidden under TSO and SC in this suite (PSO is the weakest model), so
+// every verdict table is monotone.
+func TestModelStrengthChain(t *testing.T) {
+	for _, lt := range All() {
+		psoForbidden := map[Outcome]bool{}
+		for _, f := range lt.Results[memmodel.PSO].Forbidden {
+			psoForbidden[f] = true
+		}
+		for f := range psoForbidden {
+			tsoHas, scHas := false, false
+			for _, g := range lt.Results[memmodel.TSO].Forbidden {
+				if g == f {
+					tsoHas = true
+				}
+			}
+			for _, g := range lt.Results[memmodel.SC].Forbidden {
+				if g == f {
+					scHas = true
+				}
+			}
+			if !tsoHas || !scHas {
+				t.Errorf("%s: outcome %q forbidden under PSO but not under stronger models", lt.Name, f)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("SB"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown test accepted")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All mismatch")
+	}
+}
+
+// TestSCSeesOnlyInterleavings: under SC, the SB outcomes are exactly the
+// three interleaving results.
+func TestSCSeesOnlyInterleavings(t *testing.T) {
+	lt, err := ByName("SB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lt.Explore(memmodel.SC, 600, 0.3, 7)
+	for o := range got {
+		switch o {
+		case "0,1", "1,0", "1,1":
+		default:
+			t.Errorf("SC SB produced unexpected outcome %q", o)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package memmodel implements the store-buffer machinery of the paper's
+// Semantics 1 for the three memory models DFENCE supports:
+//
+//   - SC: no buffering; stores hit main memory immediately.
+//   - TSO (total store order): one FIFO buffer of (address, value) pairs per
+//     thread. Loads may bypass earlier buffered stores to *other* addresses;
+//     a load of a buffered address reads the newest buffered value.
+//   - PSO (partial store order): one FIFO buffer per (thread, address) pair,
+//     so stores to different addresses may also be reordered.
+//
+// A Buffers value holds the buffers of a single thread. The interpreter
+// consults it on every shared load/store/CAS; the demonic scheduler decides
+// when pending entries flush to main memory.
+package memmodel
+
+import (
+	"fmt"
+
+	"dfence/internal/ir"
+)
+
+// Model selects the memory model an execution runs under.
+type Model uint8
+
+const (
+	// SC is (hardware-level) sequential consistency: no buffering.
+	SC Model = iota
+	// TSO buffers stores in a single per-thread FIFO (x86-like).
+	TSO
+	// PSO buffers stores per (thread, variable) (SPARC PSO-like).
+	PSO
+)
+
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	}
+	return fmt.Sprintf("model(%d)", uint8(m))
+}
+
+// ParseModel converts a name ("sc", "tso", "pso", case-insensitive) to a
+// Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "sc", "SC", "Sc":
+		return SC, nil
+	case "tso", "TSO", "Tso":
+		return TSO, nil
+	case "pso", "PSO", "Pso":
+		return PSO, nil
+	}
+	return SC, fmt.Errorf("memmodel: unknown model %q (want sc, tso, or pso)", s)
+}
+
+// Entry is one pending buffered store. Label records the program label of
+// the store instruction — the instrumented semantics (paper Semantics 2)
+// need it to build ordering predicates.
+type Entry struct {
+	Addr  int64
+	Val   int64
+	Label ir.Label
+}
+
+// Buffers holds the pending stores of one thread under one memory model.
+// The zero value is not usable; call New.
+type Buffers struct {
+	model Model
+	count int
+
+	tso []Entry // TSO: single FIFO
+
+	pso   map[int64][]Entry // PSO: per-address FIFO
+	order []int64           // addresses with pending entries, oldest-first insertion order (deterministic iteration)
+}
+
+// New returns empty buffers for one thread under model m.
+func New(m Model) *Buffers {
+	b := &Buffers{model: m}
+	if m == PSO {
+		b.pso = make(map[int64][]Entry)
+	}
+	return b
+}
+
+// Model returns the memory model these buffers implement.
+func (b *Buffers) Model() Model { return b.model }
+
+// Len returns the total number of pending entries.
+func (b *Buffers) Len() int { return b.count }
+
+// Empty reports whether no stores are pending.
+func (b *Buffers) Empty() bool { return b.count == 0 }
+
+// EmptyFor reports whether a CAS on addr may proceed: the paper's CAS rules
+// require B(x) = ε. Under PSO that is the per-address buffer; under TSO the
+// single FIFO must be empty (the whole buffer orders before the atomic).
+// Under SC it is always true.
+func (b *Buffers) EmptyFor(addr int64) bool {
+	switch b.model {
+	case SC:
+		return true
+	case TSO:
+		return len(b.tso) == 0
+	case PSO:
+		return len(b.pso[addr]) == 0
+	}
+	return true
+}
+
+// Put appends a pending store. It must not be called under SC (SC stores
+// write memory directly).
+func (b *Buffers) Put(addr, val int64, label ir.Label) {
+	switch b.model {
+	case SC:
+		panic("memmodel: Put on SC buffers")
+	case TSO:
+		b.tso = append(b.tso, Entry{Addr: addr, Val: val, Label: label})
+	case PSO:
+		q := b.pso[addr]
+		if len(q) == 0 {
+			b.order = append(b.order, addr)
+		}
+		b.pso[addr] = append(q, Entry{Addr: addr, Val: val, Label: label})
+	}
+	b.count++
+}
+
+// Lookup implements the LOAD-B rule: if addr has pending stores in this
+// thread's buffers, the newest buffered value is returned with ok=true.
+// Otherwise ok=false and the caller reads main memory (LOAD-G).
+func (b *Buffers) Lookup(addr int64) (val int64, ok bool) {
+	switch b.model {
+	case TSO:
+		for i := len(b.tso) - 1; i >= 0; i-- {
+			if b.tso[i].Addr == addr {
+				return b.tso[i].Val, true
+			}
+		}
+	case PSO:
+		if q := b.pso[addr]; len(q) > 0 {
+			return q[len(q)-1].Val, true
+		}
+	}
+	return 0, false
+}
+
+// FlushOldest implements the FLUSH rule for one entry. Under TSO the FIFO
+// head is popped regardless of addr. Under PSO the oldest entry of addr's
+// buffer is popped; addr must have pending entries (pick one from
+// PendingAddrs). The popped entry is returned for the interpreter to commit
+// to main memory; ok is false if nothing was pending.
+func (b *Buffers) FlushOldest(addr int64) (Entry, bool) {
+	switch b.model {
+	case TSO:
+		if len(b.tso) == 0 {
+			return Entry{}, false
+		}
+		e := b.tso[0]
+		b.tso = b.tso[1:]
+		b.count--
+		return e, true
+	case PSO:
+		q := b.pso[addr]
+		if len(q) == 0 {
+			return Entry{}, false
+		}
+		e := q[0]
+		if len(q) == 1 {
+			delete(b.pso, addr)
+			b.removeFromOrder(addr)
+		} else {
+			b.pso[addr] = q[1:]
+		}
+		b.count--
+		return e, true
+	}
+	return Entry{}, false
+}
+
+func (b *Buffers) removeFromOrder(addr int64) {
+	for i, a := range b.order {
+		if a == addr {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// PendingAddrs returns the addresses that currently have pending entries,
+// in deterministic (oldest-buffer-first) order. Under TSO the result is
+// the FIFO head's address only — TSO can only flush in FIFO order.
+func (b *Buffers) PendingAddrs() []int64 {
+	switch b.model {
+	case TSO:
+		if len(b.tso) == 0 {
+			return nil
+		}
+		return []int64{b.tso[0].Addr}
+	case PSO:
+		out := make([]int64, len(b.order))
+		copy(out, b.order)
+		return out
+	}
+	return nil
+}
+
+// PendingOther returns the pending entries whose address differs from
+// exclude, oldest first. This realizes the premise of the instrumented
+// STORE/LOAD/CAS rules of Semantics 2: the labels ly of stores sitting in
+// *other* buffers of the same thread, any of which could be ordered before
+// the current access to repair the execution.
+func (b *Buffers) PendingOther(exclude int64) []Entry {
+	var out []Entry
+	switch b.model {
+	case TSO:
+		for _, e := range b.tso {
+			if e.Addr != exclude {
+				out = append(out, e)
+			}
+		}
+	case PSO:
+		for _, a := range b.order {
+			if a == exclude {
+				continue
+			}
+			out = append(out, b.pso[a]...)
+		}
+	}
+	return out
+}
+
+// All returns every pending entry (TSO: FIFO order; PSO: grouped by
+// address, oldest address group first). Used by tests and reporting.
+func (b *Buffers) All() []Entry {
+	return b.PendingOther(-1 << 62)
+}
+
+// Drain removes and returns all pending entries in the order they must
+// commit (TSO: FIFO; PSO: round-robin oldest-first per address group is not
+// required — any interleaving of the per-address FIFOs is legal, so we
+// commit address groups in buffer-creation order). Used by the interpreter
+// to execute fences and to drain before CAS/join.
+func (b *Buffers) Drain() []Entry {
+	var out []Entry
+	switch b.model {
+	case TSO:
+		out = b.tso
+		b.tso = nil
+	case PSO:
+		for _, a := range b.order {
+			out = append(out, b.pso[a]...)
+		}
+		b.pso = make(map[int64][]Entry)
+		b.order = nil
+	}
+	b.count = 0
+	return out
+}

@@ -1,0 +1,171 @@
+package progs
+
+// Michael's scalable lock-free memory allocator (PLDI'04 [21]), reduced
+// to its synchronization skeleton for one size class: superblocks of
+// fixed-size blocks described by descriptors; a lock-free Active
+// descriptor; per-descriptor Anchor words packing <avail, count, tag>
+// updated by CAS; a lock-free free-descriptor list (DescAlloc /
+// DescRetire); and block headers pointing back to the owning descriptor.
+//
+// The fences the paper reports (§6.7) correspond to these orderings, all
+// removed here for DFENCE to infer:
+//
+//   - MallocFromNewSB: descriptor fields (sb, anchor, maxcount) must be
+//     visible before the CAS that publishes the descriptor via Active —
+//     otherwise another thread dereferences a half-initialized
+//     descriptor (null sb → memory-safety violation).
+//   - free: the freed block's next-free link must be visible before the
+//     anchor CAS publishes the block at the head of the free list —
+//     otherwise a concurrent malloc pops the block and reads a garbage
+//     next index (out-of-bounds block address).
+//   - DescRetire: the descriptor's next link must be visible before the
+//     CAS publishes it on the free-descriptor list.
+//
+// The client is the paper's: thread 1 runs "m m m f f f" (frees oldest
+// first), thread 2 runs "m f m f".
+var michaelAlloc = register(&Benchmark{
+	Name:     "michael-alloc",
+	Paper:    "Michael's Memory Allocator",
+	SpecName: "alloc",
+	Source: `// Michael's lock-free allocator, synchronization skeleton (fences removed).
+const NBLOCKS = 6;
+const BS = 2;            // words per block: [desc backpointer, user word]
+const AB = 65536;        // anchor = avail*AB + count*CB + tag
+const CB = 256;
+
+struct Desc {
+  int anchor;
+  int* sb;
+  Desc* next;
+  int maxcount;
+}
+
+Desc* Active = null;
+Desc* DescAvail = null;
+
+Desc* DescAlloc() {
+  while (1) {
+    Desc* d = DescAvail;
+    if (d != null) {
+      Desc* nxt = d->next;
+      if (cas(&DescAvail, d, nxt)) {
+        return d;
+      }
+      continue;
+    }
+    d = alloc(sizeof(Desc));
+    return d;
+  }
+  return null;
+}
+
+void DescRetire(Desc* d) {
+  while (1) {
+    Desc* h = DescAvail;
+    d->next = h;
+    if (cas(&DescAvail, h, d)) {
+      return;
+    }
+  }
+}
+
+int* MallocFromNewSB() {
+  Desc* d = DescAlloc();
+  int* s = alloc(NBLOCKS * BS);
+  d->sb = s;
+  d->maxcount = NBLOCKS;
+  // Thread blocks 1..NBLOCKS-1 onto the free list via next-free indices
+  // kept in each free block's user word.
+  for (int i = 1; i < NBLOCKS; i = i + 1) {
+    s[i * BS + 1] = i + 1;
+  }
+  // Block 0 goes to the caller: avail=1, count=NBLOCKS-1, tag=0.
+  d->anchor = 1 * AB + (NBLOCKS - 1) * CB;
+  if (cas(&Active, null, d)) {
+    s[0] = d;
+    return s + 1;
+  }
+  // Lost the race to install: recycle the descriptor (superblock leaks,
+  // as in a failed partial-list insertion).
+  DescRetire(d);
+  return null;
+}
+
+operation int* malloc(int sz) {
+  while (1) {
+    Desc* d = Active;
+    if (d == null) {
+      int* p = MallocFromNewSB();
+      if (p != null) {
+        return p;
+      }
+      continue;
+    }
+    int a = d->anchor;
+    int avail = a / AB;
+    int count = (a / CB) % CB;
+    int tag = a % CB;
+    if (count == 0) {
+      // Superblock exhausted: uninstall and start a new one.
+      cas(&Active, d, null);
+      continue;
+    }
+    int* s = d->sb;
+    int* blk = s + avail * BS;
+    int nextidx = blk[1];
+    int na = nextidx * AB + (count - 1) * CB + ((tag + 1) % CB);
+    if (cas(&d->anchor, a, na)) {
+      blk[0] = d;
+      return blk + 1;
+    }
+  }
+  return null;
+}
+
+operation void free(int* p) {
+  int* blk = p - 1;
+  Desc* d = blk[0];
+  int* s = d->sb;
+  int idx = (blk - s) / BS;
+  while (1) {
+    int a = d->anchor;
+    int count = (a / CB) % CB;
+    int tag = a % CB;
+    blk[1] = a / AB;     // link previous head as our next-free index
+    int na = idx * AB + (count + 1) * CB + ((tag + 1) % CB);
+    if (cas(&d->anchor, a, na)) {
+      if (count + 1 == d->maxcount) {
+        // Superblock entirely free: retire its descriptor.
+        cas(&Active, d, null);
+        DescRetire(d);
+      }
+      return;
+    }
+  }
+}
+
+void worker1() {
+  int* a = malloc(1);
+  int* b = malloc(1);
+  int* c = malloc(1);
+  free(a);
+  free(b);
+  free(c);
+}
+
+void worker2() {
+  int* a = malloc(1);
+  free(a);
+  int* b = malloc(1);
+  free(b);
+}
+
+int main() {
+  int t1 = fork worker1();
+  int t2 = fork worker2();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

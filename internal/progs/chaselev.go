@@ -1,0 +1,94 @@
+package progs
+
+// Chase-Lev work-stealing deque (SPAA'05), the paper's running example
+// (Fig. 1), without the fences F1/F2/F3 that DFENCE infers:
+//
+//	F1 store-load in take between "T = t" and "h = H"     (TSO & PSO, SC)
+//	F2 store-store in put between "items[t] = task" and "T = t + 1" (PSO, SC)
+//	F3 store-store in put after "T = t + 1"               (PSO, linearizability)
+//
+// The client mirrors §6.4: the owner drives the queue through empty and
+// non-empty states while a thief steals concurrently.
+var chaseLev = register(&Benchmark{
+	Name:             "chase-lev",
+	Paper:            "Chase-Lev's WSQ",
+	SpecName:         "deque",
+	RelaxStealAborts: true,
+	Source: `// Chase-Lev work-stealing deque (fences removed).
+const EMPTY = 0 - 1;
+
+int H = 0;
+int T = 0;
+int items[16];
+
+operation void put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+}
+
+operation int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = items[h];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+operation int take() {
+  while (1) {
+    int t = T - 1;
+    T = t;
+    int h = H;
+    if (t < h) {
+      T = h;
+      return EMPTY;
+    }
+    int task = items[t];
+    if (t > h) {
+      return task;
+    }
+    T = h + 1;
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(1);
+  put(2);
+  take();
+  take();
+  put(3);
+  put(4);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

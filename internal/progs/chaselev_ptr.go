@@ -1,0 +1,123 @@
+package progs
+
+// The §6.6 "future work" experiment, realized: "one trick that may make
+// memory safety more effective in triggering violations is to use a
+// specific client: instead of elements of a primitive type, one stores
+// pointers to newly allocated memory in the queue. Then, the client frees
+// the pointer immediately after it has fetched it from the queue. In that
+// way, one may be able to detect duplicate items."
+//
+// Same fence-free Chase-Lev deque; the client's payloads are heap cells
+// and every fetched task is freed — a duplicate extraction becomes a
+// double free, which the memory-safety checker catches without any
+// sequential specification. Not part of the paper's 13-benchmark table;
+// exposed via Extras().
+var chaseLevPtr = &Benchmark{
+	Name:     "chase-lev-ptr",
+	Paper:    "Chase-Lev's WSQ (pointer client, §6.6)",
+	SpecName: "deque",
+	Source: `// Chase-Lev deque with a pointer-freeing client (fences removed).
+const EMPTY = 0 - 1;
+
+int H = 0;
+int T = 0;
+int items[16];
+
+operation void put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+}
+
+operation int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h >= t) {
+      return EMPTY;
+    }
+    int task = items[h];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+operation int take() {
+  while (1) {
+    int t = T - 1;
+    T = t;
+    int h = H;
+    if (t < h) {
+      T = h;
+      return EMPTY;
+    }
+    int task = items[t];
+    if (t > h) {
+      return task;
+    }
+    T = h + 1;
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void consume(int task) {
+  if (task != EMPTY) {
+    int* p = task;
+    int v = *p;       // dereference: dangling if already freed elsewhere
+    assert(v == 7);
+    sysfree(p);       // double free if the task was extracted twice
+  }
+}
+
+void owner() {
+  int* a = alloc(1);
+  *a = 7;
+  int* b = alloc(1);
+  *b = 7;
+  put(a);
+  put(b);
+  consume(take());
+  consume(take());
+  int* c = alloc(1);
+  *c = 7;
+  int* d = alloc(1);
+  *d = 7;
+  put(c);
+  put(d);
+  consume(take());
+  consume(take());
+}
+
+void thief() {
+  consume(steal());
+  consume(steal());
+  consume(steal());
+  consume(steal());
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+}
+
+// Extras returns experiment variants that are not part of the paper's
+// 13-benchmark table.
+func Extras() []*Benchmark {
+	return []*Benchmark{chaseLevPtr}
+}
+
+func init() {
+	register(chaseLevPtr)
+}

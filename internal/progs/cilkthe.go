@@ -1,0 +1,91 @@
+package progs
+
+// Cilk-5's THE work-stealing protocol (PLDI'98): the owner's take uses the
+// optimistic T-decrement handshake; the conflict path and steal serialize
+// through a lock. Fences removed; under SC-the-criterion DFENCE infers the
+// store-load fence in take (the paper's (take,5:7)) and the corresponding
+// handshake fences exposed by the chosen memory model.
+var cilkTHE = register(&Benchmark{
+	Name:             "cilk-the",
+	Paper:            "Cilk's THE WSQ",
+	SpecName:         "deque",
+	RelaxStealAborts: true,
+	Source: `// Cilk THE work-stealing deque (fences removed).
+const EMPTY = 0 - 1;
+
+int H = 0;
+int T = 0;
+int L = 0;
+int items[16];
+
+operation void put(int task) {
+  int t = T;
+  items[t] = task;
+  T = t + 1;
+}
+
+operation int take() {
+  int t = T - 1;
+  T = t;
+  int h = H;
+  if (h > t) {
+    // Potential conflict with a thief: restore and retry under the lock.
+    T = t + 1;
+    lock(&L);
+    t = T - 1;
+    T = t;
+    h = H;
+    if (h > t) {
+      T = t + 1;
+      unlock(&L);
+      return EMPTY;
+    }
+    int task = items[t];
+    unlock(&L);
+    return task;
+  }
+  return items[t];
+}
+
+operation int steal() {
+  lock(&L);
+  int h = H;
+  H = h + 1;
+  int t = T;
+  if (h + 1 > t) {
+    H = h;
+    unlock(&L);
+    return EMPTY;
+  }
+  int task = items[h];
+  unlock(&L);
+  return task;
+}
+
+void owner() {
+  put(1);
+  put(2);
+  take();
+  take();
+  put(3);
+  put(4);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

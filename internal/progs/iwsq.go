@@ -1,0 +1,251 @@
+package progs
+
+// The three idempotent work-stealing queues of Michael, Vechev &
+// Saraswat (PPoPP'09) [24]: LIFO, FIFO, and the double-ended "anchor"
+// algorithm. Idempotent semantics permit a task to be extracted more than
+// once; the checked property is the paper's "no garbage tasks returned"
+// plus memory safety (analysis under SC/linearizability needs idempotent
+// sequential specifications and is future work in the paper — mirrored
+// here by SkipSeqCheck).
+//
+// The LIFO and anchor algorithms keep their state in a single packed
+// anchor word (<tail,tag> resp. <head,size,tag>) so a lone CAS updates it
+// atomically, exactly as the paper's algorithms pack them into one
+// machine word.
+
+var lifoIWSQ = register(&Benchmark{
+	Name:         "lifo-iwsq",
+	Paper:        "LIFO iWSQ",
+	SpecName:     "wsq-lifo",
+	CheckGarbage: true,
+	SkipSeqCheck: true,
+	Source: `// Idempotent LIFO work stealing (fences removed).
+const EMPTY = 0 - 1;
+const TAGM = 1024;       // anchor = tail*TAGM + tag
+
+int anchor = 0;
+int tasks[16];
+
+operation void put(int task) {
+  int a = anchor;
+  int t = a / TAGM;
+  int g = a % TAGM;
+  tasks[t] = task;
+  anchor = (t + 1) * TAGM + (g + 1);
+}
+
+operation int take() {
+  int a = anchor;
+  int t = a / TAGM;
+  int g = a % TAGM;
+  if (t == 0) {
+    return EMPTY;
+  }
+  int task = tasks[t - 1];
+  anchor = (t - 1) * TAGM + g;
+  return task;
+}
+
+operation int steal() {
+  while (1) {
+    int a = anchor;
+    int t = a / TAGM;
+    int g = a % TAGM;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (!cas(&anchor, a, (t - 1) * TAGM + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var fifoIWSQ = register(&Benchmark{
+	Name:         "fifo-iwsq",
+	Paper:        "FIFO iWSQ",
+	SpecName:     "wsq-fifo",
+	CheckGarbage: true,
+	SkipSeqCheck: true,
+	Source: `// Idempotent FIFO work stealing (fences removed).
+const EMPTY = 0 - 1;
+const CAP = 16;
+
+int H = 0;
+int T = 0;
+int tasks[16];
+
+operation void put(int task) {
+  int t = T;
+  tasks[t % CAP] = task;
+  T = t + 1;
+}
+
+operation int take() {
+  int h = H;
+  int t = T;
+  if (h == t) {
+    return EMPTY;
+  }
+  int task = tasks[h % CAP];
+  H = h + 1;
+  return task;
+}
+
+operation int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % CAP];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var anchorIWSQ = register(&Benchmark{
+	Name:         "anchor-iwsq",
+	Paper:        "Anchor iWSQ",
+	SpecName:     "deque",
+	CheckGarbage: true,
+	SkipSeqCheck: true,
+	Source: `// Idempotent double-ended (anchor) work stealing (fences removed).
+const EMPTY = 0 - 1;
+const CAP = 16;
+const SB = 32;           // size field multiplier
+const HB = 1024;         // head field multiplier: anchor = h*HB + s*SB + g
+
+int anchor = 0;
+int tasks[16];
+
+operation void put(int task) {
+  int a = anchor;
+  int h = a / HB;
+  int s = (a / SB) % SB;
+  int g = a % SB;
+  tasks[(h + s) % CAP] = task;
+  anchor = h * HB + (s + 1) * SB + ((g + 1) % SB);
+}
+
+operation int take() {
+  int a = anchor;
+  int h = a / HB;
+  int s = (a / SB) % SB;
+  int g = a % SB;
+  if (s == 0) {
+    return EMPTY;
+  }
+  int task = tasks[(h + s - 1) % CAP];
+  anchor = h * HB + (s - 1) * SB + g;
+  return task;
+}
+
+operation int steal() {
+  while (1) {
+    int a = anchor;
+    int h = a / HB;
+    int s = (a / SB) % SB;
+    int g = a % SB;
+    if (s == 0) {
+      return EMPTY;
+    }
+    int task = tasks[h % CAP];
+    int h2 = (h + 1) % CAP;
+    if (!cas(&anchor, a, h2 * HB + (s - 1) * SB + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

@@ -1,0 +1,153 @@
+// Package progs contains the 13 concurrent algorithms of the paper's
+// evaluation (Table 2), written in the mini-C dialect of package lang,
+// each paired with the concurrent client used to exercise it. The sources
+// deliberately contain NO memory fences: DFENCE infers them (§6.1: "we
+// first removed the fences from the algorithms and then ran DFENCE to see
+// if it could infer them automatically").
+//
+// Benchmarks:
+//
+//	chase-lev      Chase-Lev work-stealing deque [7]
+//	cilk-the       Cilk's THE work-stealing deque [12] (take/steal use a lock)
+//	lifo-iwsq      idempotent LIFO work stealing [24]
+//	fifo-iwsq      idempotent FIFO work stealing [24]
+//	anchor-iwsq    idempotent double-ended (anchor) work stealing [24]
+//	lifo-wsq       LIFO WSQ: as lifo-iwsq but all operations use CAS
+//	fifo-wsq       FIFO WSQ: as fifo-iwsq but take uses CAS on the head
+//	anchor-wsq     Anchor WSQ: as anchor-iwsq but all operations use CAS
+//	ms2-queue      Michael-Scott two-lock queue [23]
+//	msn-queue      Michael-Scott non-blocking queue [23]
+//	lazylist-set   Heller et al. lazy list-based set [13]
+//	harris-set     Harris-style non-blocking sorted-list set [8]
+//	michael-alloc  Michael's lock-free memory allocator [21] (simplified
+//	               to its synchronization skeleton)
+package progs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/spec"
+)
+
+// Benchmark couples an algorithm's source with its specification.
+type Benchmark struct {
+	// Name is the registry key (see package comment).
+	Name string
+	// Paper is the paper's name for the algorithm (Table 2/3 rows).
+	Paper string
+	// Source is the fence-free mini-C program including its client.
+	Source string
+	// SpecName selects the sequential specification ("deque", "queue",
+	// "set", "alloc").
+	SpecName string
+	// CheckGarbage enables the "no garbage tasks returned" check (the
+	// idempotent WSQs, whose Linearizability/SC specs are future work in
+	// the paper).
+	CheckGarbage bool
+	// SkipSeqCheck marks benchmarks checked only under memory safety (+
+	// garbage): the idempotent WSQs (paper: "Analysis of iWSQ algorithms
+	// under Linearizability or SC requires more involved sequential
+	// specifications and is left as future work").
+	SkipSeqCheck bool
+	// RelaxStealAborts treats contended steal()=EMPTY as an abort (the
+	// published WSQ steal operations return ABORT when they lose a race).
+	RelaxStealAborts bool
+}
+
+// NewSpec returns a fresh sequential-specification constructor.
+func (b *Benchmark) NewSpec() func() spec.Sequential {
+	f, err := spec.ByName(b.SpecName)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+var (
+	compileMu    sync.Mutex
+	compileCache = map[string]*ir.Program{}
+)
+
+// Program compiles the benchmark (cached) and returns a private clone the
+// caller may mutate (synthesis inserts fences).
+func (b *Benchmark) Program() *ir.Program {
+	compileMu.Lock()
+	defer compileMu.Unlock()
+	p, ok := compileCache[b.Name]
+	if !ok {
+		p = lang.MustCompile(b.Source)
+		compileCache[b.Name] = p
+	}
+	return p.Clone()
+}
+
+// SourceLOC counts non-blank source lines (Table 3's "Source LOC").
+func (b *Benchmark) SourceLOC() int {
+	n := 0
+	start := 0
+	for i := 0; i <= len(b.Source); i++ {
+		if i == len(b.Source) || b.Source[i] == '\n' {
+			line := b.Source[start:i]
+			start = i + 1
+			for _, c := range line {
+				if c != ' ' && c != '\t' {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) *Benchmark {
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("progs: duplicate benchmark %s", b.Name))
+	}
+	registry[b.Name] = b
+	return b
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("progs: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names lists all registered benchmarks, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the benchmarks in Table 2 order.
+func All() []*Benchmark {
+	order := []string{
+		"chase-lev", "cilk-the",
+		"fifo-iwsq", "lifo-iwsq", "anchor-iwsq",
+		"fifo-wsq", "lifo-wsq", "anchor-wsq",
+		"ms2-queue", "msn-queue",
+		"lazylist-set", "harris-set",
+		"michael-alloc",
+	}
+	out := make([]*Benchmark, 0, len(order))
+	for _, n := range order {
+		if b, ok := registry[n]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

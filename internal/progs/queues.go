@@ -1,0 +1,160 @@
+package progs
+
+// The two Michael-Scott queues (PODC'96) [23]: the two-lock blocking
+// queue (MS2) and the non-blocking CAS-based queue (MSN). Both use a
+// dummy-node linked list with head and tail pointers; nodes come from the
+// system allocator (the paper's interpreter hooks malloc/mmap the same
+// way) and are not reclaimed, the standard arrangement for a lock-free
+// queue without a memory-reclamation scheme.
+
+var ms2Queue = register(&Benchmark{
+	Name:     "ms2-queue",
+	Paper:    "MS2 Queue",
+	SpecName: "queue",
+	Source: `// Michael-Scott two-lock queue (fences removed).
+const EMPTY = 0 - 1;
+
+struct Node {
+  int val;
+  Node* next;
+}
+
+Node* Qhead;
+Node* Qtail;
+int HL = 0;
+int TL = 0;
+
+operation void enqueue(int v) {
+  Node* n = alloc(sizeof(Node));
+  n->val = v;
+  n->next = null;
+  lock(&TL);
+  Qtail->next = n;
+  Qtail = n;
+  unlock(&TL);
+}
+
+operation int dequeue() {
+  lock(&HL);
+  Node* h = Qhead;
+  Node* nh = h->next;
+  if (nh == null) {
+    unlock(&HL);
+    return EMPTY;
+  }
+  int v = nh->val;
+  Qhead = nh;
+  unlock(&HL);
+  return v;
+}
+
+void producer() {
+  enqueue(21);
+  enqueue(22);
+  dequeue();
+}
+
+void consumer() {
+  enqueue(23);
+  dequeue();
+  dequeue();
+}
+
+int main() {
+  Node* dummy = alloc(sizeof(Node));
+  dummy->next = null;
+  Qhead = dummy;
+  Qtail = dummy;
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var msnQueue = register(&Benchmark{
+	Name:     "msn-queue",
+	Paper:    "MSN Queue",
+	SpecName: "queue",
+	Source: `// Michael-Scott non-blocking queue (fences removed). The fence the
+// paper reports at (enqueue, E3:E4) orders the node initialization before
+// the CAS that links it into the list.
+const EMPTY = 0 - 1;
+
+struct Node {
+  int val;
+  Node* next;
+}
+
+Node* Qhead;
+Node* Qtail;
+
+operation void enqueue(int v) {
+  Node* n = alloc(sizeof(Node));
+  n->val = v;
+  n->next = null;
+  while (1) {
+    Node* t = Qtail;
+    Node* nxt = t->next;
+    if (t == Qtail) {
+      if (nxt == null) {
+        if (cas(&t->next, null, n)) {
+          cas(&Qtail, t, n);
+          return;
+        }
+      } else {
+        cas(&Qtail, t, nxt);
+      }
+    }
+  }
+}
+
+operation int dequeue() {
+  while (1) {
+    Node* h = Qhead;
+    Node* t = Qtail;
+    Node* nxt = h->next;
+    if (h == Qhead) {
+      if (h == t) {
+        if (nxt == null) {
+          return EMPTY;
+        }
+        cas(&Qtail, t, nxt);
+      } else {
+        int v = nxt->val;
+        if (cas(&Qhead, h, nxt)) {
+          return v;
+        }
+      }
+    }
+  }
+  return EMPTY;
+}
+
+void producer() {
+  enqueue(21);
+  enqueue(22);
+  dequeue();
+}
+
+void consumer() {
+  enqueue(23);
+  dequeue();
+  dequeue();
+}
+
+int main() {
+  Node* dummy = alloc(sizeof(Node));
+  dummy->next = null;
+  Qhead = dummy;
+  Qtail = dummy;
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

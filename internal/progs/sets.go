@@ -1,0 +1,227 @@
+package progs
+
+// The two sorted-list sets of the evaluation. The lazy list (Heller et
+// al., OPODIS'05 [13]) is lock-based: per Table 2 "add, contains and
+// remove ... All three use locks" — here realized with a list lock
+// protecting traversal plus the lazy marked-bit structure, which is why
+// DFENCE finds no fences for it (the lock's own barriers order
+// everything). Harris's set [8] is the CAS-based counterpart with the
+// deletion mark packed into the successor pointer (ptr*2+mark, standing
+// in for the paper's low-bit tagging), where the node-initialization
+// fence (insert, 8:9) is needed on PSO.
+
+var lazyListSet = register(&Benchmark{
+	Name:     "lazylist-set",
+	Paper:    "LazyList Set",
+	SpecName: "set",
+	Source: `// Lazy list-based set; all operations lock (fences removed).
+struct Node {
+  int key;
+  int marked;
+  Node* next;
+}
+
+Node* LHead;
+int LLock = 0;
+
+operation int add(int key) {
+  lock(&LLock);
+  Node* pred = LHead;
+  Node* curr = pred->next;
+  while (curr->key < key) {
+    pred = curr;
+    curr = curr->next;
+  }
+  if (curr->key == key && !curr->marked) {
+    unlock(&LLock);
+    return 0;
+  }
+  Node* n = alloc(sizeof(Node));
+  n->key = key;
+  n->marked = 0;
+  n->next = curr;
+  pred->next = n;
+  unlock(&LLock);
+  return 1;
+}
+
+operation int remove(int key) {
+  lock(&LLock);
+  Node* pred = LHead;
+  Node* curr = pred->next;
+  while (curr->key < key) {
+    pred = curr;
+    curr = curr->next;
+  }
+  if (curr->key != key || curr->marked) {
+    unlock(&LLock);
+    return 0;
+  }
+  curr->marked = 1;        // logical removal first (lazy deletion)
+  pred->next = curr->next; // then physical unlink
+  unlock(&LLock);
+  return 1;
+}
+
+operation int contains(int key) {
+  lock(&LLock);
+  Node* curr = LHead;
+  while (curr->key < key) {
+    curr = curr->next;
+  }
+  int found = 0;
+  if (curr->key == key && !curr->marked) {
+    found = 1;
+  }
+  unlock(&LLock);
+  return found;
+}
+
+void worker1() {
+  add(1);
+  add(2);
+  remove(1);
+  contains(1);
+}
+
+void worker2() {
+  add(2);
+  remove(2);
+  contains(2);
+}
+
+int main() {
+  Node* tail = alloc(sizeof(Node));
+  tail->key = 1000;
+  tail->next = null;
+  Node* head = alloc(sizeof(Node));
+  head->key = 0 - 1000;
+  head->next = tail;
+  LHead = head;
+  int t1 = fork worker1();
+  int t2 = fork worker2();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var harrisSet = register(&Benchmark{
+	Name:     "harris-set",
+	Paper:    "Harris's Set",
+	SpecName: "set",
+	Source: `// Harris-style non-blocking sorted-list set (fences removed).
+// Successor pointers are packed as ptr*2 + mark so that marking a node
+// and changing its successor contend on one CAS word, as in the original
+// algorithm's low-bit tagging.
+struct Node {
+  int key;
+  int next;        // packed: successor*2 + mark
+}
+
+Node* SHead;
+
+operation int add(int key) {
+  while (1) {
+    Node* pred = SHead;
+    Node* curr = pred->next / 2;
+    int restart = 0;
+    while (1) {
+      int cn = curr->next;
+      Node* nxt = cn / 2;
+      if (cn % 2) {
+        // curr is marked: snip it out and retry from its successor.
+        if (!cas(&pred->next, curr * 2, nxt * 2)) {
+          restart = 1;
+          break;
+        }
+        curr = nxt;
+        continue;
+      }
+      if (curr->key >= key) {
+        break;
+      }
+      pred = curr;
+      curr = nxt;
+    }
+    if (restart) {
+      continue;
+    }
+    if (curr->key == key) {
+      return 0;
+    }
+    Node* n = alloc(sizeof(Node));
+    n->key = key;
+    n->next = curr * 2;
+    if (cas(&pred->next, curr * 2, n * 2)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+operation int remove(int key) {
+  while (1) {
+    Node* pred = SHead;
+    Node* curr = pred->next / 2;
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next / 2;
+    }
+    if (curr->key != key) {
+      return 0;
+    }
+    int cn = curr->next;
+    if (cn % 2) {
+      return 0;          // already logically deleted
+    }
+    if (!cas(&curr->next, cn, cn + 1)) {
+      continue;          // interference: re-examine
+    }
+    cas(&pred->next, curr * 2, cn);   // physical unlink, best effort
+    return 1;
+  }
+  return 0;
+}
+
+operation int contains(int key) {
+  Node* curr = SHead;
+  while (curr->key < key) {
+    curr = curr->next / 2;
+  }
+  if (curr->key != key) {
+    return 0;
+  }
+  return !(curr->next % 2);
+}
+
+void worker1() {
+  add(1);
+  add(2);
+  remove(1);
+  contains(1);
+}
+
+void worker2() {
+  add(2);
+  remove(2);
+  contains(2);
+}
+
+int main() {
+  Node* tail = alloc(sizeof(Node));
+  tail->key = 1000;
+  tail->next = 0;
+  Node* head = alloc(sizeof(Node));
+  head->key = 0 - 1000;
+  head->next = tail * 2;
+  SHead = head;
+  int t1 = fork worker1();
+  int t2 = fork worker2();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

@@ -1,0 +1,264 @@
+package progs
+
+// The non-idempotent counterparts of the iWSQ family (paper Table 2):
+// "same as X iWSQ except that all operations use CAS" (LIFO, Anchor) /
+// "take uses CAS to update the head variable" (FIFO). These satisfy the
+// exact (non-idempotent) sequential specifications, so they are analyzed
+// under SC and linearizability.
+
+var lifoWSQ = register(&Benchmark{
+	Name:             "lifo-wsq",
+	Paper:            "LIFO WSQ",
+	SpecName:         "wsq-lifo",
+	RelaxStealAborts: true,
+	Source: `// LIFO WSQ: all operations CAS the packed anchor (fences removed).
+const EMPTY = 0 - 1;
+const TAGM = 1024;
+
+int anchor = 0;
+int tasks[16];
+
+operation void put(int task) {
+  while (1) {
+    int a = anchor;
+    int t = a / TAGM;
+    int g = a % TAGM;
+    tasks[t] = task;
+    if (cas(&anchor, a, (t + 1) * TAGM + ((g + 1) % TAGM))) {
+      return;
+    }
+  }
+}
+
+operation int take() {
+  while (1) {
+    int a = anchor;
+    int t = a / TAGM;
+    int g = a % TAGM;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (!cas(&anchor, a, (t - 1) * TAGM + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+operation int steal() {
+  while (1) {
+    int a = anchor;
+    int t = a / TAGM;
+    int g = a % TAGM;
+    if (t == 0) {
+      return EMPTY;
+    }
+    int task = tasks[t - 1];
+    if (!cas(&anchor, a, (t - 1) * TAGM + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var fifoWSQ = register(&Benchmark{
+	Name:             "fifo-wsq",
+	Paper:            "FIFO WSQ",
+	SpecName:         "wsq-fifo",
+	RelaxStealAborts: true,
+	Source: `// FIFO WSQ: as FIFO iWSQ but take CASes the head (fences removed).
+const EMPTY = 0 - 1;
+const CAP = 16;
+
+int H = 0;
+int T = 0;
+int tasks[16];
+
+operation void put(int task) {
+  int t = T;
+  tasks[t % CAP] = task;
+  T = t + 1;
+}
+
+operation int take() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % CAP];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+operation int steal() {
+  while (1) {
+    int h = H;
+    int t = T;
+    if (h == t) {
+      return EMPTY;
+    }
+    int task = tasks[h % CAP];
+    if (!cas(&H, h, h + 1)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})
+
+var anchorWSQ = register(&Benchmark{
+	Name:             "anchor-wsq",
+	Paper:            "Anchor WSQ",
+	SpecName:         "deque",
+	RelaxStealAborts: true,
+	Source: `// Anchor WSQ: all operations CAS the packed anchor (fences removed).
+const EMPTY = 0 - 1;
+const CAP = 16;
+const SB = 32;
+const HB = 1024;
+
+int anchor = 0;
+int tasks[16];
+
+operation void put(int task) {
+  while (1) {
+    int a = anchor;
+    int h = a / HB;
+    int s = (a / SB) % SB;
+    int g = a % SB;
+    tasks[(h + s) % CAP] = task;
+    if (cas(&anchor, a, h * HB + (s + 1) * SB + ((g + 1) % SB))) {
+      return;
+    }
+  }
+}
+
+operation int take() {
+  while (1) {
+    int a = anchor;
+    int h = a / HB;
+    int s = (a / SB) % SB;
+    int g = a % SB;
+    if (s == 0) {
+      return EMPTY;
+    }
+    int task = tasks[(h + s - 1) % CAP];
+    if (!cas(&anchor, a, h * HB + (s - 1) * SB + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+operation int steal() {
+  while (1) {
+    int a = anchor;
+    int h = a / HB;
+    int s = (a / SB) % SB;
+    int g = a % SB;
+    if (s == 0) {
+      return EMPTY;
+    }
+    int task = tasks[h % CAP];
+    int h2 = (h + 1) % CAP;
+    if (!cas(&anchor, a, h2 * HB + (s - 1) * SB + g)) {
+      continue;
+    }
+    return task;
+  }
+  return EMPTY;
+}
+
+void owner() {
+  put(11);
+  put(12);
+  take();
+  take();
+  put(13);
+  put(14);
+  take();
+  take();
+}
+
+void thief() {
+  steal();
+  steal();
+  steal();
+  steal();
+}
+
+int main() {
+  int t1 = fork owner();
+  int t2 = fork thief();
+  join t1;
+  join t2;
+  return 0;
+}
+`,
+})

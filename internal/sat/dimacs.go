@@ -1,0 +1,110 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format: a "p cnf <vars>
+// <clauses>" header, comment lines starting with 'c', and clauses as
+// whitespace-separated literals terminated by 0 (clauses may span lines).
+// Returns the variable count and the clause list.
+func ParseDIMACS(r io.Reader) (nvars int, clauses [][]Lit, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sawHeader := false
+	declaredClauses := -1
+	var cur []Lit
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if sawHeader {
+				return 0, nil, fmt.Errorf("sat: line %d: duplicate problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return 0, nil, fmt.Errorf("sat: line %d: malformed problem line %q", line, text)
+			}
+			nvars, err = strconv.Atoi(fields[2])
+			if err != nil || nvars < 0 {
+				return 0, nil, fmt.Errorf("sat: line %d: bad variable count %q", line, fields[2])
+			}
+			declaredClauses, err = strconv.Atoi(fields[3])
+			if err != nil || declaredClauses < 0 {
+				return 0, nil, fmt.Errorf("sat: line %d: bad clause count %q", line, fields[3])
+			}
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return 0, nil, fmt.Errorf("sat: line %d: clause before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return 0, nil, fmt.Errorf("sat: line %d: bad literal %q", line, tok)
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			if v > nvars || -v > nvars {
+				return 0, nil, fmt.Errorf("sat: line %d: literal %d exceeds declared %d variables", line, v, nvars)
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if !sawHeader {
+		return 0, nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(cur) > 0 {
+		clauses = append(clauses, cur) // tolerate missing trailing 0
+	}
+	if declaredClauses >= 0 && len(clauses) != declaredClauses {
+		return 0, nil, fmt.Errorf("sat: header declares %d clauses, found %d", declaredClauses, len(clauses))
+	}
+	return nvars, clauses, nil
+}
+
+// WriteDIMACS serializes a formula in DIMACS format.
+func WriteDIMACS(w io.Writer, nvars int, clauses [][]Lit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", nvars, len(clauses))
+	for _, c := range clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", int(l))
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}
+
+// SolveDIMACS parses and solves a DIMACS formula, returning the model.
+func SolveDIMACS(r io.Reader) (map[int]bool, error) {
+	nvars, clauses, err := ParseDIMACS(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSolver()
+	for i := 0; i < nvars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		if err := s.AddClause(c...); err != nil {
+			return nil, err
+		}
+	}
+	return s.Solve()
+}

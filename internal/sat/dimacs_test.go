@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	nvars, clauses, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvars != 3 || len(clauses) != 2 {
+		t.Fatalf("nvars=%d clauses=%d", nvars, len(clauses))
+	}
+	if clauses[0][0] != 1 || clauses[0][1] != -2 {
+		t.Errorf("clause 0 = %v", clauses[0])
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 4 0\n"
+	_, clauses, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 1 || len(clauses[0]) != 4 {
+		t.Fatalf("clauses = %v", clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "1 2 0\n",
+		"bad header":       "p sat 3 2\n",
+		"double header":    "p cnf 1 0\np cnf 1 0\n",
+		"literal too big":  "p cnf 2 1\n3 0\n",
+		"bad literal":      "p cnf 2 1\nx 0\n",
+		"clause mismatch":  "p cnf 2 5\n1 0\n",
+		"negative too big": "p cnf 2 1\n-3 0\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 1 + rng.Intn(10)
+		clauses := randomCNF(rng, nvars, 1+rng.Intn(15), 4)
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, nvars, clauses); err != nil {
+			return false
+		}
+		n2, c2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil || n2 != nvars || len(c2) != len(clauses) {
+			return false
+		}
+		for i := range clauses {
+			if len(c2[i]) != len(clauses[i]) {
+				return false
+			}
+			for j := range clauses[i] {
+				if c2[i][j] != clauses[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveDIMACS(t *testing.T) {
+	model, err := SolveDIMACS(strings.NewReader("p cnf 2 2\n1 0\n-1 2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model[1] || !model[2] {
+		t.Errorf("model = %v, want both true", model)
+	}
+	_, err = SolveDIMACS(strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"))
+	if !errors.Is(err, ErrUnsat) {
+		t.Errorf("want unsat, got %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+package sat
+
+import "sort"
+
+// MinimalModels enumerates the minimal models of a *monotone* CNF formula:
+// every clause contains only positive literals, so models are upward
+// closed and the interesting solutions are the minimal sets of variables
+// set to true. This is precisely the shape of DFENCE's repair formula φ — a
+// conjunction, over violating executions, of disjunctions of ordering
+// predicates — and this function implements the paper's §5.2 loop: "we
+// call MiniSAT repeatedly to find out all solutions (when we find a
+// solution, we adjust the formula to exclude that solution), and then we
+// select the minimal ones."
+//
+// Each found model is first shrunk greedily to an irredundant model (try
+// dropping each true variable; monotonicity makes the check a simple
+// clause-coverage test), then blocked with the clause ¬(∧ its true vars),
+// which eliminates that model and all its supersets. Every minimal model
+// is eventually produced: a minimal model is never a strict superset of
+// another model, so blocking cannot hide it.
+//
+// nvars is the number of variables (1..nvars); clauses must be positive.
+// The result is deterministic: each model is a sorted variable set, and
+// the models are sorted by (size, lexicographic).
+func MinimalModels(nvars int, clauses [][]Lit) [][]int {
+	s := NewSolver()
+	for i := 0; i < nvars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		if err := s.AddClause(c...); err != nil {
+			// Unknown variable: programming error in the caller.
+			panic(err)
+		}
+	}
+	seen := make(map[string]bool)
+	var out [][]int
+	_, err := s.SolveWithBlocking(func(model map[int]bool) []Lit {
+		min := shrink(nvars, clauses, model)
+		key := fmtKey(min)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, min)
+		}
+		block := make([]Lit, len(min))
+		for i, v := range min {
+			block[i] = Lit(-v)
+		}
+		if len(block) == 0 {
+			return nil // empty model satisfies everything: stop
+		}
+		return block
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// shrink reduces a model of a monotone formula to an irredundant one.
+func shrink(nvars int, clauses [][]Lit, model map[int]bool) []int {
+	cur := make(map[int]bool, nvars)
+	for v, b := range model {
+		cur[v] = b
+	}
+	// Try dropping variables in descending order (deterministic).
+	for v := nvars; v >= 1; v-- {
+		if !cur[v] {
+			continue
+		}
+		cur[v] = false
+		if !satisfiesPositive(clauses, cur) {
+			cur[v] = true
+		}
+	}
+	var min []int
+	for v := 1; v <= nvars; v++ {
+		if cur[v] {
+			min = append(min, v)
+		}
+	}
+	return min
+}
+
+func satisfiesPositive(clauses [][]Lit, model map[int]bool) bool {
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if l > 0 && model[int(l)] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtKey(vs []int) string {
+	b := make([]byte, 0, len(vs)*3)
+	for _, v := range vs {
+		for v > 0 {
+			b = append(b, byte('0'+v%10))
+			v /= 10
+		}
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// MinimumModels filters MinimalModels down to those of smallest
+// cardinality — Algorithm 2's "minimal satisfying assignment" choice.
+func MinimumModels(nvars int, clauses [][]Lit) [][]int {
+	all := MinimalModels(nvars, clauses)
+	if len(all) == 0 {
+		return nil
+	}
+	best := len(all[0])
+	var out [][]int
+	for _, m := range all {
+		if len(m) == best {
+			out = append(out, m)
+		}
+	}
+	return out
+}

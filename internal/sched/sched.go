@@ -1,0 +1,193 @@
+// Package sched implements DFENCE's flush-delaying demonic scheduler
+// (paper §5.2). At every step it picks an enabled thread at random; if the
+// chosen thread has pending buffered stores, a coin weighted by the flush
+// probability decides between flushing one store to main memory and letting
+// the thread execute its next instruction. Small flush probabilities keep
+// stores buffered longer, which is what exposes relaxed-memory violations;
+// large ones make the execution look sequentially consistent.
+//
+// The scheduler also applies the paper's partial-order reduction: a thread
+// that keeps accessing only registers or provably thread-local memory is
+// not context-switched (bounded by PORWindow so that local infinite loops
+// still yield).
+package sched
+
+import (
+	"math/rand"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// Strategy selects how the demonic scheduler picks among enabled threads.
+type Strategy uint8
+
+const (
+	// Random picks uniformly at random each step — the paper's scheduler.
+	Random Strategy = iota
+	// Priority is a PCT-style scheduler (the paper's "more advanced
+	// demonic schedulers" future work): every thread carries a random
+	// priority, the highest-priority enabled thread always runs, and at
+	// random change points the running thread's priority is demoted. Long
+	// uninterrupted windows plus rare, adversarial preemptions expose a
+	// different class of interleavings than uniform choice.
+	Priority
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case Priority:
+		return "priority"
+	}
+	return "strategy(?)"
+}
+
+// Options configures one execution.
+type Options struct {
+	// Seed drives the pseudo-random choices; equal seeds give identical
+	// executions.
+	Seed int64
+	// Strategy selects the thread-choice discipline (default Random).
+	Strategy Strategy
+	// ChangePoints is the expected number of priority demotions per 1000
+	// steps for the Priority strategy (default 30).
+	ChangePoints int
+	// FlushProb is the probability that a thread with pending buffered
+	// stores flushes one instead of executing (paper §6.5: ~0.1 for TSO,
+	// ~0.5 for PSO).
+	FlushProb float64
+	// MaxSteps bounds the execution; runs that exceed it are reported with
+	// StepLimitHit and treated as inconclusive.
+	MaxSteps int
+	// PORWindow bounds consecutive local-only steps a thread may take
+	// without a scheduling decision. 0 disables partial-order reduction.
+	PORWindow int
+}
+
+// DefaultOptions returns the settings used throughout the evaluation:
+// flush probability 0.5 (the paper's PSO sweet spot), a generous step
+// budget, and POR enabled.
+func DefaultOptions(seed int64) Options {
+	return Options{Seed: seed, FlushProb: 0.5, MaxSteps: 200000, PORWindow: 64}
+}
+
+// Run executes prog once under the given memory model and scheduling
+// options. obs may be nil. The returned result carries the violation (if
+// any), the operation history, and bookkeeping.
+func Run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) *interp.Result {
+	return run(prog, model, obs, opts, nil)
+}
+
+func run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
+	m := interp.NewMachine(prog, model, obs)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200000
+	}
+	changePoints := opts.ChangePoints
+	if changePoints <= 0 {
+		changePoints = 30
+	}
+	var priorities []float64
+
+	var actable []int
+	for m.Steps() < maxSteps {
+		if m.Done() {
+			return m.Result(false)
+		}
+		actable = actable[:0]
+		n := len(m.Threads())
+		for tid := 0; tid < n; tid++ {
+			if m.Actable(tid) {
+				actable = append(actable, tid)
+			}
+		}
+		if len(actable) == 0 {
+			res := m.Result(false)
+			res.Violation = &interp.Violation{
+				Kind:  interp.VDeadlock,
+				Label: ir.NoLabel,
+				Msg:   "no thread can make progress",
+			}
+			return res
+		}
+		var tid int
+		switch opts.Strategy {
+		case Priority:
+			for len(priorities) < n {
+				priorities = append(priorities, rng.Float64())
+			}
+			tid = actable[0]
+			for _, cand := range actable[1:] {
+				if priorities[cand] > priorities[tid] {
+					tid = cand
+				}
+			}
+			// Random change point: demote the chosen thread below everyone.
+			if rng.Intn(1000) < changePoints {
+				priorities[tid] = rng.Float64() * priorities[lowest(priorities)]
+			}
+		default:
+			tid = actable[rng.Intn(len(actable))]
+		}
+		t := m.Threads()[tid]
+
+		if !m.CanExec(tid) {
+			// Finished or join-blocked thread with pending stores: its only
+			// action is a flush.
+			flushOne(m, t, tid, rng, tr)
+			continue
+		}
+		if !t.Buffers().Empty() && rng.Float64() < opts.FlushProb {
+			flushOne(m, t, tid, rng, tr)
+			continue
+		}
+		kind := m.StepThread(tid)
+		if tr != nil {
+			tr.record(tid, false, 0)
+		}
+		// Partial-order reduction: keep running a thread that only touches
+		// local state — interleaving such steps with other threads cannot
+		// change any observable outcome.
+		for local := 0; kind == interp.StepLocal && local < opts.PORWindow; local++ {
+			if m.Violation() != nil || m.Steps() >= maxSteps || !m.CanExec(tid) {
+				break
+			}
+			kind = m.StepThread(tid)
+			if tr != nil {
+				tr.record(tid, false, 0)
+			}
+		}
+	}
+	return m.Result(true)
+}
+
+// lowest returns the index of the smallest priority.
+func lowest(ps []float64) int {
+	best := 0
+	for i, p := range ps {
+		if p < ps[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// flushOne commits one pending store of thread t, choosing the flushed
+// variable uniformly among those with pending entries (under PSO the
+// scheduler "can choose to flush only values for a particular variable").
+func flushOne(m *interp.Machine, t *interp.Thread, tid int, rng *rand.Rand, tr *Trace) {
+	pend := t.Buffers().PendingAddrs()
+	if len(pend) == 0 {
+		return
+	}
+	addr := pend[rng.Intn(len(pend))]
+	m.FlushOne(tid, addr)
+	if tr != nil {
+		tr.record(tid, true, addr)
+	}
+}

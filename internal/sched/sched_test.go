@@ -1,0 +1,368 @@
+package sched
+
+import (
+	"testing"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+func finish(t *testing.T, b *ir.FuncBuilder) {
+	t.Helper()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustLink(t *testing.T, p *ir.Program) {
+	t.Helper()
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildSB is the store-buffering litmus: two threads each store 1 to their
+// own flag then print the other's flag.
+func buildSB(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	for _, g := range []string{"x", "y"} {
+		if err := p.AddGlobal(&ir.Global{Name: g, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(name, st, ld string) {
+		b := ir.NewFuncBuilder(p, name, 0)
+		sa := b.GlobalAddr(st)
+		one := b.Const(1)
+		b.Store(sa, one, st)
+		la := b.GlobalAddr(ld)
+		v, _ := b.Load(la, ld)
+		b.Print(v)
+		b.Ret()
+		finish(t, b)
+	}
+	mk("w1", "x", "y")
+	mk("w2", "y", "x")
+	b := ir.NewFuncBuilder(p, "main", 0)
+	t1 := b.Fork("w1")
+	t2 := b.Fork("w2")
+	b.Join(t1)
+	b.Join(t2)
+	b.Ret()
+	finish(t, b)
+	mustLink(t, p)
+	return p
+}
+
+// buildMP is the message-passing litmus: data then flag; reader spins on
+// flag and prints data.
+func buildMP(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	for _, g := range []string{"data", "flag"} {
+		if err := p.AddGlobal(&ir.Global{Name: g, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := ir.NewFuncBuilder(p, "producer", 0)
+	da := b.GlobalAddr("data")
+	v := b.Const(42)
+	b.Store(da, v, "data")
+	fa := b.GlobalAddr("flag")
+	one := b.Const(1)
+	b.Store(fa, one, "flag")
+	b.Ret()
+	finish(t, b)
+
+	c := ir.NewFuncBuilder(p, "consumer", 0)
+	cfa := c.GlobalAddr("flag")
+	head := c.NextLabel()
+	fv, _ := c.Load(cfa, "flag")
+	nz := c.Not(fv)
+	spin, done := c.CondBrF(nz)
+	spin.Here()
+	c.Br(head)
+	done.Here()
+	cda := c.GlobalAddr("data")
+	dv, _ := c.Load(cda, "data")
+	c.Print(dv)
+	c.Ret()
+	finish(t, c)
+
+	mb := ir.NewFuncBuilder(p, "main", 0)
+	t1 := mb.Fork("producer")
+	t2 := mb.Fork("consumer")
+	mb.Join(t1)
+	mb.Join(t2)
+	mb.Ret()
+	finish(t, mb)
+	mustLink(t, p)
+	return p
+}
+
+// outcomes runs the program across seeds and collects distinct output
+// tuples.
+func outcomes(t *testing.T, p *ir.Program, model memmodel.Model, flushProb float64, seeds int) map[[2]int64]int {
+	t.Helper()
+	got := map[[2]int64]int{}
+	for s := 0; s < seeds; s++ {
+		opts := DefaultOptions(int64(s))
+		opts.FlushProb = flushProb
+		res := Run(p, model, nil, opts)
+		if res.Violation != nil {
+			t.Fatalf("seed %d: unexpected violation: %v", s, res.Violation)
+		}
+		if res.StepLimitHit {
+			continue
+		}
+		if len(res.Output) != 2 {
+			t.Fatalf("seed %d: output %v", s, res.Output)
+		}
+		got[[2]int64{res.Output[0], res.Output[1]}]++
+	}
+	return got
+}
+
+func TestSBOutcomesTSO(t *testing.T) {
+	p := buildSB(t)
+	got := outcomes(t, p, memmodel.TSO, 0.2, 300)
+	if got[[2]int64{0, 0}] == 0 {
+		t.Error("TSO never produced the relaxed outcome (0,0) in 300 runs")
+	}
+	// SC-reachable outcomes must also appear.
+	if got[[2]int64{0, 1}]+got[[2]int64{1, 0}]+got[[2]int64{1, 1}] == 0 {
+		t.Error("TSO produced only the relaxed outcome, scheduler is not exploring")
+	}
+}
+
+func TestSBOutcomesSCNeverRelaxed(t *testing.T) {
+	p := buildSB(t)
+	got := outcomes(t, p, memmodel.SC, 0.2, 300)
+	if got[[2]int64{0, 0}] != 0 {
+		t.Errorf("SC produced the forbidden outcome (0,0) %d times", got[[2]int64{0, 0}])
+	}
+}
+
+func TestMPOutcomesPSO(t *testing.T) {
+	p := buildMP(t)
+	sawStale := false
+	sawFresh := false
+	for s := 0; s < 400; s++ {
+		opts := DefaultOptions(int64(s))
+		opts.FlushProb = 0.5
+		res := Run(p, memmodel.PSO, nil, opts)
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v", s, res.Violation)
+		}
+		if res.StepLimitHit {
+			continue
+		}
+		switch res.Output[0] {
+		case 0:
+			sawStale = true
+		case 42:
+			sawFresh = true
+		default:
+			t.Fatalf("impossible data value %d", res.Output[0])
+		}
+	}
+	if !sawStale {
+		t.Error("PSO never reordered data/flag stores in 400 runs")
+	}
+	if !sawFresh {
+		t.Error("PSO never delivered data before flag — scheduler stuck")
+	}
+}
+
+func TestMPOutcomesTSONeverStale(t *testing.T) {
+	p := buildMP(t)
+	for s := 0; s < 300; s++ {
+		res := Run(p, memmodel.TSO, nil, DefaultOptions(int64(s)))
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v", s, res.Violation)
+		}
+		if res.StepLimitHit {
+			continue
+		}
+		if res.Output[0] != 42 {
+			t.Fatalf("TSO let flag pass data: read %d (seed %d)", res.Output[0], s)
+		}
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	p := buildSB(t)
+	a := Run(p, memmodel.PSO, nil, DefaultOptions(7))
+	b := Run(p, memmodel.PSO, nil, DefaultOptions(7))
+	if a.Steps != b.Steps || len(a.Output) != len(b.Output) {
+		t.Fatalf("same seed diverged: %d/%v vs %d/%v", a.Steps, a.Output, b.Steps, b.Output)
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("same seed diverged at output %d", i)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFuncBuilder(p, "main", 0)
+	head := b.NextLabel()
+	one := b.Const(1)
+	_ = one
+	b.Br(head)
+	finish(t, b)
+	mustLink(t, p)
+	opts := DefaultOptions(1)
+	opts.MaxSteps = 500
+	res := Run(p, memmodel.TSO, nil, opts)
+	if !res.StepLimitHit {
+		t.Fatal("infinite loop did not hit step limit")
+	}
+	if res.Violation != nil {
+		t.Fatalf("step limit should not be a violation: %v", res.Violation)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// main joins itself: never ready.
+	p := ir.NewProgram()
+	b := ir.NewFuncBuilder(p, "main", 0)
+	self := b.Self()
+	b.Join(self)
+	b.Ret()
+	finish(t, b)
+	mustLink(t, p)
+	res := Run(p, memmodel.SC, nil, DefaultOptions(1))
+	if res.Violation == nil || res.Violation.Kind != interp.VDeadlock {
+		t.Fatalf("self-join not reported as deadlock: %v", res.Violation)
+	}
+}
+
+func TestLowFlushProbFindsMoreRelaxedOutcomes(t *testing.T) {
+	// The paper's Fig. 5 intuition: lower flush probability exposes more
+	// relaxed behaviour. Compare the rate of (0,0) outcomes for SB on TSO
+	// at flush probabilities 0.05 and 0.9.
+	p := buildSB(t)
+	low := outcomes(t, p, memmodel.TSO, 0.05, 300)[[2]int64{0, 0}]
+	high := outcomes(t, p, memmodel.TSO, 0.9, 300)[[2]int64{0, 0}]
+	if low <= high {
+		t.Errorf("relaxed outcomes: flushProb 0.05 gave %d, 0.9 gave %d — expected low < high to expose more", high, low)
+	}
+}
+
+func TestPOROffMatchesOnForSequential(t *testing.T) {
+	// A deterministic single-threaded program must produce the same result
+	// with and without POR.
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "acc", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	addr := b.GlobalAddr("acc")
+	i := b.Const(0)
+	lim := b.Const(20)
+	one := b.Const(1)
+	head := b.NextLabel()
+	c := b.BinOp(ir.BinLt, i, lim)
+	body, exit := b.CondBrF(c)
+	body.Here()
+	v, _ := b.Load(addr, "acc")
+	nv := b.BinOp(ir.BinAdd, v, i)
+	b.Store(addr, nv, "acc")
+	b.BinTo(i, ir.BinAdd, i, one)
+	b.Br(head)
+	exit.Here()
+	fin, _ := b.Load(addr, "acc")
+	b.RetVal(fin)
+	finish(t, b)
+	mustLink(t, p)
+
+	on := DefaultOptions(3)
+	off := DefaultOptions(3)
+	off.PORWindow = 0
+	ra := Run(p, memmodel.PSO, nil, on)
+	rb := Run(p, memmodel.PSO, nil, off)
+	if ra.ExitCode != 190 || rb.ExitCode != 190 {
+		t.Fatalf("sum wrong: POR on %d, off %d, want 190", ra.ExitCode, rb.ExitCode)
+	}
+	if ra.Steps >= rb.Steps {
+		// POR does not change step count for one thread (same transitions),
+		// so only check both finished correctly; no strict inequality.
+		t.Logf("steps: POR on %d, off %d", ra.Steps, rb.Steps)
+	}
+}
+
+// --- priority (PCT-style) strategy ---
+
+func TestPriorityStrategyCompletesPrograms(t *testing.T) {
+	p := buildSB(t)
+	for s := int64(0); s < 100; s++ {
+		opts := DefaultOptions(s)
+		opts.Strategy = Priority
+		res := Run(p, memmodel.PSO, nil, opts)
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v", s, res.Violation)
+		}
+		if res.StepLimitHit {
+			t.Fatalf("seed %d: step limit", s)
+		}
+		if len(res.Output) != 2 {
+			t.Fatalf("seed %d: output %v", s, res.Output)
+		}
+	}
+}
+
+func TestPriorityStrategyDeterministic(t *testing.T) {
+	p := buildMP(t)
+	opts := DefaultOptions(11)
+	opts.Strategy = Priority
+	a := Run(p, memmodel.PSO, nil, opts)
+	b := Run(p, memmodel.PSO, nil, opts)
+	if a.Steps != b.Steps || len(a.Output) != len(b.Output) {
+		t.Fatalf("priority strategy nondeterministic: %d vs %d steps", a.Steps, b.Steps)
+	}
+}
+
+func TestPriorityStrategyFindsRelaxedOutcomes(t *testing.T) {
+	p := buildSB(t)
+	found := false
+	for s := int64(0); s < 400 && !found; s++ {
+		opts := DefaultOptions(s)
+		opts.Strategy = Priority
+		opts.FlushProb = 0.2
+		res := Run(p, memmodel.TSO, nil, opts)
+		if res.Violation != nil || res.StepLimitHit {
+			continue
+		}
+		if res.Output[0] == 0 && res.Output[1] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("priority scheduler never exposed the TSO store-buffering outcome")
+	}
+}
+
+func TestPriorityStrategyPreservesSC(t *testing.T) {
+	p := buildSB(t)
+	for s := int64(0); s < 200; s++ {
+		opts := DefaultOptions(s)
+		opts.Strategy = Priority
+		res := Run(p, memmodel.SC, nil, opts)
+		if res.StepLimitHit || res.Violation != nil {
+			continue
+		}
+		if res.Output[0] == 0 && res.Output[1] == 0 {
+			t.Fatalf("seed %d: priority scheduler produced a non-SC outcome under SC", s)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Random.String() != "random" || Priority.String() != "priority" {
+		t.Error("strategy names wrong")
+	}
+}

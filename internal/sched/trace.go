@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// Decision is one scheduling choice: which thread acted and whether it
+// flushed (and which address) or executed instructions.
+type Decision struct {
+	Thread int
+	Flush  bool
+	Addr   int64 // flushed address (PSO); ignored for execution steps
+	// Steps is the number of consecutive execution steps taken (the POR
+	// burst length); 1 for flushes.
+	Steps int
+}
+
+// Trace is a complete schedule of one execution: replaying it against the
+// same program and memory model reproduces the execution exactly. DFENCE
+// uses traces as violation witnesses — a failing schedule the user can
+// re-run and inspect.
+type Trace struct {
+	Model     memmodel.Model
+	Decisions []Decision
+}
+
+// String renders the schedule compactly: "t0×5 t1⤓x t1×2 ...".
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%v]", tr.Model)
+	for _, d := range tr.Decisions {
+		if d.Flush {
+			fmt.Fprintf(&b, " t%d⤓%d", d.Thread, d.Addr)
+		} else {
+			fmt.Fprintf(&b, " t%d×%d", d.Thread, d.Steps)
+		}
+	}
+	return b.String()
+}
+
+// Len returns the number of decisions.
+func (tr *Trace) Len() int { return len(tr.Decisions) }
+
+// record appends a decision, merging consecutive execution bursts by the
+// same thread.
+func (tr *Trace) record(thread int, flush bool, addr int64) {
+	if !flush && len(tr.Decisions) > 0 {
+		last := &tr.Decisions[len(tr.Decisions)-1]
+		if !last.Flush && last.Thread == thread {
+			last.Steps++
+			return
+		}
+	}
+	d := Decision{Thread: thread, Flush: flush, Addr: addr, Steps: 1}
+	tr.Decisions = append(tr.Decisions, d)
+}
+
+// RunTraced is Run but additionally records the schedule, returning it
+// alongside the result.
+func RunTraced(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (*interp.Result, *Trace) {
+	tr := &Trace{Model: model}
+	res := run(prog, model, obs, opts, tr)
+	return res, tr
+}
+
+// Replay re-executes a recorded schedule. The program and model must be
+// the ones the trace was recorded against; the result is bit-identical to
+// the recorded execution. Replaying against a modified program (e.g. with
+// a fence inserted) is allowed — the schedule is followed best-effort and
+// stops cleanly when a decision no longer applies (the fence changed the
+// enabled set), reporting ok=false.
+func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Result, ok bool) {
+	m := interp.NewMachine(prog, tr.Model, obs)
+	for _, d := range tr.Decisions {
+		if d.Thread >= len(m.Threads()) {
+			return m.Result(false), false
+		}
+		if d.Flush {
+			if !m.CanFlush(d.Thread) {
+				return m.Result(false), false
+			}
+			m.FlushOne(d.Thread, d.Addr)
+			continue
+		}
+		for i := 0; i < d.Steps; i++ {
+			if m.Violation() != nil {
+				return m.Result(false), true // reproduced the violation
+			}
+			if !m.CanExec(d.Thread) && !m.CanFlush(d.Thread) {
+				return m.Result(false), false
+			}
+			m.StepThread(d.Thread)
+		}
+	}
+	// Drain any remainder deterministically (round-robin) so the result is
+	// complete even if the trace was cut at the violation.
+	for guard := 0; !m.Done() && guard < 1_000_000; guard++ {
+		moved := false
+		for tid := 0; tid < len(m.Threads()); tid++ {
+			if m.CanExec(tid) {
+				m.StepThread(tid)
+				moved = true
+				break
+			}
+			if m.CanFlush(tid) {
+				pend := m.Threads()[tid].Buffers().PendingAddrs()
+				m.FlushOne(tid, pend[0])
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return m.Result(false), true
+}

@@ -1,0 +1,220 @@
+package spec
+
+import (
+	"strconv"
+	"strings"
+)
+
+// IsSequentiallyConsistent reports whether the completed operations admit
+// an interleaving that preserves each thread's program order and is
+// accepted by the sequential specification (operation-level sequential
+// consistency). newSpec constructs a fresh specification state.
+//
+// The search enumerates sequentializations with memoization on
+// (per-thread progress vector, specification state) — the worst case is
+// exponential in history length (paper §6.4), which is why clients keep
+// executions short.
+func IsSequentiallyConsistent(ops []Op, newSpec func() Sequential) bool {
+	return check(ops, newSpec, false)
+}
+
+// IsLinearizable reports whether the completed operations admit a
+// sequentialization that preserves both program order and the real-time
+// order between non-overlapping operations (Herlihy & Wing; the Wing–Gong
+// style search).
+func IsLinearizable(ops []Op, newSpec func() Sequential) bool {
+	return check(ops, newSpec, true)
+}
+
+func check(ops []Op, newSpec func() Sequential, realTime bool) bool {
+	byThread, threads := PerThread(ops)
+	queues := make([][]Op, len(threads))
+	for i, t := range threads {
+		queues[i] = byThread[t]
+	}
+	idx := make([]int, len(queues))
+	memo := make(map[string]bool)
+	return dfs(queues, idx, newSpec(), memo, realTime)
+}
+
+// dfs explores the next operation choices. memo records failed states.
+func dfs(queues [][]Op, idx []int, state Sequential, memo map[string]bool, realTime bool) bool {
+	done := true
+	for i := range queues {
+		if idx[i] < len(queues[i]) {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	key := stateKey(idx, state)
+	if memo[key] {
+		return false // known dead end
+	}
+
+	for i := range queues {
+		if idx[i] >= len(queues[i]) {
+			continue
+		}
+		op := queues[i][idx[i]]
+		if realTime && !minimalInRealTime(queues, idx, i, op) {
+			continue
+		}
+		next := state.Clone()
+		if !next.Apply(op) {
+			continue
+		}
+		idx[i]++
+		if dfs(queues, idx, next, memo, realTime) {
+			idx[i]--
+			return true
+		}
+		idx[i]--
+	}
+	memo[key] = true
+	return false
+}
+
+// minimalInRealTime reports whether op may be linearized next: no other
+// unchosen operation completed before op was invoked. Each thread's
+// unchosen operations are in program order, so only each thread's next
+// operation can precede op in real time.
+func minimalInRealTime(queues [][]Op, idx []int, self int, op Op) bool {
+	for j := range queues {
+		if j == self || idx[j] >= len(queues[j]) {
+			continue
+		}
+		if queues[j][idx[j]].Res < op.Inv {
+			return false
+		}
+	}
+	return true
+}
+
+func stateKey(idx []int, state Sequential) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(':')
+	}
+	b.WriteByte('|')
+	b.WriteString(state.Key())
+	return b.String()
+}
+
+// RelaxStealAborts rewrites every steal()=EMPTY operation that overlaps
+// (in real time) another take or steal into a no-op "aborted steal". The
+// published work-stealing algorithms return ABORT from steal when they
+// lose a race with a concurrent remover (Chase-Lev's CAS failure, THE's
+// handshake): a contended steal that gives up is not claiming the deque
+// was empty. A steal()=EMPTY with no overlapping remover really is an
+// emptiness claim and stays strict — which is exactly the paper's Fig. 2c
+// linearizability violation. Removal-free histories are unaffected.
+func RelaxStealAborts(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	for i := range out {
+		o := &out[i]
+		if o.Name != "steal" || !o.HasRet || o.Ret != EmptyVal {
+			continue
+		}
+		// Scan partners in the ORIGINAL ops so that two mutually
+		// overlapping empty steals both relax.
+		for j := range ops {
+			if j == i {
+				continue
+			}
+			p := &ops[j]
+			if p.Name != "steal" && p.Name != "take" {
+				continue
+			}
+			// overlap: neither completes before the other starts
+			if p.Res > o.Inv && o.Res > p.Inv {
+				o.Name = "steal_abort"
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NoGarbage checks the idempotent-WSQ safety property used for the iWSQ
+// benchmarks under the Memory Safety column of Table 3: every non-EMPTY
+// value returned by take or steal must have been an argument of some put
+// in the history ("no garbage tasks returned"). Idempotent semantics allow
+// a task to be returned more than once, so no uniqueness is required.
+func NoGarbage(ops []Op) bool {
+	puts := make(map[int64]bool)
+	for _, o := range ops {
+		if o.Name == "put" && len(o.Args) == 1 {
+			puts[o.Args[0]] = true
+		}
+	}
+	for _, o := range ops {
+		if (o.Name == "take" || o.Name == "steal") && o.HasRet && o.Ret != EmptyVal {
+			if !puts[o.Ret] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Criterion selects which history check an analysis runs.
+type Criterion uint8
+
+const (
+	// MemorySafety checks only interpreter-detected violations (plus
+	// NoGarbage for the idempotent WSQs); histories are not sequentialized.
+	MemorySafety Criterion = iota
+	// SeqConsistency is operation-level sequential consistency.
+	SeqConsistency
+	// Linearizability is Herlihy/Wing linearizability.
+	Linearizability
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case MemorySafety:
+		return "memory-safety"
+	case SeqConsistency:
+		return "sequential-consistency"
+	case Linearizability:
+		return "linearizability"
+	}
+	return "criterion(?)"
+}
+
+// ParseCriterion converts a name ("safety", "sc", "lin") to a Criterion.
+func ParseCriterion(s string) (Criterion, bool) {
+	switch strings.ToLower(s) {
+	case "safety", "memsafety", "memory-safety":
+		return MemorySafety, true
+	case "sc", "sequential-consistency":
+		return SeqConsistency, true
+	case "lin", "linearizability":
+		return Linearizability, true
+	}
+	return MemorySafety, false
+}
+
+// Check applies the criterion to a history: MemorySafety always passes
+// here (interpreter faults are judged separately); SC and linearizability
+// run the sequentialization search. checkGarbage additionally applies
+// NoGarbage (used for idempotent WSQs).
+func Check(c Criterion, ops []Op, newSpec func() Sequential, checkGarbage bool) bool {
+	if checkGarbage && !NoGarbage(ops) {
+		return false
+	}
+	switch c {
+	case MemorySafety:
+		return true
+	case SeqConsistency:
+		return IsSequentiallyConsistent(ops, newSpec)
+	case Linearizability:
+		return IsLinearizable(ops, newSpec)
+	}
+	return true
+}

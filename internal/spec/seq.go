@@ -1,0 +1,353 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sequential is an executable sequential specification (paper §5.2:
+// "Checking linearizability or sequential consistency requires a semantic
+// sequential specification of the algorithm"). Apply checks whether the
+// given completed operation, with its recorded return value, is legal in
+// the current state and advances the state if so. Specifications are
+// reusable across algorithms: the Deque spec below validates all five
+// WSQs, the Queue spec both Michael-Scott queues, and so on.
+type Sequential interface {
+	// Apply returns whether op (with its recorded result) is legal here,
+	// mutating the state if legal. If illegal the state is unchanged.
+	Apply(op Op) bool
+	// Clone returns an independent copy.
+	Clone() Sequential
+	// Key returns a canonical encoding of the state for memoization.
+	Key() string
+}
+
+// --- work-stealing deque ---
+
+// Deque is the sequential specification of a work-stealing queue:
+// put(v) pushes at the tail; take() pops the tail; steal() pops the head;
+// take and steal return EmptyVal on an empty deque.
+type Deque struct {
+	items []int64
+}
+
+// NewDeque returns an empty deque specification.
+func NewDeque() Sequential { return &Deque{} }
+
+// Apply implements Sequential.
+func (d *Deque) Apply(op Op) bool {
+	switch op.Name {
+	case "steal_abort":
+		return true // aborted steal (see RelaxStealAborts): no effect
+	case "put":
+		if len(op.Args) != 1 {
+			return false
+		}
+		d.items = append(d.items, op.Args[0])
+		return true
+	case "take":
+		if !op.HasRet {
+			return false
+		}
+		if len(d.items) == 0 {
+			return op.Ret == EmptyVal
+		}
+		if op.Ret != d.items[len(d.items)-1] {
+			return false
+		}
+		d.items = d.items[:len(d.items)-1]
+		return true
+	case "steal":
+		if !op.HasRet {
+			return false
+		}
+		if len(d.items) == 0 {
+			return op.Ret == EmptyVal
+		}
+		if op.Ret != d.items[0] {
+			return false
+		}
+		d.items = d.items[1:]
+		return true
+	}
+	return false
+}
+
+// Clone implements Sequential.
+func (d *Deque) Clone() Sequential {
+	return &Deque{items: append([]int64(nil), d.items...)}
+}
+
+// Key implements Sequential.
+func (d *Deque) Key() string { return encodeInts(d.items) }
+
+// --- WSQ end-discipline variants ---
+
+// WSQDiscipline configures which end take and steal remove from, covering
+// the three work-stealing families of the paper's Table 2: the double-
+// ended discipline (Chase-Lev, THE, Anchor WSQ: take at the tail, steal at
+// the head), the LIFO discipline (put/take/steal all at the tail), and the
+// FIFO discipline (put at the tail, take and steal at the head).
+type WSQDiscipline struct {
+	items       []int64
+	takeAtHead  bool // take pops the head instead of the tail
+	stealAtHead bool
+}
+
+// NewLIFOWSQ returns the spec where put/take/steal all work at the tail.
+func NewLIFOWSQ() Sequential { return &WSQDiscipline{} }
+
+// NewFIFOWSQ returns the spec where take and steal both work at the head.
+func NewFIFOWSQ() Sequential { return &WSQDiscipline{takeAtHead: true, stealAtHead: true} }
+
+// Apply implements Sequential.
+func (w *WSQDiscipline) Apply(op Op) bool {
+	switch op.Name {
+	case "steal_abort":
+		return true // aborted steal (see RelaxStealAborts): no effect
+	case "put":
+		if len(op.Args) != 1 {
+			return false
+		}
+		w.items = append(w.items, op.Args[0])
+		return true
+	case "take", "steal":
+		if !op.HasRet {
+			return false
+		}
+		head := w.takeAtHead
+		if op.Name == "steal" {
+			head = w.stealAtHead
+		}
+		if len(w.items) == 0 {
+			return op.Ret == EmptyVal
+		}
+		if head {
+			if op.Ret != w.items[0] {
+				return false
+			}
+			w.items = w.items[1:]
+		} else {
+			if op.Ret != w.items[len(w.items)-1] {
+				return false
+			}
+			w.items = w.items[:len(w.items)-1]
+		}
+		return true
+	}
+	return false
+}
+
+// Clone implements Sequential.
+func (w *WSQDiscipline) Clone() Sequential {
+	return &WSQDiscipline{
+		items:       append([]int64(nil), w.items...),
+		takeAtHead:  w.takeAtHead,
+		stealAtHead: w.stealAtHead,
+	}
+}
+
+// Key implements Sequential.
+func (w *WSQDiscipline) Key() string { return encodeInts(w.items) }
+
+// --- FIFO queue ---
+
+// Queue is the sequential specification of a FIFO queue: enqueue(v) at the
+// tail, dequeue() from the head returning EmptyVal when empty.
+type Queue struct {
+	items []int64
+}
+
+// NewQueue returns an empty queue specification.
+func NewQueue() Sequential { return &Queue{} }
+
+// Apply implements Sequential.
+func (q *Queue) Apply(op Op) bool {
+	switch op.Name {
+	case "enqueue":
+		if len(op.Args) != 1 {
+			return false
+		}
+		q.items = append(q.items, op.Args[0])
+		return true
+	case "dequeue":
+		if !op.HasRet {
+			return false
+		}
+		if len(q.items) == 0 {
+			return op.Ret == EmptyVal
+		}
+		if op.Ret != q.items[0] {
+			return false
+		}
+		q.items = q.items[1:]
+		return true
+	}
+	return false
+}
+
+// Clone implements Sequential.
+func (q *Queue) Clone() Sequential {
+	return &Queue{items: append([]int64(nil), q.items...)}
+}
+
+// Key implements Sequential.
+func (q *Queue) Key() string { return encodeInts(q.items) }
+
+// --- set ---
+
+// Set is the sequential specification of a set of integers: add(v) returns
+// 1 if v was absent (and inserts it), remove(v) returns 1 if v was present
+// (and deletes it), contains(v) returns 1 iff present.
+type Set struct {
+	members map[int64]bool
+}
+
+// NewSet returns an empty set specification.
+func NewSet() Sequential { return &Set{members: map[int64]bool{}} }
+
+// Apply implements Sequential.
+func (s *Set) Apply(op Op) bool {
+	if len(op.Args) != 1 || !op.HasRet {
+		return false
+	}
+	v := op.Args[0]
+	switch op.Name {
+	case "add":
+		if s.members[v] {
+			return op.Ret == 0
+		}
+		if op.Ret != 1 {
+			return false
+		}
+		s.members[v] = true
+		return true
+	case "remove":
+		if !s.members[v] {
+			return op.Ret == 0
+		}
+		if op.Ret != 1 {
+			return false
+		}
+		delete(s.members, v)
+		return true
+	case "contains":
+		want := int64(0)
+		if s.members[v] {
+			want = 1
+		}
+		return op.Ret == want
+	}
+	return false
+}
+
+// Clone implements Sequential.
+func (s *Set) Clone() Sequential {
+	m := make(map[int64]bool, len(s.members))
+	for k, v := range s.members {
+		m[k] = v
+	}
+	return &Set{members: m}
+}
+
+// Key implements Sequential.
+func (s *Set) Key() string {
+	keys := make([]int64, 0, len(s.members))
+	for k := range s.members {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return encodeInts(keys)
+}
+
+// --- memory allocator ---
+
+// Alloc is the sequential specification of a memory allocator: malloc(sz)
+// must return an address not currently allocated (0 signals exhaustion and
+// is always legal), free(p) requires p to be a live allocation. This
+// captures the §6.7 correctness notion: no two live blocks may share an
+// address (a duplicate allocation is the allocator analogue of a lost
+// update).
+type Alloc struct {
+	live map[int64]bool
+}
+
+// NewAlloc returns an allocator specification with no live blocks.
+func NewAlloc() Sequential { return &Alloc{live: map[int64]bool{}} }
+
+// Apply implements Sequential.
+func (a *Alloc) Apply(op Op) bool {
+	switch op.Name {
+	case "malloc":
+		if !op.HasRet {
+			return false
+		}
+		if op.Ret == 0 {
+			return true // exhaustion is always a legal answer
+		}
+		if a.live[op.Ret] {
+			return false // duplicate allocation
+		}
+		a.live[op.Ret] = true
+		return true
+	case "free":
+		if len(op.Args) != 1 {
+			return false
+		}
+		p := op.Args[0]
+		if !a.live[p] {
+			return false
+		}
+		delete(a.live, p)
+		return true
+	}
+	return false
+}
+
+// Clone implements Sequential.
+func (a *Alloc) Clone() Sequential {
+	m := make(map[int64]bool, len(a.live))
+	for k, v := range a.live {
+		m[k] = v
+	}
+	return &Alloc{live: m}
+}
+
+// Key implements Sequential.
+func (a *Alloc) Key() string {
+	keys := make([]int64, 0, len(a.live))
+	for k := range a.live {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return encodeInts(keys)
+}
+
+func encodeInts(vs []int64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// ByName returns a fresh-spec constructor by specification name
+// ("deque", "queue", "set", "alloc").
+func ByName(name string) (func() Sequential, error) {
+	switch name {
+	case "deque":
+		return NewDeque, nil
+	case "wsq-lifo":
+		return NewLIFOWSQ, nil
+	case "wsq-fifo":
+		return NewFIFOWSQ, nil
+	case "queue":
+		return NewQueue, nil
+	case "set":
+		return NewSet, nil
+	case "alloc":
+		return NewAlloc, nil
+	}
+	return nil, fmt.Errorf("spec: unknown sequential specification %q", name)
+}

@@ -1,0 +1,421 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfence/internal/interp"
+)
+
+// op builds a completed operation with explicit event indices.
+func op(thread int, name string, inv, res int, args []int64, ret int64, hasRet bool) Op {
+	return Op{Thread: thread, Name: name, Args: args, Ret: ret, HasRet: hasRet, Inv: inv, Res: res}
+}
+
+// serialOps lays out the given ops back to back (non-overlapping, in
+// order), assigning event indices.
+func serialOps(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	for i, o := range ops {
+		o.Inv = 2 * i
+		o.Res = 2*i + 1
+		out[i] = o
+	}
+	return out
+}
+
+func TestCompleteOpsPairing(t *testing.T) {
+	events := []interp.Event{
+		{Kind: interp.EventInvoke, Thread: 1, Op: "put", Args: []int64{5}},
+		{Kind: interp.EventInvoke, Thread: 2, Op: "steal"},
+		{Kind: interp.EventResponse, Thread: 1, Op: "put"},
+		{Kind: interp.EventResponse, Thread: 2, Op: "steal", Ret: 5, HasRet: true},
+		{Kind: interp.EventInvoke, Thread: 1, Op: "take"}, // never returns
+	}
+	ops := CompleteOps(events)
+	if len(ops) != 2 {
+		t.Fatalf("got %d completed ops, want 2: %v", len(ops), ops)
+	}
+	if ops[0].Name != "put" || ops[0].Inv != 0 || ops[0].Res != 2 {
+		t.Errorf("put op wrong: %+v", ops[0])
+	}
+	if ops[1].Name != "steal" || ops[1].Ret != 5 || ops[1].Inv != 1 || ops[1].Res != 3 {
+		t.Errorf("steal op wrong: %+v", ops[1])
+	}
+}
+
+// --- sequential specifications ---
+
+func TestDequeSpecSerial(t *testing.T) {
+	d := NewDeque()
+	steps := []struct {
+		op   Op
+		want bool
+	}{
+		{op(0, "put", 0, 1, []int64{1}, 0, false), true},
+		{op(0, "put", 2, 3, []int64{2}, 0, false), true},
+		{op(0, "take", 4, 5, nil, 2, true), true},  // tail
+		{op(1, "steal", 6, 7, nil, 1, true), true}, // head
+		{op(1, "steal", 8, 9, nil, EmptyVal, true), true},
+		{op(0, "take", 10, 11, nil, 7, true), false}, // garbage
+	}
+	for i, s := range steps {
+		if got := d.Apply(s.op); got != s.want {
+			t.Errorf("step %d (%v): Apply = %v, want %v", i, s.op, got, s.want)
+		}
+	}
+}
+
+func TestDequeTakeWrongEnd(t *testing.T) {
+	d := NewDeque()
+	d.Apply(op(0, "put", 0, 1, []int64{1}, 0, false))
+	d.Apply(op(0, "put", 2, 3, []int64{2}, 0, false))
+	if d.Apply(op(0, "take", 4, 5, nil, 1, true)) {
+		t.Error("take returned the head of a two-element deque; spec accepted it")
+	}
+}
+
+func TestQueueSpecFIFO(t *testing.T) {
+	q := NewQueue()
+	if !q.Apply(op(0, "enqueue", 0, 1, []int64{1}, 0, false)) {
+		t.Fatal("enqueue rejected")
+	}
+	if !q.Apply(op(0, "enqueue", 2, 3, []int64{2}, 0, false)) {
+		t.Fatal("enqueue rejected")
+	}
+	if q.Apply(op(1, "dequeue", 4, 5, nil, 2, true)) {
+		t.Error("LIFO dequeue accepted by FIFO spec")
+	}
+	if !q.Apply(op(1, "dequeue", 4, 5, nil, 1, true)) {
+		t.Error("FIFO dequeue rejected")
+	}
+	if !q.Apply(op(1, "dequeue", 6, 7, nil, 2, true)) {
+		t.Error("second dequeue rejected")
+	}
+	if !q.Apply(op(1, "dequeue", 8, 9, nil, EmptyVal, true)) {
+		t.Error("empty dequeue must return EMPTY")
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	s := NewSet()
+	cases := []struct {
+		name string
+		v    int64
+		ret  int64
+		want bool
+	}{
+		{"contains", 3, 0, true},
+		{"add", 3, 1, true},
+		{"add", 3, 1, false}, // duplicate add must return 0
+		{"add", 3, 0, true},
+		{"contains", 3, 1, true},
+		{"remove", 3, 1, true},
+		{"remove", 3, 1, false},
+		{"remove", 3, 0, true},
+	}
+	for i, c := range cases {
+		o := op(0, c.name, 2*i, 2*i+1, []int64{c.v}, c.ret, true)
+		if got := s.Apply(o); got != c.want {
+			t.Errorf("step %d %s(%d)=%d: Apply = %v, want %v", i, c.name, c.v, c.ret, got, c.want)
+		}
+	}
+}
+
+func TestAllocSpec(t *testing.T) {
+	a := NewAlloc()
+	if !a.Apply(op(0, "malloc", 0, 1, []int64{8}, 100, true)) {
+		t.Fatal("malloc rejected")
+	}
+	if a.Apply(op(1, "malloc", 2, 3, []int64{8}, 100, true)) {
+		t.Error("duplicate allocation accepted")
+	}
+	if !a.Apply(op(1, "malloc", 2, 3, []int64{8}, 0, true)) {
+		t.Error("exhaustion (0) rejected")
+	}
+	if a.Apply(op(0, "free", 4, 5, []int64{200}, 0, false)) {
+		t.Error("free of never-allocated pointer accepted")
+	}
+	if !a.Apply(op(0, "free", 4, 5, []int64{100}, 0, false)) {
+		t.Error("valid free rejected")
+	}
+	if !a.Apply(op(1, "malloc", 6, 7, []int64{8}, 100, true)) {
+		t.Error("re-allocation after free rejected")
+	}
+}
+
+// --- the paper's Figure 2 histories ---
+
+// Fig. 2a: queue holds one element (put(1) completed); then take()->1 and
+// steal()->1 both return the same element. Not SC.
+func TestFig2aNotSC(t *testing.T) {
+	ops := []Op{
+		op(1, "put", 0, 1, []int64{1}, 0, false),
+		op(1, "take", 2, 5, nil, 1, true),
+		op(2, "steal", 3, 4, nil, 1, true),
+	}
+	if IsSequentiallyConsistent(ops, NewDeque) {
+		t.Error("duplicate extraction judged SC")
+	}
+	if IsLinearizable(ops, NewDeque) {
+		t.Error("duplicate extraction judged linearizable")
+	}
+}
+
+// Fig. 2b: put(1) completes, concurrent steal returns 0 — a value never
+// put (uninitialized read). Not SC.
+func TestFig2bNotSC(t *testing.T) {
+	ops := []Op{
+		op(1, "put", 0, 2, []int64{1}, 0, false),
+		op(2, "steal", 1, 3, nil, 0, true),
+	}
+	if IsSequentiallyConsistent(ops, NewDeque) {
+		t.Error("garbage steal judged SC")
+	}
+	if NoGarbage(ops) {
+		t.Error("NoGarbage accepted a stolen value that was never put")
+	}
+}
+
+// Fig. 2c: put(1) completes strictly before steal() returns EMPTY. SC
+// holds (steal may be reordered before put) but linearizability fails
+// (real-time order pins put first).
+func TestFig2cSCButNotLinearizable(t *testing.T) {
+	ops := []Op{
+		op(1, "put", 0, 1, []int64{1}, 0, false),
+		op(2, "steal", 2, 3, nil, EmptyVal, true),
+	}
+	if !IsSequentiallyConsistent(ops, NewDeque) {
+		t.Error("empty steal after put judged not SC; SC permits commuting them")
+	}
+	if IsLinearizable(ops, NewDeque) {
+		t.Error("empty steal after completed put judged linearizable")
+	}
+}
+
+// Overlapping version of 2c: if put and steal overlap, EMPTY is fine even
+// for linearizability.
+func TestOverlappingEmptyStealLinearizable(t *testing.T) {
+	ops := []Op{
+		op(1, "put", 0, 3, []int64{1}, 0, false),
+		op(2, "steal", 1, 2, nil, EmptyVal, true),
+	}
+	if !IsLinearizable(ops, NewDeque) {
+		t.Error("overlapping empty steal judged non-linearizable")
+	}
+}
+
+func TestSerialHistoryAlwaysValid(t *testing.T) {
+	ops := serialOps([]Op{
+		{Thread: 0, Name: "put", Args: []int64{1}},
+		{Thread: 0, Name: "put", Args: []int64{2}},
+		{Thread: 1, Name: "steal", Ret: 1, HasRet: true},
+		{Thread: 0, Name: "take", Ret: 2, HasRet: true},
+		{Thread: 1, Name: "steal", Ret: EmptyVal, HasRet: true},
+	})
+	if !IsSequentiallyConsistent(ops, NewDeque) {
+		t.Error("valid serial history rejected by SC")
+	}
+	if !IsLinearizable(ops, NewDeque) {
+		t.Error("valid serial history rejected by linearizability")
+	}
+}
+
+// --- property tests ---
+
+// genSerialDequeHistory produces a random valid serial deque history.
+func genSerialDequeHistory(rng *rand.Rand, n int) []Op {
+	spec := NewDeque().(*Deque)
+	var ops []Op
+	next := int64(1)
+	for i := 0; i < n; i++ {
+		thread := rng.Intn(3)
+		var o Op
+		switch rng.Intn(3) {
+		case 0:
+			o = Op{Thread: 0, Name: "put", Args: []int64{next}}
+			next++
+		case 1:
+			ret := int64(EmptyVal)
+			if len(spec.items) > 0 {
+				ret = spec.items[len(spec.items)-1]
+			}
+			o = Op{Thread: 0, Name: "take", Ret: ret, HasRet: true}
+		default:
+			ret := int64(EmptyVal)
+			if len(spec.items) > 0 {
+				ret = spec.items[0]
+			}
+			o = Op{Thread: 1 + thread%2, Name: "steal", Ret: ret, HasRet: true}
+		}
+		o.Inv = 2 * i
+		o.Res = 2*i + 1
+		if !spec.Apply(o) {
+			panic("generator produced illegal op")
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// Property: serial histories generated by executing the spec are both SC
+// and linearizable; linearizability implies SC on every history we try.
+func TestQuickSerialHistoriesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genSerialDequeHistory(rng, 2+rng.Intn(10))
+		return IsSequentiallyConsistent(ops, NewDeque) && IsLinearizable(ops, NewDeque)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearizable implies sequentially consistent (we perturb event
+// indices to create overlaps, preserving per-thread order).
+func TestQuickLinImpliesSC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genSerialDequeHistory(rng, 2+rng.Intn(8))
+		// Stretch some response times to create overlap (keeps a valid
+		// linearization: the original order).
+		for i := range ops {
+			ops[i].Res += rng.Intn(4)
+		}
+		if IsLinearizable(ops, NewDeque) && !IsSequentiallyConsistent(ops, NewDeque) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: corrupting a non-EMPTY return value of a serial history makes
+// it non-SC (the value 999 is never put).
+func TestQuickGarbageValueRejected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genSerialDequeHistory(rng, 3+rng.Intn(8))
+		// find an op with a real return
+		cand := -1
+		for i, o := range ops {
+			if o.HasRet && o.Ret != EmptyVal {
+				cand = i
+				break
+			}
+		}
+		if cand < 0 {
+			return true // nothing to corrupt
+		}
+		ops[cand].Ret = 999
+		return !IsSequentiallyConsistent(ops, NewDeque)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoGarbage(t *testing.T) {
+	good := serialOps([]Op{
+		{Thread: 0, Name: "put", Args: []int64{4}},
+		{Thread: 1, Name: "steal", Ret: 4, HasRet: true},
+		{Thread: 1, Name: "steal", Ret: 4, HasRet: true}, // duplicate ok (idempotent)
+		{Thread: 0, Name: "take", Ret: EmptyVal, HasRet: true},
+	})
+	if !NoGarbage(good) {
+		t.Error("idempotent duplicate flagged as garbage")
+	}
+	bad := serialOps([]Op{
+		{Thread: 0, Name: "put", Args: []int64{4}},
+		{Thread: 1, Name: "steal", Ret: 5, HasRet: true},
+	})
+	if NoGarbage(bad) {
+		t.Error("garbage value accepted")
+	}
+}
+
+func TestParseCriterion(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Criterion
+		ok   bool
+	}{
+		{"sc", SeqConsistency, true},
+		{"lin", Linearizability, true},
+		{"safety", MemorySafety, true},
+		{"bogus", MemorySafety, false},
+	} {
+		got, ok := ParseCriterion(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseCriterion(%q) = %v,%v", c.in, got, ok)
+		}
+	}
+}
+
+func TestCheckDispatch(t *testing.T) {
+	ops := []Op{
+		op(1, "put", 0, 1, []int64{1}, 0, false),
+		op(2, "steal", 2, 3, nil, EmptyVal, true),
+	}
+	if !Check(MemorySafety, ops, NewDeque, false) {
+		t.Error("MemorySafety must pass on any history")
+	}
+	if !Check(SeqConsistency, ops, NewDeque, false) {
+		t.Error("SC check failed on Fig. 2c history")
+	}
+	if Check(Linearizability, ops, NewDeque, false) {
+		t.Error("linearizability check passed on Fig. 2c history")
+	}
+	garbage := []Op{op(2, "steal", 0, 1, nil, 9, true)}
+	if Check(MemorySafety, garbage, NewDeque, true) {
+		t.Error("garbage check not applied")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"deque", "queue", "set", "alloc"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("stack"); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestMemoizationHandlesLargerHistories(t *testing.T) {
+	// 3 threads x 6 ops each of a valid interleaving: must finish fast.
+	var ops []Op
+	ev := 0
+	spec := NewQueue().(*Queue)
+	for i := 0; i < 6; i++ {
+		for th := 0; th < 3; th++ {
+			var o Op
+			if th == 0 {
+				o = Op{Thread: th, Name: "enqueue", Args: []int64{int64(i + 1)}}
+			} else {
+				ret := int64(EmptyVal)
+				if len(spec.items) > 0 {
+					ret = spec.items[0]
+				}
+				o = Op{Thread: th, Name: "dequeue", Ret: ret, HasRet: true}
+			}
+			o.Inv = ev
+			o.Res = ev + 1
+			ev += 2
+			if !spec.Apply(o) {
+				t.Fatal("generator bug")
+			}
+			ops = append(ops, o)
+		}
+	}
+	if !IsSequentiallyConsistent(ops, NewQueue) {
+		t.Error("valid queue history rejected")
+	}
+	if !IsLinearizable(ops, NewQueue) {
+		t.Error("valid queue history rejected by lin")
+	}
+}

@@ -1,0 +1,130 @@
+package spec
+
+import "testing"
+
+func TestLIFOWSQDiscipline(t *testing.T) {
+	s := NewLIFOWSQ()
+	steps := []struct {
+		op   Op
+		want bool
+	}{
+		{op(0, "put", 0, 1, []int64{1}, 0, false), true},
+		{op(0, "put", 2, 3, []int64{2}, 0, false), true},
+		// LIFO: take AND steal pop the tail.
+		{op(1, "steal", 4, 5, nil, 2, true), true},
+		{op(0, "take", 6, 7, nil, 1, true), true},
+		{op(0, "take", 8, 9, nil, EmptyVal, true), true},
+	}
+	for i, c := range steps {
+		if got := s.Apply(c.op); got != c.want {
+			t.Errorf("step %d (%v): %v, want %v", i, c.op, got, c.want)
+		}
+	}
+	// steal of the head is illegal under LIFO.
+	s2 := NewLIFOWSQ()
+	s2.Apply(op(0, "put", 0, 1, []int64{1}, 0, false))
+	s2.Apply(op(0, "put", 2, 3, []int64{2}, 0, false))
+	if s2.Apply(op(1, "steal", 4, 5, nil, 1, true)) {
+		t.Error("LIFO steal returned the head; spec accepted it")
+	}
+}
+
+func TestFIFOWSQDiscipline(t *testing.T) {
+	s := NewFIFOWSQ()
+	s.Apply(op(0, "put", 0, 1, []int64{1}, 0, false))
+	s.Apply(op(0, "put", 2, 3, []int64{2}, 0, false))
+	// FIFO: take AND steal pop the head.
+	if !s.Apply(op(0, "take", 4, 5, nil, 1, true)) {
+		t.Error("FIFO take of head rejected")
+	}
+	if !s.Apply(op(1, "steal", 6, 7, nil, 2, true)) {
+		t.Error("FIFO steal of head rejected")
+	}
+	if !s.Apply(op(1, "steal", 8, 9, nil, EmptyVal, true)) {
+		t.Error("empty steal rejected")
+	}
+	s2 := NewFIFOWSQ()
+	s2.Apply(op(0, "put", 0, 1, []int64{1}, 0, false))
+	s2.Apply(op(0, "put", 2, 3, []int64{2}, 0, false))
+	if s2.Apply(op(0, "take", 4, 5, nil, 2, true)) {
+		t.Error("FIFO take returned the tail; spec accepted it")
+	}
+}
+
+func TestWSQDisciplineCloneIndependence(t *testing.T) {
+	s := NewFIFOWSQ()
+	s.Apply(op(0, "put", 0, 1, []int64{1}, 0, false))
+	c := s.Clone()
+	if !c.Apply(op(0, "take", 2, 3, nil, 1, true)) {
+		t.Fatal("clone take failed")
+	}
+	if s.Key() == c.Key() {
+		t.Error("keys equal after divergence")
+	}
+	// original still holds the item
+	if !s.Apply(op(0, "take", 4, 5, nil, 1, true)) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestStealAbortAcceptedByAllWSQSpecs(t *testing.T) {
+	for _, mk := range []func() Sequential{NewDeque, NewLIFOWSQ, NewFIFOWSQ} {
+		s := mk()
+		if !s.Apply(Op{Name: "steal_abort", Thread: 1, Inv: 0, Res: 1}) {
+			t.Error("steal_abort rejected")
+		}
+	}
+}
+
+func TestRelaxStealAbortsOnlyContendedEmpties(t *testing.T) {
+	// steal()=EMPTY overlapping a take -> abort; a later lone steal()=EMPTY
+	// stays strict; steal with a value untouched.
+	ops := []Op{
+		{Thread: 0, Name: "take", Ret: 5, HasRet: true, Inv: 0, Res: 3},
+		{Thread: 1, Name: "steal", Ret: EmptyVal, HasRet: true, Inv: 1, Res: 2}, // overlaps take
+		{Thread: 1, Name: "steal", Ret: EmptyVal, HasRet: true, Inv: 4, Res: 5}, // lone
+		{Thread: 1, Name: "steal", Ret: 7, HasRet: true, Inv: 6, Res: 7},        // value
+	}
+	out := RelaxStealAborts(ops)
+	if out[1].Name != "steal_abort" {
+		t.Errorf("contended empty steal not relaxed: %v", out[1])
+	}
+	if out[2].Name != "steal" {
+		t.Errorf("lone empty steal wrongly relaxed: %v", out[2])
+	}
+	if out[3].Name != "steal" {
+		t.Errorf("value steal wrongly relaxed: %v", out[3])
+	}
+	// input untouched
+	if ops[1].Name != "steal" {
+		t.Error("RelaxStealAborts mutated its input")
+	}
+}
+
+func TestRelaxStealAbortsOverlappingSteals(t *testing.T) {
+	// Two overlapping empty steals relax each other.
+	ops := []Op{
+		{Thread: 1, Name: "steal", Ret: EmptyVal, HasRet: true, Inv: 0, Res: 3},
+		{Thread: 2, Name: "steal", Ret: EmptyVal, HasRet: true, Inv: 1, Res: 2},
+	}
+	out := RelaxStealAborts(ops)
+	if out[0].Name != "steal_abort" || out[1].Name != "steal_abort" {
+		t.Errorf("mutually overlapping empty steals not relaxed: %v", out)
+	}
+}
+
+func TestRelaxPreservesFig2c(t *testing.T) {
+	// The non-overlapping Fig. 2c empty steal must stay strict so the
+	// linearizability violation is still detected.
+	ops := []Op{
+		{Thread: 1, Name: "put", Args: []int64{1}, Inv: 0, Res: 1},
+		{Thread: 2, Name: "steal", Ret: EmptyVal, HasRet: true, Inv: 2, Res: 3},
+	}
+	out := RelaxStealAborts(ops)
+	if out[1].Name != "steal" {
+		t.Fatal("Fig. 2c steal was relaxed — the violation would be masked")
+	}
+	if IsLinearizable(out, NewDeque) {
+		t.Error("Fig. 2c history judged linearizable after relaxation")
+	}
+}

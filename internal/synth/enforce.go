@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"dfence/internal/ir"
+)
+
+// InsertedFence describes one fence placed by Enforce.
+type InsertedFence struct {
+	// After is the label of the store the fence follows (the L of the
+	// predicates it enforces).
+	After ir.Label
+	// Label is the fence instruction's own label.
+	Label ir.Label
+	Kind  ir.FenceKind
+	// Func is the containing function's name.
+	Func string
+}
+
+func (f InsertedFence) String() string {
+	return fmt.Sprintf("%s in %s after L%d", f.Kind, f.Func, f.After)
+}
+
+// Enforce realizes a satisfying assignment as fences (Algorithm 2): for
+// every predicate [l ⊰ k] it inserts a fence immediately after label l.
+// Predicates sharing the same l are enforced by a single fence whose kind
+// is chosen from the statements at the k labels: store-load if any k is a
+// load, otherwise store-store (the paper: "we insert a more specific
+// fence (store-load or store-store) depending on whether the statement at
+// k is a load or a store").
+func Enforce(prog *ir.Program, preds []Predicate) ([]InsertedFence, error) {
+	// Group predicates by l.
+	kinds := make(map[ir.Label]ir.FenceKind)
+	for _, p := range preds {
+		k := ir.FenceStoreStore
+		if in := prog.InstrAt(p.K); in != nil && in.IsSharedLoad() {
+			k = ir.FenceStoreLoad
+		}
+		prev, seen := kinds[p.L]
+		if !seen {
+			kinds[p.L] = k
+			continue
+		}
+		if prev != k {
+			kinds[p.L] = ir.FenceStoreLoad // the stronger of the two here
+		}
+	}
+	ls := make([]ir.Label, 0, len(kinds))
+	for l := range kinds {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+
+	var out []InsertedFence
+	for _, l := range ls {
+		f := prog.FuncOf(l)
+		if f == nil {
+			return nil, fmt.Errorf("synth: predicate references unknown label L%d", l)
+		}
+		// If a fence already directly follows l, strengthen/skip instead of
+		// stacking another one.
+		idx := f.IndexOf(l)
+		if idx+1 < len(f.Code) && f.Code[idx+1].Op == ir.OpFence {
+			continue
+		}
+		fl, err := prog.InsertFenceAfter(l, kinds[l])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InsertedFence{After: l, Label: fl, Kind: kinds[l], Func: f.Name})
+	}
+	return out, nil
+}
+
+// InsertFences re-applies previously computed fences onto a fresh clone of
+// the base program (each InsertedFence.After is a base-program label, which
+// clones share). Used by the validation pass to try fence subsets.
+func InsertFences(prog *ir.Program, fences []InsertedFence) ([]InsertedFence, error) {
+	out := make([]InsertedFence, 0, len(fences))
+	for _, f := range fences {
+		fn := prog.FuncOf(f.After)
+		if fn == nil {
+			return nil, fmt.Errorf("synth: InsertFences: label L%d not found", f.After)
+		}
+		idx := fn.IndexOf(f.After)
+		if idx+1 < len(fn.Code) && fn.Code[idx+1].Op == ir.OpFence {
+			continue
+		}
+		nl, err := prog.InsertFenceAfter(f.After, f.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InsertedFence{After: f.After, Label: nl, Kind: f.Kind, Func: fn.Name})
+	}
+	return out, nil
+}
+
+// MergeFences implements the paper's fence-combining optimization: "a
+// simple static analysis which eliminates a fence if it can prove that it
+// always follows a previous fence statement in program order, with no
+// store statements on shared variables occurring in between."
+//
+// It runs a forward dataflow per function over the CFG with the state
+// "buffers certainly empty since the last fence" (meet = conjunction,
+// entry = unknown). A fence whose entry state is protected is removed.
+// Returns the number of fences removed.
+func MergeFences(prog *ir.Program) int {
+	removed := 0
+	for _, name := range prog.FuncNames() {
+		removed += mergeFunc(prog.Funcs[name])
+	}
+	return removed
+}
+
+func mergeFunc(f *ir.Func) int {
+	n := len(f.Code)
+	// protectedIn[i]: on every path reaching instruction i, a fence has
+	// executed with no shared store/CAS after it.
+	protectedIn := make([]bool, n)
+	preds := predecessors(f)
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			var in bool
+			if ps := preds[i]; len(ps) == 0 {
+				in = false // function entry (or unreachable): conservative
+			} else {
+				in = true
+				for _, p := range ps {
+					if !transfer(&f.Code[p], protectedIn[p]) {
+						in = false
+						break
+					}
+				}
+			}
+			if in != protectedIn[i] {
+				protectedIn[i] = in
+				changed = true
+			}
+		}
+	}
+
+	// Remove redundant fences (back to front so indices stay valid). A
+	// fence that is itself a branch target is removable too: branches to it
+	// are retargeted to its successor (a fence is never a terminator, so a
+	// successor always exists).
+	removed := 0
+	for i := n - 1; i >= 0; i-- {
+		if f.Code[i].Op != ir.OpFence || !protectedIn[i] {
+			continue
+		}
+		dead := f.Code[i].Label
+		succ := f.Code[i+1].Label
+		for j := range f.Code {
+			in := &f.Code[j]
+			if in.Op != ir.OpBr && in.Op != ir.OpCondBr {
+				continue
+			}
+			if in.Target == dead {
+				in.Target = succ
+			}
+			if in.Op == ir.OpCondBr && in.Target2 == dead {
+				in.Target2 = succ
+			}
+		}
+		f.Code = append(f.Code[:i], f.Code[i+1:]...)
+		removed++
+	}
+	if removed > 0 {
+		f.Rebuild()
+	}
+	return removed
+}
+
+// transfer computes the protected state after executing instruction in
+// with the given entry state.
+func transfer(in *ir.Instr, protected bool) bool {
+	switch in.Op {
+	case ir.OpFence:
+		return true
+	case ir.OpCas:
+		// CAS drains the relevant buffer but under PSO only that address's
+		// buffer: not a full fence. Conservatively unprotect.
+		return false
+	case ir.OpStore:
+		if in.ThreadLocal {
+			return protected
+		}
+		return false
+	case ir.OpCall, ir.OpFork:
+		// The callee may store; conservative.
+		return false
+	default:
+		return protected
+	}
+}
+
+// predecessors computes the CFG predecessor lists by instruction index.
+func predecessors(f *ir.Func) [][]int {
+	n := len(f.Code)
+	preds := make([][]int, n)
+	addEdge := func(from, to int) {
+		if to >= 0 && to < n {
+			preds[to] = append(preds[to], from)
+		}
+	}
+	for i := 0; i < n; i++ {
+		in := &f.Code[i]
+		switch in.Op {
+		case ir.OpBr:
+			addEdge(i, f.IndexOf(in.Target))
+		case ir.OpCondBr:
+			addEdge(i, f.IndexOf(in.Target))
+			addEdge(i, f.IndexOf(in.Target2))
+		case ir.OpRet:
+			// no successor
+		default:
+			addEdge(i, i+1)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,68 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// DummyCASGlobal is the location the CAS enforcement targets. It is never
+// otherwise read or written by the program.
+const DummyCASGlobal = "__dfence_dummy"
+
+// EnforceWithCAS realizes a satisfying assignment using the paper's §4.2
+// alternative to fences: "On TSO, we can enforce the fence with CAS to a
+// dummy location... Regardless of whether such a CAS fails or succeeds on
+// the dummy location, in order to proceed, it requires that the buffer is
+// flushed (similarly to a fence)."
+//
+// Only the TSO model is supported: under PSO a CAS to a dummy location
+// drains only that location's (empty) buffer, so it orders nothing — the
+// paper's PSO variant needs a same-location CAS that provably fails,
+// which is not generally available.
+func EnforceWithCAS(prog *ir.Program, model memmodel.Model, preds []Predicate) ([]InsertedFence, error) {
+	if model != memmodel.TSO {
+		return nil, fmt.Errorf("synth: CAS enforcement is only sound on TSO (got %v): a dummy-location CAS does not drain other PSO buffers", model)
+	}
+	if prog.Global(DummyCASGlobal) == nil {
+		if err := prog.AddGlobal(&ir.Global{Name: DummyCASGlobal, Size: 1}); err != nil {
+			return nil, err
+		}
+		if err := prog.Link(); err != nil {
+			return nil, err
+		}
+	}
+	ls := make(map[ir.Label]bool)
+	for _, p := range preds {
+		ls[p.L] = true
+	}
+	order := make([]ir.Label, 0, len(ls))
+	for l := range ls {
+		order = append(order, l)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var out []InsertedFence
+	for _, l := range order {
+		f := prog.FuncOf(l)
+		if f == nil {
+			return nil, fmt.Errorf("synth: predicate references unknown label L%d", l)
+		}
+		// Skip if a dummy CAS (or fence) already directly follows l.
+		idx := f.IndexOf(l)
+		if idx+1 < len(f.Code) {
+			next := &f.Code[idx+1]
+			if next.Op == ir.OpFence || (next.Op == ir.OpGlobal && next.Func == DummyCASGlobal) {
+				continue
+			}
+		}
+		cl, err := prog.InsertDummyCASAfter(l, DummyCASGlobal)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InsertedFence{After: l, Label: cl, Kind: ir.FenceFull, Func: f.Name})
+	}
+	return out, nil
+}

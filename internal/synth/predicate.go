@@ -1,0 +1,191 @@
+// Package synth implements the repair machinery of DFENCE: ordering
+// predicates, the instrumented-semantics collection of candidate repairs
+// for an execution (paper Semantics 2 / the avoid function), accumulation
+// of the global repair formula φ, computation of minimal satisfying
+// assignments via the SAT solver, enforcement of chosen predicates as
+// fences (Algorithm 2), and the static merge pass that removes redundant
+// fences (§5.2, Enforcing).
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+	"dfence/internal/sat"
+)
+
+// Predicate is an ordering predicate [L ⊰ K]: in any execution, the store
+// at label L must take visible effect before the statement at label K
+// executes (both labels in the same thread). Enforced by a fence after L.
+type Predicate struct {
+	L ir.Label // a store whose buffered value must be flushed
+	K ir.Label // the later access that must observe it
+}
+
+func (p Predicate) String() string { return fmt.Sprintf("[L%d ⊰ L%d]", p.L, p.K) }
+
+// less orders predicates deterministically.
+func (p Predicate) less(q Predicate) bool {
+	if p.L != q.L {
+		return p.L < q.L
+	}
+	return p.K < q.K
+}
+
+// Collector implements interp.Observer, running the instrumented
+// semantics of the paper online: at every shared access it records, for
+// each store pending in the same thread's *other* buffers, the predicate
+// that would order that store before the access. The union over the
+// execution is the disjunction d of all single-predicate repairs for that
+// execution.
+//
+// Model-specific filtering (paper §4.1): under PSO all of store, load, and
+// CAS accesses generate predicates (store-store and store-load reordering
+// both exist). Under TSO the single FIFO already preserves store-store
+// order, so only loads generate predicates; CAS never observes pending
+// stores under TSO because it drains the whole FIFO first.
+type Collector struct {
+	model memmodel.Model
+	preds map[Predicate]struct{}
+}
+
+// NewCollector returns an empty per-execution collector.
+func NewCollector(model memmodel.Model) *Collector {
+	return &Collector{model: model, preds: make(map[Predicate]struct{})}
+}
+
+// OnSharedAccess implements interp.Observer.
+func (c *Collector) OnSharedAccess(thread int, label ir.Label, kind interp.AccessKind, addr int64, pending []interp.PendingStore) {
+	if c.model == memmodel.TSO && kind != interp.AccLoad {
+		return
+	}
+	for _, p := range pending {
+		c.preds[Predicate{L: p.Label, K: label}] = struct{}{}
+	}
+}
+
+// Reset clears the collector for reuse on the next execution.
+func (c *Collector) Reset() { clear(c.preds) }
+
+// Disjunction returns the candidate predicates gathered from the
+// execution, sorted deterministically. Empty means the execution cannot
+// be repaired by fences (Algorithm 1: "abort — cannot be fixed").
+func (c *Collector) Disjunction() []Predicate {
+	out := make([]Predicate, 0, len(c.preds))
+	for p := range c.preds {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Formula is the global repair formula φ: a conjunction over violating
+// executions of the disjunction of that execution's candidate predicates.
+// Identical clauses are deduplicated, as in the paper ("each non-repeated
+// clause in the formula is assigned a unique integer").
+type Formula struct {
+	vars    map[Predicate]int // predicate -> SAT variable
+	byVar   []Predicate       // 1-based: variable -> predicate
+	clauses [][]sat.Lit
+	seen    map[string]struct{}
+	freq    map[Predicate]int // #violating executions mentioning the predicate
+}
+
+// NewFormula returns φ = true.
+func NewFormula() *Formula {
+	return &Formula{
+		vars:  make(map[Predicate]int),
+		byVar: make([]Predicate, 1), // index 0 unused
+		seen:  make(map[string]struct{}),
+		freq:  make(map[Predicate]int),
+	}
+}
+
+// Empty reports whether no clause has been added (φ = true).
+func (f *Formula) Empty() bool { return len(f.clauses) == 0 }
+
+// NumPredicates returns the number of distinct predicates mentioned.
+func (f *Formula) NumPredicates() int { return len(f.vars) }
+
+// NumClauses returns the number of distinct accumulated clauses.
+func (f *Formula) NumClauses() int { return len(f.clauses) }
+
+// AddExecution conjoins the disjunction d (the repairs of one violating
+// execution) onto φ. d must be non-empty.
+func (f *Formula) AddExecution(d []Predicate) error {
+	if len(d) == 0 {
+		return fmt.Errorf("synth: execution has no candidate repairs (cannot be fixed by fences)")
+	}
+	for _, p := range d {
+		f.freq[p]++
+	}
+	key := ""
+	for _, p := range d {
+		key += fmt.Sprintf("%d<%d;", p.L, p.K)
+	}
+	if _, dup := f.seen[key]; dup {
+		return nil
+	}
+	f.seen[key] = struct{}{}
+	clause := make([]sat.Lit, len(d))
+	for i, p := range d {
+		v, ok := f.vars[p]
+		if !ok {
+			v = len(f.byVar)
+			f.byVar = append(f.byVar, p)
+			f.vars[p] = v
+		}
+		clause[i] = sat.Lit(v)
+	}
+	f.clauses = append(f.clauses, clause)
+	return nil
+}
+
+// MinimalSolutions returns all minimal sets of predicates satisfying φ.
+// They are ordered by (size, descending total support, lexicographic),
+// where a predicate's support is the number of violating executions whose
+// disjunction mentioned it — among equally small repairs, prefer the one
+// backed by the most evidence. The first entry is the assignment
+// Algorithm 2 enforces.
+func (f *Formula) MinimalSolutions() [][]Predicate {
+	if f.Empty() {
+		return nil
+	}
+	models := sat.MinimalModels(len(f.byVar)-1, f.clauses)
+	out := make([][]Predicate, len(models))
+	for i, m := range models {
+		ps := make([]Predicate, len(m))
+		for j, v := range m {
+			ps[j] = f.byVar[v]
+		}
+		sort.Slice(ps, func(a, b int) bool { return ps[a].less(ps[b]) })
+		out[i] = ps
+	}
+	support := func(ps []Predicate) int {
+		s := 0
+		for _, p := range ps {
+			s += f.freq[p]
+		}
+		return s
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		sa, sb := support(a), support(b)
+		if sa != sb {
+			return sa > sb
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k].less(b[k])
+			}
+		}
+		return false
+	})
+	return out
+}

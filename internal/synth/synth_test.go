@@ -1,0 +1,394 @@
+package synth
+
+import (
+	"testing"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+func TestCollectorPSOAllAccessKinds(t *testing.T) {
+	c := NewCollector(memmodel.PSO)
+	pend := []interp.PendingStore{{Label: 10, Addr: 1}, {Label: 11, Addr: 2}}
+	c.OnSharedAccess(0, 20, interp.AccStore, 3, pend)
+	c.OnSharedAccess(0, 21, interp.AccLoad, 3, pend[:1])
+	c.OnSharedAccess(0, 22, interp.AccCas, 3, pend[1:])
+	d := c.Disjunction()
+	want := []Predicate{{10, 20}, {10, 21}, {11, 20}, {11, 22}}
+	if len(d) != len(want) {
+		t.Fatalf("disjunction = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("disjunction = %v, want %v (sorted)", d, want)
+		}
+	}
+}
+
+func TestCollectorTSOOnlyLoads(t *testing.T) {
+	c := NewCollector(memmodel.TSO)
+	pend := []interp.PendingStore{{Label: 10, Addr: 1}}
+	c.OnSharedAccess(0, 20, interp.AccStore, 3, pend) // FIFO keeps store order
+	c.OnSharedAccess(0, 21, interp.AccCas, 3, pend)   // cannot happen, but filtered
+	c.OnSharedAccess(0, 22, interp.AccLoad, 3, pend)
+	d := c.Disjunction()
+	if len(d) != 1 || d[0] != (Predicate{10, 22}) {
+		t.Fatalf("TSO disjunction = %v, want [[L10 ⊰ L22]]", d)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(memmodel.PSO)
+	c.OnSharedAccess(0, 20, interp.AccLoad, 3, []interp.PendingStore{{Label: 10, Addr: 1}})
+	if len(c.Disjunction()) != 1 {
+		t.Fatal("setup failed")
+	}
+	c.Reset()
+	if len(c.Disjunction()) != 0 {
+		t.Fatal("Reset did not clear predicates")
+	}
+}
+
+func TestFormulaMinimalSolutions(t *testing.T) {
+	f := NewFormula()
+	p12 := Predicate{1, 2}
+	p34 := Predicate{3, 4}
+	p56 := Predicate{5, 6}
+	// exec1: p12 | p34 ; exec2: p34 | p56  → minimal: {p34}, {p12,p56}
+	if err := f.AddExecution([]Predicate{p12, p34}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddExecution([]Predicate{p34, p56}); err != nil {
+		t.Fatal(err)
+	}
+	sols := f.MinimalSolutions()
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %v, want 2", sols)
+	}
+	if len(sols[0]) != 1 || sols[0][0] != p34 {
+		t.Errorf("smallest solution = %v, want [%v]", sols[0], p34)
+	}
+	if len(sols[1]) != 2 || sols[1][0] != p12 || sols[1][1] != p56 {
+		t.Errorf("second solution = %v, want [%v %v]", sols[1], p12, p56)
+	}
+}
+
+func TestFormulaDeduplicatesClauses(t *testing.T) {
+	f := NewFormula()
+	d := []Predicate{{1, 2}, {3, 4}}
+	f.AddExecution(d)
+	f.AddExecution(d)
+	if f.NumClauses() != 1 {
+		t.Errorf("clauses = %d, want 1 after dedup", f.NumClauses())
+	}
+}
+
+func TestFormulaRejectsEmptyDisjunction(t *testing.T) {
+	f := NewFormula()
+	if err := f.AddExecution(nil); err == nil {
+		t.Fatal("empty disjunction accepted — should signal unfixable execution")
+	}
+}
+
+// buildStoreStoreLoad constructs main: store x; store y; load x; ret.
+func buildStoreStoreLoad(t *testing.T) (*ir.Program, ir.Label, ir.Label, ir.Label) {
+	t.Helper()
+	p := ir.NewProgram()
+	for _, g := range []string{"x", "y"} {
+		if err := p.AddGlobal(&ir.Global{Name: g, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	ya := b.GlobalAddr("y")
+	one := b.Const(1)
+	sx := b.Store(xa, one, "x")
+	sy := b.Store(ya, one, "y")
+	v, lx := b.Load(xa, "x")
+	b.RetVal(v)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	return p, sx, sy, lx
+}
+
+func TestEnforceInsertsKindsAndPositions(t *testing.T) {
+	p, sx, sy, lx := buildStoreStoreLoad(t)
+	fences, err := Enforce(p, []Predicate{
+		{L: sx, K: sy}, // store-store
+		{L: sy, K: lx}, // store-load
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fences) != 2 {
+		t.Fatalf("inserted %d fences, want 2: %v", len(fences), fences)
+	}
+	f := p.Funcs["main"]
+	// fence after sx with kind store-store
+	i := f.IndexOf(sx)
+	if f.Code[i+1].Op != ir.OpFence || f.Code[i+1].Kind != ir.FenceStoreStore {
+		t.Errorf("after store x: %v, want store-store fence", f.Code[i+1].String())
+	}
+	j := f.IndexOf(sy)
+	if f.Code[j+1].Op != ir.OpFence || f.Code[j+1].Kind != ir.FenceStoreLoad {
+		t.Errorf("after store y: %v, want store-load fence", f.Code[j+1].String())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("program invalid after enforcement: %v", err)
+	}
+}
+
+func TestEnforceMergesSameL(t *testing.T) {
+	p, sx, sy, lx := buildStoreStoreLoad(t)
+	fences, err := Enforce(p, []Predicate{
+		{L: sx, K: sy}, // store-store
+		{L: sx, K: lx}, // store-load — same l, stronger kind wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fences) != 1 {
+		t.Fatalf("inserted %d fences for same-l predicates, want 1", len(fences))
+	}
+	if fences[0].Kind != ir.FenceStoreLoad {
+		t.Errorf("kind = %v, want store-load (stronger)", fences[0].Kind)
+	}
+}
+
+func TestEnforceSkipsExistingFence(t *testing.T) {
+	p, sx, sy, _ := buildStoreStoreLoad(t)
+	if _, err := Enforce(p, []Predicate{{L: sx, K: sy}}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(p.Funcs["main"].Code)
+	fences, err := Enforce(p, []Predicate{{L: sx, K: sy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fences) != 0 || len(p.Funcs["main"].Code) != before {
+		t.Error("second enforcement stacked a redundant fence")
+	}
+}
+
+func TestEnforceUnknownLabel(t *testing.T) {
+	p, _, _, _ := buildStoreStoreLoad(t)
+	if _, err := Enforce(p, []Predicate{{L: 9999, K: 10000}}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+// --- merge pass ---
+
+func TestMergeRemovesBackToBackFences(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	one := b.Const(1)
+	b.Store(xa, one, "x")
+	b.Fence(ir.FenceStoreStore)
+	b.Fence(ir.FenceStoreStore) // redundant
+	v, _ := b.Load(xa, "x")
+	b.RetVal(v)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeFences(p); got != 1 {
+		t.Fatalf("merged %d fences, want 1", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after merge: %v", err)
+	}
+	if len(p.Fences()) != 1 {
+		t.Errorf("fences left = %d, want 1", len(p.Fences()))
+	}
+}
+
+func TestMergeKeepsFenceAfterStore(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	one := b.Const(1)
+	b.Fence(ir.FenceStoreStore)
+	b.Store(xa, one, "x") // invalidates protection
+	b.Fence(ir.FenceStoreStore)
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeFences(p); got != 0 {
+		t.Fatalf("merged %d fences, want 0 (store between fences)", got)
+	}
+}
+
+func TestMergeDiamondBothPathsFenced(t *testing.T) {
+	// if (c) { fence } else { fence }; fence   → the join fence is
+	// redundant only if both branch paths end in a fence with no store
+	// after.
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	c := b.Const(1)
+	taken, els := b.CondBrF(c)
+	taken.Here()
+	b.Fence(ir.FenceStoreStore)
+	join := b.BrF()
+	els.Here()
+	b.Fence(ir.FenceStoreStore)
+	join.Here()
+	b.Fence(ir.FenceStoreStore) // redundant: every predecessor is a fence
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeFences(p); got != 1 {
+		t.Fatalf("merged %d, want 1 (join fence dominated on both paths)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid after merge: %v", err)
+	}
+}
+
+func TestMergeDiamondOnePathUnfenced(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	one := b.Const(1)
+	cnd := b.Const(1)
+	taken, els := b.CondBrF(cnd)
+	taken.Here()
+	b.Fence(ir.FenceStoreStore)
+	join := b.BrF()
+	els.Here()
+	b.Store(xa, one, "x") // this path has a trailing store
+	join.Here()
+	b.Fence(ir.FenceStoreStore) // must stay
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeFences(p); got != 0 {
+		t.Fatalf("merged %d, want 0", got)
+	}
+}
+
+func TestMergeRetargetsBranchesToRemovedFence(t *testing.T) {
+	// A loop whose back edge targets a redundant fence: the fence is
+	// removed and the branch retargeted to its successor.
+	p := ir.NewProgram()
+	b := ir.NewFuncBuilder(p, "main", 0)
+	b.Fence(ir.FenceStoreStore)
+	head := b.NextLabel()
+	b.Fence(ir.FenceStoreStore) // branch target
+	i := b.Const(0)
+	one := b.Const(1)
+	b.BinTo(i, ir.BinAdd, i, one)
+	ten := b.Const(10)
+	c := b.BinOp(ir.BinLt, i, ten)
+	back, out := b.CondBrF(c)
+	back.Here()
+	b.Br(head)
+	out.Here()
+	b.Ret()
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeFences(p); got != 1 {
+		t.Fatalf("merged %d fences, want 1 (loop-head fence dominated by entry fence)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("merge broke branch targets: %v", err)
+	}
+	if len(p.Fences()) != 1 {
+		t.Errorf("fences left = %d, want 1", len(p.Fences()))
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{L: 3, K: 7}
+	if p.String() != "[L3 ⊰ L7]" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestMinimalSolutionsSupportRanking(t *testing.T) {
+	// Two minimal solutions of equal size: {p} and {q}. p appears in many
+	// executions' disjunctions, q in few — p must rank first.
+	f := NewFormula()
+	p := Predicate{1, 2}
+	q := Predicate{3, 4}
+	// Clauses are deduplicated, so vary a junk predicate to keep them
+	// distinct while building support counts.
+	for i := 0; i < 5; i++ {
+		junk := Predicate{ir.Label(100 + i), ir.Label(200 + i)}
+		if err := f.AddExecution([]Predicate{p, q, junk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more clause mentioning p alone boosts p's support.
+	if err := f.AddExecution([]Predicate{p, {ir.Label(900), ir.Label(901)}}); err != nil {
+		t.Fatal(err)
+	}
+	sols := f.MinimalSolutions()
+	if len(sols) == 0 {
+		t.Fatal("no solutions")
+	}
+	first := sols[0]
+	if len(first) != 1 || first[0] != p {
+		t.Errorf("first solution = %v, want [%v] (higher support)", first, p)
+	}
+}
+
+func TestFormulaCountsAccessors(t *testing.T) {
+	f := NewFormula()
+	if !f.Empty() || f.NumClauses() != 0 || f.NumPredicates() != 0 {
+		t.Error("fresh formula not empty")
+	}
+	if err := f.AddExecution([]Predicate{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Empty() || f.NumClauses() != 1 || f.NumPredicates() != 2 {
+		t.Errorf("counts: clauses=%d preds=%d", f.NumClauses(), f.NumPredicates())
+	}
+}
+
+func TestCollectorIgnoresSCModel(t *testing.T) {
+	// The SC collector never receives pending stores (the interpreter
+	// skips observation), but even if called it must behave sanely.
+	c := NewCollector(memmodel.SC)
+	c.OnSharedAccess(0, 20, interp.AccLoad, 3, []interp.PendingStore{{Label: 10, Addr: 1}})
+	if len(c.Disjunction()) != 1 {
+		t.Skip("SC collector records when explicitly fed — acceptable")
+	}
+}
