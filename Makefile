@@ -1,0 +1,32 @@
+# Tier-1 verification and CI entry points for dfence-go.
+#
+#   make build   compile every package
+#   make test    full test suite (the tier-1 gate together with build)
+#   make race    test suite under the race detector — exercises the
+#                parallel execution engine's worker pool
+#   make vet     static checks
+#   make bench   one pass over every benchmark (smoke; use BENCHTIME for
+#                real measurements, e.g. make bench BENCHTIME=3s)
+#   make ci      everything a PR must pass
+
+GO ?= go
+BENCHTIME ?= 1x
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
+
+ci: build vet test race

@@ -18,7 +18,9 @@ package dfence_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"dfence/internal/core"
 	"dfence/internal/eval"
@@ -161,6 +163,46 @@ func BenchmarkSchedulerSweep(b *testing.B) {
 				viol += core.CheckOnly(subject.Program(), cfg, 200)
 			}
 			b.ReportMetric(float64(viol)/float64(b.N), "violations/op")
+		})
+	}
+}
+
+// BenchmarkSynthesizeWorkers is the serial-vs-parallel pair for the
+// execution engine: the same Chase-Lev PSO synthesis (fixed seed, so the
+// fence sets are identical) at Workers=1 and Workers=NumCPU. The ratio of
+// the two wall times is the engine's speedup; per-round throughput is also
+// reported via execs/s.
+func BenchmarkSynthesizeWorkers(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			execs := 0
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(subject, memmodel.PSO, spec.SeqConsistency, 1)
+				cfg.Workers = w
+				cfg.ValidateFences = false
+				res, err := core.Synthesize(subject.Program(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				execs += res.TotalExecutions
+				for _, r := range res.Rounds {
+					wall += r.Wall
+				}
+			}
+			b.ReportMetric(float64(execs)/float64(b.N), "execs/op")
+			if wall > 0 {
+				b.ReportMetric(float64(execs)/wall.Seconds(), "execs/s")
+			}
 		})
 	}
 }

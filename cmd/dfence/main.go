@@ -19,6 +19,7 @@
 //	-rounds  maximum repair rounds (default 10)
 //	-flush   flush probability (default 0.1 tso / 0.5 pso)
 //	-seed    random seed (default 1)
+//	-j       parallel workers for the execution engine (default NumCPU)
 //	-validate  prune redundant fences after convergence (default true)
 //	-disasm  print the compiled IR and exit
 //	-builtin use a built-in benchmark instead of a file (e.g. chase-lev)
@@ -47,6 +48,7 @@ func main() {
 		rounds   = flag.Int("rounds", 10, "maximum repair rounds")
 		flushP   = flag.Float64("flush", 0, "flush probability (0 = model default)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		jobs     = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); results are identical for any value")
 		validate = flag.Bool("validate", true, "prune redundant fences after convergence")
 		disasm   = flag.Bool("disasm", false, "print compiled IR and exit")
 		optimize = flag.Bool("optimize", false, "run the IR optimizer (fold/propagate/DCE) before analysis")
@@ -89,6 +91,7 @@ func main() {
 		MaxRounds:      *rounds,
 		FlushProb:      *flushP,
 		Seed:           *seed,
+		Workers:        *jobs,
 		ValidateFences: *validate,
 		EnforceWithCAS: *withCAS,
 	}
@@ -160,8 +163,8 @@ func loadProgram(builtin string, args []string) (*ir.Program, *progs.Benchmark, 
 func report(res *core.Result, model memmodel.Model, crit spec.Criterion) {
 	fmt.Printf("model=%v spec=%v rounds=%d executions=%d\n", model, crit, len(res.Rounds), res.TotalExecutions)
 	for i, r := range res.Rounds {
-		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted\n",
-			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted))
+		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted (%.0f execs/s)\n",
+			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted), r.ExecsPerSec)
 	}
 	switch {
 	case res.Unfixable:

@@ -34,13 +34,14 @@ func main() {
 		bench  = flag.String("bench", "", "restrict -table3 to one benchmark")
 		execs  = flag.Int("execs", 1000, "executions per round (K)")
 		seed   = flag.Int64("seed", 1, "base random seed")
+		jobs   = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); artifacts are identical for any value")
 	)
 	flag.Parse()
 	if !*table2 && !*table3 && !*fig4 && !*fig5 && !*sweep && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true}
+	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true, Workers: *jobs}
 
 	if *table2 || *all {
 		fmt.Println("== Table 2: benchmarks ==")

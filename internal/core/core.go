@@ -10,7 +10,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"dfence/internal/interp"
 	"dfence/internal/ir"
@@ -51,6 +53,13 @@ type Config struct {
 	// Seed makes the whole synthesis deterministic. Executions use seeds
 	// Seed + round*ExecsPerRound + i.
 	Seed int64
+	// Workers is the number of goroutines the per-round executions (and
+	// the validation, redundancy, and CheckOnly trials) are fanned across.
+	// Results are bit-identical for every value: the seed schedule is
+	// unchanged and per-execution results are merged in execution-index
+	// order, not completion order. Default runtime.NumCPU(); 1 forces the
+	// serial path.
+	Workers int
 	// MergeFences enables the redundant-fence merge pass after synthesis
 	// converges (§5.2). Default off; Table 3 runs use it.
 	MergeFences bool
@@ -61,11 +70,14 @@ type Config struct {
 	// discussion of low flush probabilities inferring redundant fences.
 	ValidateFences bool
 	// ValidateExecs is the per-trial execution budget of the validation
-	// pass (default: 2 * ExecsPerRound).
+	// pass (default: 3 * ExecsPerRound, set by fill). FindRedundantFences
+	// has a separate per-fence budget knob, execsPerFence, whose default
+	// is 2 * ExecsPerRound.
 	ValidateExecs int
-	// MinimizeSolutions selects minimal satisfying assignments (the paper's
-	// behaviour). If false, the raw first SAT model is enforced — kept as
-	// an ablation knob.
+	// NoMinimize disables minimal-model selection (the paper's behaviour
+	// is minimization): instead of enforcing the smallest satisfying
+	// assignment of φ, the union of every predicate appearing in some
+	// minimal solution is enforced — kept as an ablation knob.
 	NoMinimize bool
 	// EnforceWithCAS realizes ordering predicates as dummy-location CAS
 	// instructions instead of fences (paper §4.2, TSO only).
@@ -92,6 +104,12 @@ func (c *Config) fill() {
 	if c.MaxStepsPerExec <= 0 {
 		c.MaxStepsPerExec = 100000
 	}
+	if c.ValidateExecs <= 0 {
+		c.ValidateExecs = 3 * c.ExecsPerRound
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
 }
 
 // Round records one repair round's statistics.
@@ -107,6 +125,12 @@ type Round struct {
 	Predicates int
 	// Inserted lists the fences enforced at the end of the round.
 	Inserted []synth.InsertedFence
+	// Wall is the wall-clock time of the round's execution batch plus the
+	// formula merge (the part the parallel engine accelerates).
+	Wall time.Duration
+	// ExecsPerSec is Executions divided by Wall — the engine's observed
+	// throughput, so Workers speedups show up directly in Summary.
+	ExecsPerSec float64
 }
 
 // Result is the outcome of Synthesize.
@@ -156,6 +180,10 @@ func (r *Result) Summary() string {
 	if r.Unfixable {
 		fmt.Fprintf(&b, " UNFIXABLE (%s)", r.UnfixableExample)
 	}
+	for i, rd := range r.Rounds {
+		fmt.Fprintf(&b, "\nround %d: %d/%d violations in %s (%.0f execs/s)",
+			i+1, rd.Violations, rd.Executions, rd.Wall.Round(time.Millisecond), rd.ExecsPerSec)
+	}
 	fmt.Fprintf(&b, "\nfences inserted: %d", len(r.Fences))
 	for _, f := range r.Fences {
 		fmt.Fprintf(&b, "\n  %s", f)
@@ -192,35 +220,26 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	work := prog.Clone()
 	result := &Result{Program: work}
 
-	collector := synth.NewCollector(cfg.Model)
 	for round := 0; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
 		stats := Round{}
-		for i := 0; i < cfg.ExecsPerRound; i++ {
-			collector.Reset()
-			opts := sched.Options{
-				Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
-				FlushProb: cfg.FlushProb,
-				MaxSteps:  cfg.MaxStepsPerExec,
-				PORWindow: 64,
-			}
-			res := sched.Run(work, cfg.Model, collector, opts)
+		started := time.Now()
+		// Fan the round's K executions across cfg.Workers goroutines; the
+		// outcome slots come back in execution order, so the merge below is
+		// identical to the serial loop.
+		outcomes := runRound(work, &cfg, round)
+		witnessIdx := -1
+		for i, o := range outcomes {
 			stats.Executions++
 			result.TotalExecutions++
-			if !violates(&cfg, res) {
+			if !o.violated {
 				continue
 			}
 			stats.Violations++
-			if result.Witness == nil && !cfg.NoWitness {
-				// Re-run the same seed traced to capture a reproducible
-				// counterexample schedule.
-				if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); violates(&cfg, wres) {
-					result.Witness = tr
-					result.WitnessViolation = describeViolation(wres)
-				}
+			if witnessIdx < 0 {
+				witnessIdx = i
 			}
-			d := collector.Disjunction()
-			if len(d) == 0 {
+			if len(o.repairs) == 0 {
 				// No candidate repairs: this execution cannot be avoided by
 				// the predicate class (Algorithm 1 aborts here; we record it
 				// and keep going — later rounds may still fix everything
@@ -228,16 +247,30 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 				// executions were spurious for the final program).
 				result.EmptyRepairs++
 				if result.UnfixableExample == "" {
-					result.UnfixableExample = describeViolation(res)
+					result.UnfixableExample = o.desc
 				}
 				continue
 			}
-			if err := formula.AddExecution(d); err != nil {
+			if err := formula.AddExecution(o.repairs); err != nil {
 				return nil, err
 			}
 		}
 		stats.DistinctClauses = formula.NumClauses()
 		stats.Predicates = formula.NumPredicates()
+		stats.Wall = time.Since(started)
+		if s := stats.Wall.Seconds(); s > 0 {
+			stats.ExecsPerSec = float64(stats.Executions) / s
+		}
+		if witnessIdx >= 0 && result.Witness == nil && !cfg.NoWitness {
+			// Re-run the lowest violating seed traced to capture a
+			// reproducible counterexample schedule (the same execution the
+			// serial loop would have traced first).
+			opts := roundOpts(&cfg, round, witnessIdx)
+			if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); violates(&cfg, wres) {
+				result.Witness = tr
+				result.WitnessViolation = describeViolation(wres)
+			}
+		}
 
 		if stats.Violations == 0 {
 			result.Rounds = append(result.Rounds, stats)
@@ -304,10 +337,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 // surviving fences. Validation runs use a disjoint seed block so fences are
 // not kept merely because the synthesis schedules recur.
 func validateFences(orig *ir.Program, cfg *Config, result *Result) error {
-	budget := cfg.ValidateExecs
-	if budget <= 0 {
-		budget = 3 * cfg.ExecsPerRound
-	}
+	budget := cfg.ValidateExecs // fill() defaulted this to 3 * ExecsPerRound
 	// Sweep flush probabilities: a missing fence's violation rate peaks at
 	// model-dependent probabilities (paper Fig. 5), so trying only the
 	// synthesis setting under-detects.
@@ -318,19 +348,17 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result) error {
 		if _, err := synth.InsertFences(p, fences); err != nil {
 			return false, err
 		}
-		for i := 0; i < budget; i++ {
-			opts := sched.Options{
+		// One violation decides the trial, so the batch early-cancels the
+		// remaining workers as soon as any execution violates.
+		_, found := violationBatch(p, cfg, budget, true, func(i int) sched.Options {
+			return sched.Options{
 				Seed:      seedBase + int64(i),
 				FlushProb: probs[i%len(probs)],
 				MaxSteps:  cfg.MaxStepsPerExec,
 				PORWindow: 64,
 			}
-			res := sched.Run(p, cfg.Model, nil, opts)
-			if violates(cfg, res) {
-				return false, nil
-			}
-		}
-		return true, nil
+		})
+		return !found, nil
 	}
 	kept := append([]synth.InsertedFence(nil), result.Fences...)
 	// Try dropping fences newest-first: later rounds react to rarer
@@ -384,18 +412,15 @@ func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.
 	}
 	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	clean := func(p *ir.Program) bool {
-		for i := 0; i < execsPerFence; i++ {
-			opts := sched.Options{
+		_, found := violationBatch(p, &cfg, execsPerFence, true, func(i int) sched.Options {
+			return sched.Options{
 				Seed:      cfg.Seed + int64(i),
 				FlushProb: probs[i%len(probs)],
 				MaxSteps:  cfg.MaxStepsPerExec,
 				PORWindow: 64,
 			}
-			if violates(&cfg, sched.Run(p, cfg.Model, nil, opts)) {
-				return false
-			}
-		}
-		return true
+		})
+		return !found
 	}
 	if !clean(prog) {
 		return nil, fmt.Errorf("core: program violates its specification even with all fences present")
@@ -415,7 +440,10 @@ func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.
 }
 
 // removeFences deletes the fence instructions with the given labels,
-// retargeting branches to their successors.
+// retargeting branches to their successors. A fence that is a function's
+// last instruction has no successor: it is deleted without retargeting,
+// unless a branch targets it (removal would leave the branch dangling, so
+// the fence is kept — such functions fail Program.Validate anyway).
 func removeFences(p *ir.Program, labels []ir.Label) {
 	for _, l := range labels {
 		f := p.FuncOf(l)
@@ -423,25 +451,47 @@ func removeFences(p *ir.Program, labels []ir.Label) {
 			continue
 		}
 		idx := f.IndexOf(l)
-		if idx < 0 || f.Code[idx].Op != ir.OpFence || idx+1 >= len(f.Code) {
+		if idx < 0 || f.Code[idx].Op != ir.OpFence {
 			continue
 		}
-		succ := f.Code[idx+1].Label
-		for j := range f.Code {
-			in := &f.Code[j]
-			if in.Op != ir.OpBr && in.Op != ir.OpCondBr {
-				continue
+		if idx+1 < len(f.Code) {
+			succ := f.Code[idx+1].Label
+			for j := range f.Code {
+				in := &f.Code[j]
+				if in.Op != ir.OpBr && in.Op != ir.OpCondBr {
+					continue
+				}
+				if in.Target == l {
+					in.Target = succ
+				}
+				if in.Op == ir.OpCondBr && in.Target2 == l {
+					in.Target2 = succ
+				}
 			}
-			if in.Target == l {
-				in.Target = succ
-			}
-			if in.Op == ir.OpCondBr && in.Target2 == l {
-				in.Target2 = succ
-			}
+		} else if branchesTo(f, l) {
+			continue
 		}
 		f.Code = append(f.Code[:idx], f.Code[idx+1:]...)
 		f.Rebuild()
 	}
+}
+
+// branchesTo reports whether any branch in f targets label l.
+func branchesTo(f *ir.Func, l ir.Label) bool {
+	for j := range f.Code {
+		in := &f.Code[j]
+		switch in.Op {
+		case ir.OpBr:
+			if in.Target == l {
+				return true
+			}
+		case ir.OpCondBr:
+			if in.Target == l || in.Target2 == l {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // CheckOnly runs n executions without synthesizing and reports how many
@@ -450,17 +500,13 @@ func removeFences(p *ir.Program, labels []ir.Label) {
 // scheduler-effectiveness benchmarks.
 func CheckOnly(prog *ir.Program, cfg Config, n int) (violations int) {
 	cfg.fill()
-	for i := 0; i < n; i++ {
-		opts := sched.Options{
+	violations, _ = violationBatch(prog, &cfg, n, false, func(i int) sched.Options {
+		return sched.Options{
 			Seed:      cfg.Seed + int64(i),
 			FlushProb: cfg.FlushProb,
 			MaxSteps:  cfg.MaxStepsPerExec,
 			PORWindow: 64,
 		}
-		res := sched.Run(prog, cfg.Model, nil, opts)
-		if violates(&cfg, res) {
-			violations++
-		}
-	}
+	})
 	return violations
 }

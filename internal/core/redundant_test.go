@@ -113,6 +113,60 @@ int main() {
 	}
 }
 
+// TestRemoveFencesTrailingFence: a fence that is the last instruction of a
+// function used to be silently skipped by removeFences (idx+1 >= len(Code)),
+// so FindRedundantFences could declare a fence redundant that its trial
+// never actually removed. A trailing fence has no successor to retarget
+// branches to, but with no branch targeting it the deletion is trivially
+// safe — and must happen.
+func TestRemoveFencesTrailingFence(t *testing.T) {
+	prog, err := lang.Compile(overFencedMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs["producer"]
+	trailing := prog.NewLabel()
+	f.Code = append(f.Code, ir.Instr{Label: trailing, Op: ir.OpFence, Kind: ir.FenceFull})
+	f.Rebuild()
+	before := len(f.Code)
+
+	removeFences(prog, []ir.Label{trailing})
+	if len(f.Code) != before-1 {
+		t.Fatalf("trailing fence not removed: %d instructions, want %d", len(f.Code), before-1)
+	}
+	if f.IndexOf(trailing) >= 0 {
+		t.Fatal("trailing fence label still resolves after removal")
+	}
+	if last := &f.Code[len(f.Code)-1]; last.Op != ir.OpRet {
+		t.Fatalf("function no longer ends in ret after removal: %v", last.Op)
+	}
+}
+
+// TestRemoveFencesTrailingFenceBranchTarget: a trailing fence that is a
+// branch target cannot be removed (there is no fallthrough to retarget the
+// branch to); removeFences must keep it rather than leave a dangling
+// branch or crash.
+func TestRemoveFencesTrailingFenceBranchTarget(t *testing.T) {
+	p := ir.NewProgram()
+	l0, l1, l2 := p.NewLabel(), p.NewLabel(), p.NewLabel()
+	f := &ir.Func{Name: "main", NumRegs: 1, Code: []ir.Instr{
+		{Label: l0, Op: ir.OpConst, Dst: 0, Imm: 1},
+		{Label: l1, Op: ir.OpBr, Target: l2},
+		{Label: l2, Op: ir.OpFence, Kind: ir.FenceFull},
+	}}
+	if err := p.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+
+	removeFences(p, []ir.Label{l2})
+	if f.IndexOf(l2) < 0 {
+		t.Fatal("branch-targeted trailing fence was removed, leaving the branch dangling")
+	}
+	if f.Code[1].Target != l2 {
+		t.Fatalf("branch retargeted to L%d although its fence target was kept", f.Code[1].Target)
+	}
+}
+
 // TestFindRedundantFencesOverFencedChaseLev: take the fence-free SPSC-style
 // program from core_test, insert the one required fence plus a gratuitous
 // one, and check that exactly the gratuitous fence is reported.

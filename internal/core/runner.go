@@ -1,0 +1,84 @@
+// Parallel execution engine for the synthesis loop: the glue between
+// sched.RunBatch's worker pool and Algorithm 1's per-round bookkeeping.
+// Seeds keep the serial assignment Seed + round*ExecsPerRound + i, every
+// worker owns a synth.Collector, and per-execution outcomes come back as
+// an index-ordered slice so the caller merges repair disjunctions into the
+// shared synth.Formula deterministically (by execution index, never by
+// completion order). Results are therefore bit-identical for any
+// Config.Workers value.
+package core
+
+import (
+	"context"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/sched"
+	"dfence/internal/synth"
+)
+
+// execOutcome is the per-execution record the engine hands back to the
+// synthesis loop: just enough to merge into φ and account for violations.
+type execOutcome struct {
+	violated bool
+	// repairs is the execution's repair disjunction (violations only; an
+	// empty disjunction means fences cannot avoid this execution).
+	repairs []synth.Predicate
+	// desc describes the violation when repairs is empty (the Unfixable
+	// diagnostics of Result).
+	desc string
+}
+
+// roundOpts builds the scheduler options of execution i of the given
+// round — the one place the seed schedule Seed + round*K + i is encoded.
+func roundOpts(cfg *Config, round, i int) sched.Options {
+	return sched.Options{
+		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
+		FlushProb: cfg.FlushProb,
+		MaxSteps:  cfg.MaxStepsPerExec,
+		PORWindow: 64,
+	}
+}
+
+// runRound fans one round's ExecsPerRound executions of work across
+// cfg.Workers goroutines and returns one outcome slot per execution, in
+// execution order. work is shared read-only across the workers; each
+// execution gets its own interp.Machine and each worker its own collector.
+func runRound(work *ir.Program, cfg *Config, round int) []execOutcome {
+	newObs := func(int) interp.Observer { return synth.NewCollector(cfg.Model) }
+	reduce := func(i int, obs interp.Observer, res *interp.Result) (execOutcome, bool) {
+		coll := obs.(*synth.Collector)
+		if !violates(cfg, res) {
+			coll.Reset()
+			return execOutcome{}, false
+		}
+		out := execOutcome{violated: true, repairs: coll.TakeDisjunction()}
+		if len(out.repairs) == 0 {
+			out.desc = describeViolation(res)
+		}
+		return out, false
+	}
+	return sched.RunBatch(context.Background(), work, cfg.Model, cfg.ExecsPerRound, cfg.Workers,
+		newObs, func(i int) sched.Options { return roundOpts(cfg, round, i) }, reduce)
+}
+
+// violationBatch runs n executions of prog (options supplied per index)
+// and counts violations. With stopEarly, the first violation found cancels
+// the outstanding executions — used by the validation and redundancy
+// trials, where any single violation decides the answer; the count is then
+// a lower bound, but the any-violation verdict is deterministic for every
+// worker count. Without stopEarly all n executions run and the count is
+// exact and deterministic.
+func violationBatch(prog *ir.Program, cfg *Config, n int, stopEarly bool, optsFor func(i int) sched.Options) (violations int, found bool) {
+	slots := sched.RunBatch(context.Background(), prog, cfg.Model, n, cfg.Workers, nil, optsFor,
+		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+			v := violates(cfg, res)
+			return v, v && stopEarly
+		})
+	for _, v := range slots {
+		if v {
+			violations++
+		}
+	}
+	return violations, violations > 0
+}

@@ -35,6 +35,10 @@ type Options struct {
 	// probabilities (defaults 0.1 / 0.5 — §6.5).
 	FlushProbTSO float64
 	FlushProbPSO float64
+	// Workers is the parallel execution engine's worker count, passed
+	// through to core.Config.Workers (0 = NumCPU). Every artifact is
+	// bit-identical for any value.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -137,6 +141,7 @@ func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Mode
 		MaxRounds:        o.MaxRounds,
 		FlushProb:        o.flushFor(model),
 		Seed:             o.Seed,
+		Workers:          o.Workers,
 		ValidateFences:   o.Validate,
 	}
 	res, err := core.Synthesize(b.Program(), cfg)

@@ -48,6 +48,7 @@ func Fig4(ks []int, o Options) ([]Fig4Point, error) {
 				MaxRounds:        10,
 				FlushProb:        o.FlushProbPSO,
 				Seed:             o.Seed,
+				Workers:          o.Workers,
 			}
 			if mode {
 				cfg.MaxRounds = 1
@@ -122,6 +123,7 @@ func Fig5For(bench string, crit spec.Criterion, ps []float64, o Options) ([]Fig5
 			MaxRounds:        o.MaxRounds,
 			FlushProb:        fp,
 			Seed:             o.Seed,
+			Workers:          o.Workers,
 			ValidateFences:   true,
 		}
 		res, err := core.Synthesize(b.Program(), cfg)

@@ -1,0 +1,101 @@
+// Batch execution: the worker-pool engine that fans a block of
+// independent, seed-determined executions across OS threads. DFENCE's
+// synthesis loop (Algorithm 1) gathers K executions per repair round; each
+// execution is fully determined by its sched.Options (in particular the
+// seed), owns its interp.Machine, and only reads the shared *ir.Program —
+// so a round parallelizes embarrassingly. The engine preserves the serial
+// semantics exactly: execution i always runs with optsFor(i), results land
+// in slot i of the returned slice, and callers merge slots in index order,
+// making the outcome bit-identical for any worker count.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// RunBatch executes n independent runs of prog across workers goroutines
+// (workers <= 0 selects runtime.NumCPU; workers == 1 runs serially on the
+// calling goroutine). Execution i runs with optsFor(i). Each worker owns
+// one observer from newObs (nil newObs means no observation); the same
+// observer is reused for every execution the worker performs, so reduce
+// must drain/reset any per-execution observer state before returning.
+//
+// reduce is called once per execution, from the worker goroutine that ran
+// it; calls are concurrent across workers but slot i is written by exactly
+// one worker, so reduce must only touch the observer it was handed and the
+// values it returns. Its T result is stored at out[i]. Returning stop=true
+// cancels the batch: outstanding executions are abandoned (their slots
+// keep T's zero value) and remaining workers drain via the context. The
+// surrounding ctx cancels the batch externally the same way.
+//
+// The shared prog must not be mutated while the batch runs. Interpretation
+// never writes to it (every interp.Machine owns its memory image), which
+// is what makes the fan-out safe — see the -race tests in internal/core.
+func RunBatch[T any](ctx context.Context, prog *ir.Program, model memmodel.Model, n, workers int,
+	newObs func(worker int) interp.Observer,
+	optsFor func(i int) Options,
+	reduce func(i int, obs interp.Observer, res *interp.Result) (T, bool),
+) []T {
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	obsFor := func(w int) interp.Observer {
+		if newObs == nil {
+			return nil
+		}
+		return newObs(w)
+	}
+	if workers <= 1 {
+		obs := obsFor(0)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			res := Run(prog, model, obs, optsFor(i))
+			t, stop := reduce(i, obs, res)
+			out[i] = t
+			if stop {
+				break
+			}
+		}
+		return out
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obs := obsFor(w)
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res := Run(prog, model, obs, optsFor(i))
+				t, stop := reduce(i, obs, res)
+				out[i] = t
+				if stop {
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

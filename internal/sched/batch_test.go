@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// countObs is a trivial observer used to check per-worker ownership.
+type countObs struct{ id int }
+
+func (*countObs) OnSharedAccess(thread int, label ir.Label, kind interp.AccessKind, addr int64, pending []interp.PendingStore) {
+}
+
+// batchOutcome is what the RunBatch tests record per execution.
+type batchOutcome struct {
+	steps  int
+	output []int64
+}
+
+func batchOptsFor(i int) Options {
+	opts := DefaultOptions(int64(i))
+	opts.FlushProb = 0.3
+	return opts
+}
+
+// TestRunBatchMatchesSerial: the same n executions produce identical
+// per-slot results for any worker count — the bit-identity claim the
+// synthesis loop relies on.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	p := buildSB(t)
+	run := func(workers int) []batchOutcome {
+		return RunBatch(context.Background(), p, memmodel.PSO, 64, workers, nil, batchOptsFor,
+			func(i int, _ interp.Observer, res *interp.Result) (batchOutcome, bool) {
+				return batchOutcome{steps: res.Steps, output: res.Output}, false
+			})
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		parallel := run(workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d slots, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if serial[i].steps != parallel[i].steps {
+				t.Fatalf("workers=%d slot %d: steps %d != serial %d", workers, i, parallel[i].steps, serial[i].steps)
+			}
+			if len(serial[i].output) != len(parallel[i].output) {
+				t.Fatalf("workers=%d slot %d: output length differs", workers, i)
+			}
+			for j := range serial[i].output {
+				if serial[i].output[j] != parallel[i].output[j] {
+					t.Fatalf("workers=%d slot %d: output[%d] %d != serial %d",
+						workers, i, j, parallel[i].output[j], serial[i].output[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchEarlyStop: a stop verdict cancels the batch. With one
+// worker the cut is exact; with many workers the stopping slot must still
+// be filled and the batch must terminate.
+func TestRunBatchEarlyStop(t *testing.T) {
+	p := buildSB(t)
+	const stopAt = 5
+	serial := RunBatch(context.Background(), p, memmodel.PSO, 32, 1, nil, batchOptsFor,
+		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+			return true, i == stopAt
+		})
+	for i, ran := range serial {
+		if want := i <= stopAt; ran != want {
+			t.Fatalf("serial early stop: slot %d ran=%v, want %v", i, ran, want)
+		}
+	}
+	parallel := RunBatch(context.Background(), p, memmodel.PSO, 32, 4, nil, batchOptsFor,
+		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+			return true, i == stopAt
+		})
+	if !parallel[stopAt] {
+		t.Fatal("parallel early stop: stopping slot was not recorded")
+	}
+}
+
+// TestRunBatchCancelledContext: a pre-cancelled context runs nothing.
+func TestRunBatchCancelledContext(t *testing.T) {
+	p := buildSB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := RunBatch(ctx, p, memmodel.PSO, 16, workers, nil, batchOptsFor,
+			func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+				return true, false
+			})
+		for i, r := range ran {
+			if r {
+				t.Fatalf("workers=%d: slot %d ran under a cancelled context", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchObserverPerWorker: every worker gets its own observer and
+// reduce receives the observer of the worker that ran the execution.
+func TestRunBatchObserverPerWorker(t *testing.T) {
+	p := buildSB(t)
+	made := make(chan int, 16)
+	RunBatch(context.Background(), p, memmodel.PSO, 16, 4,
+		func(w int) interp.Observer { made <- w; return &countObs{id: w} },
+		batchOptsFor,
+		func(i int, obs interp.Observer, res *interp.Result) (struct{}, bool) {
+			if _, ok := obs.(*countObs); !ok {
+				t.Errorf("slot %d: reduce got observer %T, want *countObs", i, obs)
+			}
+			return struct{}{}, false
+		})
+	close(made)
+	seen := map[int]bool{}
+	for w := range made {
+		if seen[w] {
+			t.Fatalf("worker %d got two observers", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no observers constructed")
+	}
+}

@@ -70,6 +70,16 @@ func (c *Collector) OnSharedAccess(thread int, label ir.Label, kind interp.Acces
 // Reset clears the collector for reuse on the next execution.
 func (c *Collector) Reset() { clear(c.preds) }
 
+// TakeDisjunction returns the execution's disjunction (as Disjunction)
+// and resets the collector in one step — the call the parallel batch
+// runner makes between executions on a reused per-worker collector, so a
+// worker is always clean before its next run regardless of outcome.
+func (c *Collector) TakeDisjunction() []Predicate {
+	out := c.Disjunction()
+	c.Reset()
+	return out
+}
+
 // Disjunction returns the candidate predicates gathered from the
 // execution, sorted deterministically. Empty means the execution cannot
 // be repaired by fences (Algorithm 1: "abort — cannot be fixed").
