@@ -17,12 +17,24 @@
 //	-seq     sequential spec for sc/lin: deque, wsq-lifo, wsq-fifo, queue, set, alloc
 //	-execs   executions per round, K (default 1000)
 //	-rounds  maximum repair rounds (default 10)
-//	-flush   flush probability (default 0.1 tso / 0.5 pso)
+//	-flush   flush probability (0 = 0.1 tso / 0.5 pso, negative = never flush early)
 //	-seed    random seed (default 1)
 //	-j       parallel workers for the execution engine (default NumCPU)
 //	-validate  prune redundant fences after convergence (default true)
 //	-disasm  print the compiled IR and exit
 //	-builtin use a built-in benchmark instead of a file (e.g. chase-lev)
+//
+// Resilience flags (see DESIGN.md, Resilience):
+//
+//	-exec-timeout    wall-clock budget per execution (0 = none); runs that
+//	                 exceed it count as inconclusive
+//	-deadline        wall-clock budget for the whole synthesis (0 = none);
+//	                 on expiry the partial rounds are reported as aborted
+//	-min-conclusive  floor on the conclusive fraction of a violation-free
+//	                 round for it to count as convergence
+//	                 (0 = default 0.5, negative = disabled)
+//	-max-models      cap on minimal-model enumeration per round
+//	                 (0 = default 4096, negative = unlimited)
 package main
 
 import (
@@ -46,8 +58,12 @@ func main() {
 		seqF     = flag.String("seq", "deque", "sequential specification: deque, wsq-lifo, wsq-fifo, queue, set, alloc")
 		execs    = flag.Int("execs", 1000, "executions per round (K)")
 		rounds   = flag.Int("rounds", 10, "maximum repair rounds")
-		flushP   = flag.Float64("flush", 0, "flush probability (0 = model default)")
+		flushP   = flag.Float64("flush", 0, "flush probability (0 = model default, negative = never flush early)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		execTO   = flag.Duration("exec-timeout", 0, "wall-clock budget per execution (0 = none)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole synthesis (0 = none)")
+		minConc  = flag.Float64("min-conclusive", 0, "conclusive fraction a violation-free round needs to converge (0 = default 0.5, negative = disabled)")
+		maxMod   = flag.Int("max-models", 0, "cap on minimal-model enumeration per round (0 = default 4096, negative = unlimited)")
 		jobs     = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); results are identical for any value")
 		validate = flag.Bool("validate", true, "prune redundant fences after convergence")
 		disasm   = flag.Bool("disasm", false, "print compiled IR and exit")
@@ -94,6 +110,10 @@ func main() {
 		Workers:        *jobs,
 		ValidateFences: *validate,
 		EnforceWithCAS: *withCAS,
+		ExecTimeout:    *execTO,
+		Deadline:       *deadline,
+		MinConclusive:  *minConc,
+		MaxModels:      *maxMod,
 	}
 	if benchmark != nil {
 		cfg.NewSpec = benchmark.NewSpec()
@@ -161,22 +181,39 @@ func loadProgram(builtin string, args []string) (*ir.Program, *progs.Benchmark, 
 }
 
 func report(res *core.Result, model memmodel.Model, crit spec.Criterion) {
-	fmt.Printf("model=%v spec=%v rounds=%d executions=%d\n", model, crit, len(res.Rounds), res.TotalExecutions)
-	for i, r := range res.Rounds {
-		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted (%.0f execs/s)\n",
-			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted), r.ExecsPerSec)
+	fmt.Printf("model=%v spec=%v rounds=%d executions=%d", model, crit, len(res.Rounds), res.TotalExecutions)
+	if res.TotalInconclusive > 0 {
+		fmt.Printf(" inconclusive=%d", res.TotalInconclusive)
 	}
-	switch {
-	case res.Unfixable:
+	fmt.Println()
+	for i, r := range res.Rounds {
+		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted (%.0f execs/s)",
+			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted), r.ExecsPerSec)
+		if r.Inconclusive > 0 || r.Skipped > 0 {
+			fmt.Printf(", %d inconclusive (%d errored), %d skipped, %.0f%% conclusive",
+				r.Inconclusive, r.Errors, r.Skipped, 100*r.ConclusiveFraction())
+		}
+		fmt.Println()
+	}
+	switch res.Outcome {
+	case core.OutcomeUnfixable:
 		fmt.Println("result: CANNOT SATISFY — a violation has no fence-based repair")
 		fmt.Println("  example:", res.UnfixableExample)
-	case !res.Converged:
-		fmt.Println("result: did not converge within the round budget")
+	case core.OutcomeAborted:
+		fmt.Println("result: aborted — the -deadline expired; rounds above are partial")
+	case core.OutcomeInconclusive:
+		fmt.Println("result: inconclusive — round budget exhausted without a conclusive violation-free round")
 	default:
 		fmt.Println("result: converged")
 	}
+	if res.SolverTruncated {
+		fmt.Println("note: solver enumeration hit its budget; repairs are best-effort, not provably minimal")
+	}
+	for _, e := range res.ExecErrors {
+		fmt.Printf("note: %v\n", e)
+	}
 	if res.Redundant > 0 {
-		fmt.Printf("validation pruned %d redundant fence(s)\n", res.Redundant)
+		fmt.Printf("validation pruned %d redundant fence(s) of %d synthesized\n", res.Redundant, res.SynthesizedFences)
 	}
 	if res.Witness != nil {
 		fmt.Printf("witness (%s): %d scheduling decisions, replayable with sched.Replay\n",

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"dfence/internal/interp"
 	"dfence/internal/ir"
 	"dfence/internal/memmodel"
+	"dfence/internal/sat"
 	"dfence/internal/sched"
 	"dfence/internal/spec"
 	"dfence/internal/synth"
@@ -46,7 +48,10 @@ type Config struct {
 	// MaxRounds bounds the number of repair rounds. Default 12.
 	MaxRounds int
 	// FlushProb is the scheduler's flush probability (§6.5: ≈0.1 for TSO,
-	// ≈0.5 for PSO). If zero, the model-specific default is used.
+	// ≈0.5 for PSO). Zero selects the model-specific default; a negative
+	// value explicitly requests probability 0 (never flush early — the low
+	// end of the §6.5 Figure 5 sweep), which the zero-means-default
+	// convention could not express.
 	FlushProb float64
 	// MaxStepsPerExec bounds each execution. Default 100000.
 	MaxStepsPerExec int
@@ -85,6 +90,42 @@ type Config struct {
 	// NoWitness disables counterexample capture (one extra traced
 	// execution when the first violation is found).
 	NoWitness bool
+	// ExecTimeout bounds each round execution's wall-clock time (0 =
+	// none). A run that exceeds it stops and is counted Inconclusive —
+	// the guard against pathological schedules that MaxStepsPerExec alone
+	// cannot bound in time. Wall-clock cuts are machine-dependent, so
+	// leave it zero when bit-identical results across runs matter.
+	ExecTimeout time.Duration
+	// RoundTimeout bounds each round's execution batch (0 = none).
+	// Executions still in flight when it expires stop and count
+	// Inconclusive; not-yet-started ones are Skipped.
+	RoundTimeout time.Duration
+	// Deadline bounds the whole repair loop's wall-clock time (0 = none).
+	// When it expires, the in-flight round is cut short, the rounds
+	// completed so far are kept, and the Result reports Outcome ==
+	// OutcomeAborted. The post-convergence validation and merge passes are
+	// not covered; bound those with ValidateExecs.
+	Deadline time.Duration
+	// MinConclusive is the floor on the fraction of a round's execution
+	// budget that must be conclusive (not step-limited, timed out,
+	// errored, or skipped) for a violation-free round to count as
+	// convergence — the guard against vacuous convergence, where a round
+	// "sees no violations" only because nearly every run was cut off.
+	// 0 selects the default 0.5; negative disables the floor.
+	MinConclusive float64
+	// MaxModels caps the solver's minimal-model enumeration per round
+	// (0 = default 4096, negative = unlimited). SolverTimeout additionally
+	// bounds the enumeration in wall clock (0 = none). Hitting either
+	// budget degrades gracefully — the round enforces the best repair
+	// found so far — and sets Result.SolverTruncated.
+	MaxModels     int
+	SolverTimeout time.Duration
+	// OptionsHook, if non-nil, may rewrite the scheduler options of
+	// synthesis-round execution (round, index) before it runs — the
+	// fault-injection harness's entry point (internal/faultinject), also
+	// usable for per-execution tuning. It is not applied to the
+	// validation, redundancy, or CheckOnly trials.
+	OptionsHook func(round, index int, opts sched.Options) sched.Options
 }
 
 func (c *Config) fill() {
@@ -94,7 +135,9 @@ func (c *Config) fill() {
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 12
 	}
-	if c.FlushProb <= 0 {
+	if c.FlushProb < 0 {
+		c.FlushProb = 0 // explicit "never flush early" (sentinel)
+	} else if c.FlushProb == 0 {
 		if c.Model == memmodel.TSO {
 			c.FlushProb = 0.1
 		} else {
@@ -110,6 +153,55 @@ func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
+	if c.MinConclusive == 0 {
+		c.MinConclusive = 0.5
+	} else if c.MinConclusive < 0 {
+		c.MinConclusive = 0 // floor disabled: legacy convergence semantics
+	}
+	if c.MaxModels == 0 {
+		c.MaxModels = 4096
+	} else if c.MaxModels < 0 {
+		c.MaxModels = 0 // unlimited for sat.Budget
+	}
+}
+
+// solverBudget translates the config's solver knobs into a sat.Budget.
+func (c *Config) solverBudget() sat.Budget {
+	return sat.Budget{MaxModels: c.MaxModels, Timeout: c.SolverTimeout}
+}
+
+// Outcome classifies how a synthesis ended — the unambiguous replacement
+// for reading the Converged/Unfixable boolean pair.
+type Outcome uint8
+
+const (
+	// OutcomeInconclusive: the round budget ran out without a conclusive
+	// answer — either violations persisted without an unfixable witness,
+	// or a violation-free round fell below the MinConclusive floor
+	// (vacuous convergence). Also the zero value.
+	OutcomeInconclusive Outcome = iota
+	// OutcomeConverged: a sufficiently conclusive round saw no violations.
+	OutcomeConverged
+	// OutcomeUnfixable: synthesis did not converge and some violating
+	// execution had no candidate repairs (the paper's Table 3 "-").
+	OutcomeUnfixable
+	// OutcomeAborted: the Config.Deadline expired; Rounds holds whatever
+	// completed before the cut.
+	OutcomeAborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeInconclusive:
+		return "inconclusive"
+	case OutcomeConverged:
+		return "converged"
+	case OutcomeUnfixable:
+		return "unfixable"
+	case OutcomeAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
 
 // Round records one repair round's statistics.
@@ -118,6 +210,16 @@ type Round struct {
 	Executions int
 	// Violations is how many of them violated the specification.
 	Violations int
+	// Inconclusive counts executions that ran but produced no verdict:
+	// step-limit hits, wall-clock timeouts, and errored (panicked) runs.
+	Inconclusive int
+	// Errors counts the executions whose interpreter or observer panicked
+	// (a subset of Inconclusive); the structured errors land in
+	// Result.ExecErrors.
+	Errors int
+	// Skipped counts executions never started because the round was cut
+	// off (deadline, round timeout, or an externally cancelled batch).
+	Skipped int
 	// DistinctClauses is the number of distinct repair disjunctions
 	// accumulated into φ.
 	DistinctClauses int
@@ -133,6 +235,20 @@ type Round struct {
 	ExecsPerSec float64
 }
 
+// ConclusiveFraction is the share of the round's execution budget that
+// produced a verdict — the coverage number the MinConclusive floor guards.
+func (r *Round) ConclusiveFraction() float64 {
+	total := r.Executions + r.Skipped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Executions-r.Inconclusive) / float64(total)
+}
+
+// maxExecErrors caps how many structured execution errors a Result keeps;
+// the per-round Errors counters still account for all of them.
+const maxExecErrors = 8
+
 // Result is the outcome of Synthesize.
 type Result struct {
 	// Program is the repaired program (a clone; the input is untouched).
@@ -141,7 +257,12 @@ type Result struct {
 	Fences []synth.InsertedFence
 	// Rounds holds per-round statistics.
 	Rounds []Round
-	// Converged reports that the final round saw no violations.
+	// Outcome classifies the ending: OutcomeConverged, OutcomeUnfixable,
+	// OutcomeInconclusive, or OutcomeAborted. Prefer it over the
+	// Converged/Unfixable pair, which cannot express the latter two.
+	Outcome Outcome
+	// Converged reports that the final round saw no violations and met
+	// the MinConclusive coverage floor (Outcome == OutcomeConverged).
 	Converged bool
 	// Unfixable reports that synthesis did not converge and at least one
 	// violating execution had no candidate repairs — fences cannot fix the
@@ -155,6 +276,19 @@ type Result struct {
 	UnfixableExample string
 	// TotalExecutions counts all runs across rounds.
 	TotalExecutions int
+	// TotalInconclusive counts, across rounds, the executions that
+	// produced no verdict (inconclusive) or never ran (skipped) — the
+	// complement of the synthesis's effective coverage.
+	TotalInconclusive int
+	// ExecErrors holds the first maxExecErrors structured errors from
+	// executions whose interpreter or observer panicked; each names the
+	// round, index, and seed that reproduce the failure with sched.Run.
+	// The per-round Errors counters account for every occurrence.
+	ExecErrors []*sched.ExecError
+	// SolverTruncated reports that some round's minimal-model enumeration
+	// hit the MaxModels/SolverTimeout budget: the enforced repairs were
+	// the best found within budget, not a provably minimal choice.
+	SolverTruncated bool
 	// MergedAway is the number of redundant fences removed by the merge
 	// pass (0 if disabled).
 	MergedAway int
@@ -176,37 +310,75 @@ type Result struct {
 // Summary renders a human-readable account of the synthesis.
 func (r *Result) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "rounds=%d executions=%d converged=%v", len(r.Rounds), r.TotalExecutions, r.Converged)
+	fmt.Fprintf(&b, "rounds=%d executions=%d converged=%v outcome=%v",
+		len(r.Rounds), r.TotalExecutions, r.Converged, r.Outcome)
+	if r.TotalInconclusive > 0 {
+		fmt.Fprintf(&b, " inconclusive=%d", r.TotalInconclusive)
+	}
 	if r.Unfixable {
 		fmt.Fprintf(&b, " UNFIXABLE (%s)", r.UnfixableExample)
 	}
 	for i, rd := range r.Rounds {
 		fmt.Fprintf(&b, "\nround %d: %d/%d violations in %s (%.0f execs/s)",
 			i+1, rd.Violations, rd.Executions, rd.Wall.Round(time.Millisecond), rd.ExecsPerSec)
+		if rd.Inconclusive > 0 || rd.Skipped > 0 {
+			fmt.Fprintf(&b, ", %d inconclusive (%d errored), %d skipped, %.0f%% conclusive",
+				rd.Inconclusive, rd.Errors, rd.Skipped, 100*rd.ConclusiveFraction())
+		}
 	}
 	fmt.Fprintf(&b, "\nfences inserted: %d", len(r.Fences))
+	if r.SynthesizedFences > len(r.Fences) || r.Redundant > 0 {
+		fmt.Fprintf(&b, " (synthesized %d, %d pruned as redundant)", r.SynthesizedFences, r.Redundant)
+	}
 	for _, f := range r.Fences {
 		fmt.Fprintf(&b, "\n  %s", f)
 	}
 	if r.MergedAway > 0 {
 		fmt.Fprintf(&b, "\nmerged away: %d", r.MergedAway)
 	}
+	if r.SolverTruncated {
+		b.WriteString("\nsolver enumeration truncated by budget (repairs best-effort, not provably minimal)")
+	}
+	if r.WitnessViolation != "" {
+		fmt.Fprintf(&b, "\nwitness violation: %s", r.WitnessViolation)
+	}
+	for _, e := range r.ExecErrors {
+		fmt.Fprintf(&b, "\nexec error: %v", e)
+	}
 	return b.String()
 }
 
-// violates judges one execution against the configuration's specification.
-func violates(cfg *Config, res *interp.Result) bool {
-	if res.StepLimitHit {
-		return false // inconclusive
+// verdict is the three-valued judgement of one execution.
+type verdict uint8
+
+const (
+	// verdictClean: the execution completed and satisfied the spec.
+	verdictClean verdict = iota
+	// verdictViolation: the execution completed and violated the spec.
+	verdictViolation
+	// verdictInconclusive: the execution was cut off (step limit or
+	// wall-clock budget) before a verdict was possible. Previously such
+	// runs were silently lumped with "no violation"; now they are counted
+	// per round so coverage is visible.
+	verdictInconclusive
+)
+
+// judge classifies one execution against the configuration's specification.
+func judge(cfg *Config, res *interp.Result) verdict {
+	if res.StepLimitHit || res.TimedOut {
+		return verdictInconclusive
 	}
 	if res.Violation != nil {
-		return true
+		return verdictViolation
 	}
 	ops := spec.CompleteOps(res.History)
 	if cfg.RelaxStealAborts {
 		ops = spec.RelaxStealAborts(ops)
 	}
-	return !spec.Check(cfg.Criterion, ops, cfg.NewSpec, cfg.CheckGarbage)
+	if spec.Check(cfg.Criterion, ops, cfg.NewSpec, cfg.CheckGarbage) {
+		return verdictClean
+	}
+	return verdictViolation
 }
 
 // Synthesize runs Algorithm 1 on a clone of prog and returns the repaired
@@ -220,6 +392,17 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	work := prog.Clone()
 	result := &Result{Program: work}
 
+	// The deadline context bounds the whole repair loop: rounds run under
+	// it, and once it expires the in-flight round's remaining executions
+	// are skipped and the loop records OutcomeAborted.
+	ctx := context.Background()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	aborted := false
+
 	for round := 0; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
 		stats := Round{}
@@ -227,11 +410,27 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		// Fan the round's K executions across cfg.Workers goroutines; the
 		// outcome slots come back in execution order, so the merge below is
 		// identical to the serial loop.
-		outcomes := runRound(work, &cfg, round)
+		outcomes := runRound(ctx, work, &cfg, round)
 		witnessIdx := -1
 		for i, o := range outcomes {
+			if !o.ran {
+				stats.Skipped++
+				continue
+			}
 			stats.Executions++
 			result.TotalExecutions++
+			if o.err != nil {
+				stats.Errors++
+				stats.Inconclusive++
+				if len(result.ExecErrors) < maxExecErrors {
+					result.ExecErrors = append(result.ExecErrors, o.err)
+				}
+				continue
+			}
+			if o.inconclusive {
+				stats.Inconclusive++
+				continue
+			}
 			if !o.violated {
 				continue
 			}
@@ -255,6 +454,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		result.TotalInconclusive += stats.Inconclusive + stats.Skipped
 		stats.DistinctClauses = formula.NumClauses()
 		stats.Predicates = formula.NumPredicates()
 		stats.Wall = time.Since(started)
@@ -266,23 +466,39 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			// reproducible counterexample schedule (the same execution the
 			// serial loop would have traced first).
 			opts := roundOpts(&cfg, round, witnessIdx)
-			if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); violates(&cfg, wres) {
+			if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); judge(&cfg, wres) == verdictViolation {
 				result.Witness = tr
 				result.WitnessViolation = describeViolation(wres)
 			}
 		}
 
+		if ctx.Err() != nil {
+			// The deadline expired during (or before) this round. Keep the
+			// partial round's statistics but trust no verdict from it.
+			result.Rounds = append(result.Rounds, stats)
+			aborted = true
+			break
+		}
 		if stats.Violations == 0 {
 			result.Rounds = append(result.Rounds, stats)
-			result.Converged = true
-			break
+			if stats.ConclusiveFraction() >= cfg.MinConclusive {
+				result.Converged = true
+				break
+			}
+			// Vacuous round: no violations, but too few executions produced
+			// a verdict for "no violations" to mean anything. Keep going
+			// with fresh seeds rather than declaring convergence.
+			continue
 		}
 		if formula.Empty() {
 			// Every violation this round was unfixable.
 			result.Rounds = append(result.Rounds, stats)
 			break
 		}
-		sols := formula.MinimalSolutions()
+		sols, truncated := formula.MinimalSolutionsBudget(cfg.solverBudget())
+		if truncated {
+			result.SolverTruncated = true
+		}
 		chosen := sols[0] // smallest, lexicographically first (deterministic)
 		if cfg.NoMinimize {
 			// Ablation: take the union of all predicates in the largest
@@ -320,6 +536,16 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	}
 
 	result.Unfixable = !result.Converged && result.EmptyRepairs > 0
+	switch {
+	case aborted:
+		result.Outcome = OutcomeAborted
+	case result.Converged:
+		result.Outcome = OutcomeConverged
+	case result.Unfixable:
+		result.Outcome = OutcomeUnfixable
+	default:
+		result.Outcome = OutcomeInconclusive
+	}
 	result.SynthesizedFences = len(result.Fences)
 	if cfg.ValidateFences && !cfg.EnforceWithCAS && result.Converged && len(result.Fences) > 0 {
 		if err := validateFences(prog, &cfg, result); err != nil {

@@ -5,7 +5,8 @@
 // an index-ordered slice so the caller merges repair disjunctions into the
 // shared synth.Formula deterministically (by execution index, never by
 // completion order). Results are therefore bit-identical for any
-// Config.Workers value.
+// Config.Workers value (wall-clock budgets, when enabled, are the one
+// opt-in source of nondeterminism).
 package core
 
 import (
@@ -18,9 +19,15 @@ import (
 )
 
 // execOutcome is the per-execution record the engine hands back to the
-// synthesis loop: just enough to merge into φ and account for violations.
+// synthesis loop: just enough to merge into φ and account for the
+// three-valued verdict. The zero value means "never ran" (skipped).
 type execOutcome struct {
-	violated bool
+	ran          bool
+	violated     bool
+	inconclusive bool
+	// err is the structured panic report when the execution's interpreter
+	// or observer panicked (such executions also count inconclusive).
+	err *sched.ExecError
 	// repairs is the execution's repair disjunction (violations only; an
 	// empty disjunction means fences cannot avoid this execution).
 	repairs []synth.Predicate
@@ -31,34 +38,56 @@ type execOutcome struct {
 
 // roundOpts builds the scheduler options of execution i of the given
 // round — the one place the seed schedule Seed + round*K + i is encoded.
+// Config.OptionsHook gets the last word (the fault-injection seam).
 func roundOpts(cfg *Config, round, i int) sched.Options {
-	return sched.Options{
+	opts := sched.Options{
 		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
 		FlushProb: cfg.FlushProb,
 		MaxSteps:  cfg.MaxStepsPerExec,
 		PORWindow: 64,
+		Timeout:   cfg.ExecTimeout,
 	}
+	if cfg.OptionsHook != nil {
+		opts = cfg.OptionsHook(round, i, opts)
+	}
+	return opts
 }
 
 // runRound fans one round's ExecsPerRound executions of work across
 // cfg.Workers goroutines and returns one outcome slot per execution, in
 // execution order. work is shared read-only across the workers; each
 // execution gets its own interp.Machine and each worker its own collector.
-func runRound(work *ir.Program, cfg *Config, round int) []execOutcome {
+// Slots whose execution never started (ctx or RoundTimeout expired first)
+// come back as the zero outcome with ran == false.
+func runRound(ctx context.Context, work *ir.Program, cfg *Config, round int) []execOutcome {
+	if cfg.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.RoundTimeout)
+		defer cancel()
+	}
 	newObs := func(int) interp.Observer { return synth.NewCollector(cfg.Model) }
-	reduce := func(i int, obs interp.Observer, res *interp.Result) (execOutcome, bool) {
+	reduce := func(i int, obs interp.Observer, res *interp.Result, err *sched.ExecError) (execOutcome, bool) {
 		coll := obs.(*synth.Collector)
-		if !violates(cfg, res) {
-			coll.Reset()
-			return execOutcome{}, false
+		if err != nil {
+			coll.Reset() // a panicked run may leave partial predicates behind
+			err.Round = round
+			return execOutcome{ran: true, inconclusive: true, err: err}, false
 		}
-		out := execOutcome{violated: true, repairs: coll.TakeDisjunction()}
+		switch judge(cfg, res) {
+		case verdictInconclusive:
+			coll.Reset()
+			return execOutcome{ran: true, inconclusive: true}, false
+		case verdictClean:
+			coll.Reset()
+			return execOutcome{ran: true}, false
+		}
+		out := execOutcome{ran: true, violated: true, repairs: coll.TakeDisjunction()}
 		if len(out.repairs) == 0 {
 			out.desc = describeViolation(res)
 		}
 		return out, false
 	}
-	return sched.RunBatch(context.Background(), work, cfg.Model, cfg.ExecsPerRound, cfg.Workers,
+	return sched.RunBatch(ctx, work, cfg.Model, cfg.ExecsPerRound, cfg.Workers,
 		newObs, func(i int) sched.Options { return roundOpts(cfg, round, i) }, reduce)
 }
 
@@ -68,11 +97,15 @@ func runRound(work *ir.Program, cfg *Config, round int) []execOutcome {
 // trials, where any single violation decides the answer; the count is then
 // a lower bound, but the any-violation verdict is deterministic for every
 // worker count. Without stopEarly all n executions run and the count is
-// exact and deterministic.
+// exact and deterministic. Panicked and inconclusive executions count as
+// non-violating here: the trials only ask "did any run expose a bug".
 func violationBatch(prog *ir.Program, cfg *Config, n int, stopEarly bool, optsFor func(i int) sched.Options) (violations int, found bool) {
 	slots := sched.RunBatch(context.Background(), prog, cfg.Model, n, cfg.Workers, nil, optsFor,
-		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
-			v := violates(cfg, res)
+		func(i int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (bool, bool) {
+			if err != nil {
+				return false, false
+			}
+			v := judge(cfg, res) == verdictViolation
 			return v, v && stopEarly
 		})
 	for _, v := range slots {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dfence/internal/core"
 	"dfence/internal/ir"
@@ -39,6 +40,11 @@ type Options struct {
 	// through to core.Config.Workers (0 = NumCPU). Every artifact is
 	// bit-identical for any value.
 	Workers int
+	// ExecTimeout and Deadline pass through to the matching core.Config
+	// budgets (0 = none) so long table runs degrade to partial, clearly
+	// flagged cells instead of hanging.
+	ExecTimeout time.Duration
+	Deadline    time.Duration
 }
 
 func (o *Options) fill() {
@@ -90,15 +96,31 @@ type Cell struct {
 	Fences      []FenceDesc
 	Converged   bool
 	Unfixable   bool
+	Outcome     core.Outcome
 	Synthesized int // before validation
 	Executions  int
+	// Inconclusive counts the executions of the run that produced no
+	// verdict (step-limit hits, timeouts, panics) or never ran; Coverage is
+	// the conclusive fraction of the run's total execution budget. Together
+	// they qualify the cell: a "-" or "?" backed by 20% coverage says far
+	// less than one backed by 100%.
+	Inconclusive int
+	Coverage     float64
 }
 
 // String renders the cell Table 3 style: "0" for no fences, "-" for
-// cannot-satisfy.
+// cannot-satisfy, "?" for an inconclusive run (round budget exhausted, or
+// too many executions cut off for a clean round to count), "!" for a run
+// aborted by the deadline.
 func (c Cell) String() string {
-	if c.Unfixable || !c.Converged {
+	if c.Unfixable {
 		return "-"
+	}
+	if !c.Converged {
+		if c.Outcome == core.OutcomeAborted {
+			return "!"
+		}
+		return "?"
 	}
 	if len(c.Fences) == 0 {
 		return "0"
@@ -143,6 +165,8 @@ func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Mode
 		Seed:             o.Seed,
 		Workers:          o.Workers,
 		ValidateFences:   o.Validate,
+		ExecTimeout:      o.ExecTimeout,
+		Deadline:         o.Deadline,
 	}
 	res, err := core.Synthesize(b.Program(), cfg)
 	if err != nil {
@@ -153,10 +177,20 @@ func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Mode
 
 func cellFrom(res *core.Result) Cell {
 	c := Cell{
-		Converged:   res.Converged,
-		Unfixable:   res.Unfixable,
-		Synthesized: res.SynthesizedFences,
-		Executions:  res.TotalExecutions,
+		Converged:    res.Converged,
+		Unfixable:    res.Unfixable,
+		Outcome:      res.Outcome,
+		Synthesized:  res.SynthesizedFences,
+		Executions:   res.TotalExecutions,
+		Inconclusive: res.TotalInconclusive,
+		Coverage:     1,
+	}
+	skipped := 0
+	for _, r := range res.Rounds {
+		skipped += r.Skipped
+	}
+	if budget := res.TotalExecutions + skipped; budget > 0 {
+		c.Coverage = float64(budget-res.TotalInconclusive) / float64(budget)
 	}
 	for _, f := range res.Fences {
 		c.Fences = append(c.Fences, DescribeFence(res.Program, f))
@@ -216,7 +250,7 @@ func Table3(benchmarks []*progs.Benchmark, o Options) ([]Row, error) {
 			row.Cells[crit] = map[memmodel.Model]Cell{}
 			for _, m := range models {
 				if b.SkipSeqCheck && crit != spec.MemorySafety {
-					row.Cells[crit][m] = Cell{Converged: false, Unfixable: true}
+					row.Cells[crit][m] = Cell{Unfixable: true, Outcome: core.OutcomeUnfixable, Coverage: 1}
 					continue
 				}
 				cell, err := SynthesizeCell(b, crit, m, o)
@@ -245,6 +279,25 @@ func FormatTable3(rows []Row) string {
 		fmt.Fprintf(&b, "%-14s | %-28s | %-44s | %-44s | %5d %5d %5d\n",
 			r.Benchmark.Name, cell(spec.MemorySafety), cell(spec.SeqConsistency),
 			cell(spec.Linearizability), r.SourceLOC, r.IRInstrs, r.InsertionPoints)
+	}
+	// Coverage notes: cells whose runs had inconclusive or skipped
+	// executions, so a "-"/"?"/"!" can be weighed by how much of the
+	// execution budget actually produced verdicts.
+	notes := ""
+	for _, r := range rows {
+		for _, crit := range criteria {
+			for _, m := range models {
+				c := r.Cells[crit][m]
+				if c.Inconclusive == 0 {
+					continue
+				}
+				notes += fmt.Sprintf("  %s %v/%v: %s with %.0f%% conclusive coverage (%d inconclusive)\n",
+					r.Benchmark.Name, crit, m, c.String(), 100*c.Coverage, c.Inconclusive)
+			}
+		}
+	}
+	if notes != "" {
+		b.WriteString("coverage:\n" + notes)
 	}
 	return b.String()
 }

@@ -21,6 +21,8 @@ type Fig4Point struct {
 	Rounds        int
 	Executions    int
 	Converged     bool
+	Outcome       core.Outcome
+	Inconclusive  int
 }
 
 // Fig4Subject is the paper's Figure 4 configuration: Cilk's THE under the
@@ -64,6 +66,8 @@ func Fig4(ks []int, o Options) ([]Fig4Point, error) {
 				Rounds:        len(res.Rounds),
 				Executions:    res.TotalExecutions,
 				Converged:     res.Converged,
+				Outcome:       res.Outcome,
+				Inconclusive:  res.TotalInconclusive,
 			})
 		}
 	}
@@ -74,13 +78,13 @@ func Fig4(ks []int, o Options) ([]Fig4Point, error) {
 func FormatFig4(pts []Fig4Point) string {
 	var b strings.Builder
 	b.WriteString("Figure 4: inferred fences vs executions per round (Cilk THE, SC, PSO)\n")
-	fmt.Fprintf(&b, "%-12s %-14s %-8s %-8s %-12s %-10s\n", "mode", "execs/round", "fences", "rounds", "total execs", "converged")
+	fmt.Fprintf(&b, "%-12s %-14s %-8s %-8s %-12s %-14s %-8s\n", "mode", "execs/round", "fences", "rounds", "total execs", "outcome", "inconcl")
 	for _, p := range pts {
 		mode := "multi-round"
 		if p.OneRound {
 			mode = "one-round"
 		}
-		fmt.Fprintf(&b, "%-12s %-14d %-8d %-8d %-12d %-10v\n", mode, p.ExecsPerRound, p.Fences, p.Rounds, p.Executions, p.Converged)
+		fmt.Fprintf(&b, "%-12s %-14d %-8d %-8d %-12d %-14v %-8d\n", mode, p.ExecsPerRound, p.Fences, p.Rounds, p.Executions, p.Outcome, p.Inconclusive)
 	}
 	return b.String()
 }

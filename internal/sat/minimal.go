@@ -1,6 +1,26 @@
 package sat
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
+
+// Budget bounds minimal-model enumeration. The zero value means unlimited
+// (the paper's behaviour: enumerate every minimal model). When a bound
+// trips, enumeration degrades gracefully: the models found so far are
+// returned (sorted as usual) with truncated=true, so callers can proceed
+// with the best repairs discovered instead of hanging on a pathological φ.
+type Budget struct {
+	// MaxModels stops enumeration after this many distinct minimal models
+	// (<= 0: unlimited).
+	MaxModels int
+	// Timeout bounds the enumeration's wall-clock time (<= 0: unlimited).
+	// Granularity is per model found: the check runs between solver calls,
+	// so a single very hard Solve can overrun it.
+	Timeout time.Duration
+}
+
+func (b Budget) unlimited() bool { return b.MaxModels <= 0 && b.Timeout <= 0 }
 
 // MinimalModels enumerates the minimal models of a *monotone* CNF formula:
 // every clause contains only positive literals, so models are upward
@@ -23,6 +43,18 @@ import "sort"
 // The result is deterministic: each model is a sorted variable set, and
 // the models are sorted by (size, lexicographic).
 func MinimalModels(nvars int, clauses [][]Lit) [][]int {
+	out, _ := MinimalModelsBudget(nvars, clauses, Budget{})
+	return out
+}
+
+// MinimalModelsBudget is MinimalModels under an enumeration budget. When
+// the budget trips before the enumeration is exhausted, the minimal models
+// found so far are returned with truncated=true; each returned model is
+// still irredundant (the greedy shrink runs per model, not at the end), so
+// a truncated answer is a sound — merely possibly incomplete — repair set.
+// The MaxModels cutoff is deterministic; the Timeout cutoff is wall-clock
+// and therefore machine-dependent.
+func MinimalModelsBudget(nvars int, clauses [][]Lit, budget Budget) (models [][]int, truncated bool) {
 	s := NewSolver()
 	for i := 0; i < nvars; i++ {
 		s.NewVar()
@@ -33,6 +65,10 @@ func MinimalModels(nvars int, clauses [][]Lit) [][]int {
 			panic(err)
 		}
 	}
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = time.Now().Add(budget.Timeout)
+	}
 	seen := make(map[string]bool)
 	var out [][]int
 	_, err := s.SolveWithBlocking(func(model map[int]bool) []Lit {
@@ -42,12 +78,19 @@ func MinimalModels(nvars int, clauses [][]Lit) [][]int {
 			seen[key] = true
 			out = append(out, min)
 		}
+		if len(min) == 0 {
+			return nil // empty model satisfies everything: stop
+		}
+		if !budget.unlimited() {
+			if (budget.MaxModels > 0 && len(out) >= budget.MaxModels) ||
+				(!deadline.IsZero() && time.Now().After(deadline)) {
+				truncated = true
+				return nil // budget exhausted: keep what we have
+			}
+		}
 		block := make([]Lit, len(min))
 		for i, v := range min {
 			block[i] = Lit(-v)
-		}
-		if len(block) == 0 {
-			return nil // empty model satisfies everything: stop
 		}
 		return block
 	})
@@ -66,7 +109,7 @@ func MinimalModels(nvars int, clauses [][]Lit) [][]int {
 		}
 		return false
 	})
-	return out
+	return out, truncated
 }
 
 // shrink reduces a model of a monotone formula to an irredundant one.

@@ -27,13 +27,22 @@ import (
 // observer is reused for every execution the worker performs, so reduce
 // must drain/reset any per-execution observer state before returning.
 //
+// Panic isolation: every execution runs under recover. A panic in the
+// interpreter or an observer does not kill the batch (or the process) —
+// reduce is invoked for that slot with res == nil and a structured
+// *ExecError carrying the execution's index, seed, panic value, and stack,
+// so one poisoned seed is reported while the remaining slots complete
+// normally. Exactly one of res/err is non-nil.
+//
 // reduce is called once per execution, from the worker goroutine that ran
 // it; calls are concurrent across workers but slot i is written by exactly
 // one worker, so reduce must only touch the observer it was handed and the
 // values it returns. Its T result is stored at out[i]. Returning stop=true
 // cancels the batch: outstanding executions are abandoned (their slots
-// keep T's zero value) and remaining workers drain via the context. The
-// surrounding ctx cancels the batch externally the same way.
+// keep T's zero value, and reduce is never called for them) and remaining
+// workers drain via the context. The surrounding ctx cancels the batch
+// externally the same way; an execution already in flight when the context
+// dies stops at its next budget check and reports TimedOut.
 //
 // The shared prog must not be mutated while the batch runs. Interpretation
 // never writes to it (every interp.Machine owns its memory image), which
@@ -41,7 +50,7 @@ import (
 func RunBatch[T any](ctx context.Context, prog *ir.Program, model memmodel.Model, n, workers int,
 	newObs func(worker int) interp.Observer,
 	optsFor func(i int) Options,
-	reduce func(i int, obs interp.Observer, res *interp.Result) (T, bool),
+	reduce func(i int, obs interp.Observer, res *interp.Result, err *ExecError) (T, bool),
 ) []T {
 	out := make([]T, n)
 	if workers <= 0 {
@@ -56,14 +65,20 @@ func RunBatch[T any](ctx context.Context, prog *ir.Program, model memmodel.Model
 		}
 		return newObs(w)
 	}
+	exec := func(i int, obs interp.Observer) (T, bool) {
+		res, err := runSafe(ctx, prog, model, obs, optsFor(i))
+		if err != nil {
+			err.Index = i
+		}
+		return reduce(i, obs, res, err)
+	}
 	if workers <= 1 {
 		obs := obsFor(0)
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				break
 			}
-			res := Run(prog, model, obs, optsFor(i))
-			t, stop := reduce(i, obs, res)
+			t, stop := exec(i, obs)
 			out[i] = t
 			if stop {
 				break
@@ -86,8 +101,7 @@ func RunBatch[T any](ctx context.Context, prog *ir.Program, model memmodel.Model
 				if i >= n {
 					return
 				}
-				res := Run(prog, model, obs, optsFor(i))
-				t, stop := reduce(i, obs, res)
+				t, stop := exec(i, obs)
 				out[i] = t
 				if stop {
 					cancel()

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"testing"
+	"time"
 
 	"dfence/internal/interp"
 	"dfence/internal/ir"
@@ -34,7 +35,11 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 	p := buildSB(t)
 	run := func(workers int) []batchOutcome {
 		return RunBatch(context.Background(), p, memmodel.PSO, 64, workers, nil, batchOptsFor,
-			func(i int, _ interp.Observer, res *interp.Result) (batchOutcome, bool) {
+			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+				if err != nil {
+					t.Errorf("slot %d: unexpected exec error: %v", i, err)
+					return batchOutcome{}, false
+				}
 				return batchOutcome{steps: res.Steps, output: res.Output}, false
 			})
 	}
@@ -68,7 +73,7 @@ func TestRunBatchEarlyStop(t *testing.T) {
 	p := buildSB(t)
 	const stopAt = 5
 	serial := RunBatch(context.Background(), p, memmodel.PSO, 32, 1, nil, batchOptsFor,
-		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 			return true, i == stopAt
 		})
 	for i, ran := range serial {
@@ -77,7 +82,7 @@ func TestRunBatchEarlyStop(t *testing.T) {
 		}
 	}
 	parallel := RunBatch(context.Background(), p, memmodel.PSO, 32, 4, nil, batchOptsFor,
-		func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 			return true, i == stopAt
 		})
 	if !parallel[stopAt] {
@@ -92,7 +97,7 @@ func TestRunBatchCancelledContext(t *testing.T) {
 	cancel()
 	for _, workers := range []int{1, 4} {
 		ran := RunBatch(ctx, p, memmodel.PSO, 16, workers, nil, batchOptsFor,
-			func(i int, _ interp.Observer, res *interp.Result) (bool, bool) {
+			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 				return true, false
 			})
 		for i, r := range ran {
@@ -111,7 +116,7 @@ func TestRunBatchObserverPerWorker(t *testing.T) {
 	RunBatch(context.Background(), p, memmodel.PSO, 16, 4,
 		func(w int) interp.Observer { made <- w; return &countObs{id: w} },
 		batchOptsFor,
-		func(i int, obs interp.Observer, res *interp.Result) (struct{}, bool) {
+		func(i int, obs interp.Observer, res *interp.Result, err *ExecError) (struct{}, bool) {
 			if _, ok := obs.(*countObs); !ok {
 				t.Errorf("slot %d: reduce got observer %T, want *countObs", i, obs)
 			}
@@ -127,5 +132,128 @@ func TestRunBatchObserverPerWorker(t *testing.T) {
 	}
 	if len(seen) == 0 {
 		t.Fatal("no observers constructed")
+	}
+}
+
+// panicObs panics on the nth shared access it sees.
+type panicObs struct{ n, seen int }
+
+func (o *panicObs) OnSharedAccess(thread int, label ir.Label, kind interp.AccessKind, addr int64, pending []interp.PendingStore) {
+	o.seen++
+	if o.seen >= o.n {
+		panic("injected observer panic")
+	}
+}
+
+// TestRunBatchPanicIsolation is the containment guarantee: an injected
+// panic in slot i is recovered into a structured ExecError naming the
+// execution's index and seed, and every other slot is bit-identical to a
+// serial run without the fault.
+func TestRunBatchPanicIsolation(t *testing.T) {
+	p := buildSB(t)
+	const n, poisoned = 48, 17
+	// FlushProb 0 keeps both stores buffered until each thread's load, so
+	// every execution performs exactly two observed shared accesses and the
+	// injected panic (on the second) fires deterministically.
+	optsFor := func(i int) Options {
+		opts := batchOptsFor(i)
+		opts.FlushProb = 0
+		return opts
+	}
+	clean := RunBatch(context.Background(), p, memmodel.PSO, n, 1, nil, optsFor,
+		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+			if err != nil {
+				t.Fatalf("clean run: slot %d errored: %v", i, err)
+			}
+			return batchOutcome{steps: res.Steps, output: res.Output}, false
+		})
+	faultyOptsFor := func(i int) Options {
+		opts := optsFor(i)
+		if i == poisoned {
+			opts.Wrap = func(obs interp.Observer) interp.Observer { return &panicObs{n: 2} }
+		}
+		return opts
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var gotErr *ExecError
+		faulty := RunBatch(context.Background(), p, memmodel.PSO, n, workers, nil, faultyOptsFor,
+			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+				if err != nil {
+					if i != poisoned {
+						t.Errorf("workers=%d: unexpected error in slot %d: %v", workers, i, err)
+					}
+					gotErr = err
+					return batchOutcome{}, false
+				}
+				return batchOutcome{steps: res.Steps, output: res.Output}, false
+			})
+		if gotErr == nil {
+			t.Fatalf("workers=%d: injected panic was not reported", workers)
+		}
+		if gotErr.Index != poisoned || gotErr.Seed != batchOptsFor(poisoned).Seed {
+			t.Errorf("workers=%d: ExecError names index %d seed %d, want %d/%d",
+				workers, gotErr.Index, gotErr.Seed, poisoned, batchOptsFor(poisoned).Seed)
+		}
+		if gotErr.Panic != "injected observer panic" || gotErr.Stack == "" {
+			t.Errorf("workers=%d: ExecError payload incomplete: panic=%v stackLen=%d",
+				workers, gotErr.Panic, len(gotErr.Stack))
+		}
+		for i := range clean {
+			if i == poisoned {
+				continue
+			}
+			if clean[i].steps != faulty[i].steps || len(clean[i].output) != len(faulty[i].output) {
+				t.Fatalf("workers=%d: slot %d diverged from serial clean run", workers, i)
+			}
+			for j := range clean[i].output {
+				if clean[i].output[j] != faulty[i].output[j] {
+					t.Fatalf("workers=%d: slot %d output diverged from serial clean run", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSafeRecoversPanic: the serial entry point reports the panic too.
+func TestRunSafeRecoversPanic(t *testing.T) {
+	p := buildSB(t)
+	opts := batchOptsFor(7)
+	opts.Wrap = func(obs interp.Observer) interp.Observer { return &panicObs{n: 1} }
+	res, err := RunSafe(p, memmodel.PSO, nil, opts)
+	if err == nil || res != nil {
+		t.Fatalf("RunSafe did not report the panic: res=%v err=%v", res, err)
+	}
+	if err.Seed != opts.Seed || err.Index != -1 || err.Round != -1 {
+		t.Errorf("ExecError = %+v, want seed %d and -1 round/index", err, opts.Seed)
+	}
+	if err.Error() == "" {
+		t.Error("ExecError.Error is empty")
+	}
+	// Without the fault the same options succeed.
+	opts.Wrap = nil
+	res, err = RunSafe(p, memmodel.PSO, nil, opts)
+	if err != nil || res == nil {
+		t.Fatalf("clean RunSafe failed: res=%v err=%v", res, err)
+	}
+}
+
+// TestRunTimeout: an infinite loop with a tiny wall-clock budget stops and
+// reports TimedOut instead of spinning until the step limit.
+func TestRunTimeout(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFuncBuilder(p, "main", 0)
+	head := b.NextLabel()
+	b.Br(head)
+	finish(t, b)
+	mustLink(t, p)
+	opts := DefaultOptions(1)
+	opts.MaxSteps = 1 << 30 // effectively unbounded: the timeout must cut first
+	opts.Timeout = time.Millisecond
+	res := Run(p, memmodel.TSO, nil, opts)
+	if !res.TimedOut {
+		t.Fatal("execution did not report TimedOut")
+	}
+	if res.StepLimitHit || res.Violation != nil {
+		t.Fatalf("timeout misclassified: stepLimit=%v violation=%v", res.StepLimitHit, res.Violation)
 	}
 }

@@ -13,7 +13,11 @@
 package sched
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime/debug"
+	"time"
 
 	"dfence/internal/interp"
 	"dfence/internal/ir"
@@ -65,6 +69,48 @@ type Options struct {
 	// PORWindow bounds consecutive local-only steps a thread may take
 	// without a scheduling decision. 0 disables partial-order reduction.
 	PORWindow int
+	// Timeout bounds the execution's wall-clock time (0 = none). A run
+	// that exceeds it stops at the next budget check and is reported with
+	// TimedOut set — inconclusive, like a step-limit hit. Unlike MaxSteps
+	// this depends on machine speed, so it trades determinism for liveness;
+	// leave it zero when bit-identical results matter.
+	Timeout time.Duration
+	// Wrap, if non-nil, wraps the observer for this execution only. It is
+	// invoked once per run with the caller's observer (possibly nil) and
+	// its result receives the execution's notifications. This is the
+	// per-execution hook the fault-injection harness uses; batch callers
+	// can set it from optsFor(i) to target individual executions while
+	// workers keep reusing their own observers.
+	Wrap func(obs interp.Observer) interp.Observer
+}
+
+// budgetCheckEvery is how many scheduler iterations pass between wall-clock
+// and context checks; each iteration advances at least one machine step, so
+// budget overruns are bounded by ~1024 steps. The check also runs once at
+// iteration 0, so an already-expired budget (or context) cuts even
+// executions far shorter than the check interval.
+const budgetCheckEvery = 1024
+
+// ExecError describes a panic recovered from one execution: the interpreter
+// (or an observer) panicked, the worker recovered, and the batch reports the
+// poisoned execution instead of crashing the process. The seed makes the
+// failure reproducible with sched.Run under the same program and options.
+type ExecError struct {
+	// Round is the synthesis repair round, filled by the core loop
+	// (-1 when the execution was not part of a synthesis round).
+	Round int
+	// Index is the execution's index within its batch (-1 outside batches).
+	Index int
+	// Seed is the execution's scheduler seed.
+	Seed int64
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("execution panicked (round %d, index %d, seed %d): %v", e.Round, e.Index, e.Seed, e.Panic)
 }
 
 // DefaultOptions returns the settings used throughout the evaluation:
@@ -76,12 +122,34 @@ func DefaultOptions(seed int64) Options {
 
 // Run executes prog once under the given memory model and scheduling
 // options. obs may be nil. The returned result carries the violation (if
-// any), the operation history, and bookkeeping.
+// any), the operation history, and bookkeeping. A panic in the interpreter
+// or an observer propagates; use RunSafe where isolation is required.
 func Run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) *interp.Result {
-	return run(prog, model, obs, opts, nil)
+	return run(context.Background(), prog, model, obs, opts, nil)
 }
 
-func run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
+// RunSafe is Run with panic isolation: a panic anywhere in the execution
+// (interpreter, memory model, or observer) is recovered and returned as a
+// structured *ExecError (with Round/Index -1; batch callers fill them)
+// instead of crashing the caller. res is nil exactly when err is non-nil.
+func RunSafe(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (res *interp.Result, err *ExecError) {
+	return runSafe(context.Background(), prog, model, obs, opts)
+}
+
+func runSafe(ctx context.Context, prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (res *interp.Result, err *ExecError) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = &ExecError{Round: -1, Index: -1, Seed: opts.Seed, Panic: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return run(ctx, prog, model, obs, opts, nil), nil
+}
+
+func run(ctx context.Context, prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
+	if opts.Wrap != nil {
+		obs = opts.Wrap(obs)
+	}
 	m := interp.NewMachine(prog, model, obs)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	maxSteps := opts.MaxSteps
@@ -92,10 +160,21 @@ func run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Optio
 	if changePoints <= 0 {
 		changePoints = 30
 	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 	var priorities []float64
 
 	var actable []int
-	for m.Steps() < maxSteps {
+	for iter := 0; m.Steps() < maxSteps; iter++ {
+		if iter%budgetCheckEvery == 0 {
+			if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
+				res := m.Result(false)
+				res.TimedOut = true
+				return res
+			}
+		}
 		if m.Done() {
 			return m.Result(false)
 		}

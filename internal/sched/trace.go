@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,7 +65,7 @@ func (tr *Trace) record(thread int, flush bool, addr int64) {
 // alongside the result.
 func RunTraced(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (*interp.Result, *Trace) {
 	tr := &Trace{Model: model}
-	res := run(prog, model, obs, opts, tr)
+	res := run(context.Background(), prog, model, obs, opts, tr)
 	return res, tr
 }
 

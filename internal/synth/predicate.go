@@ -161,10 +161,19 @@ func (f *Formula) AddExecution(d []Predicate) error {
 // backed by the most evidence. The first entry is the assignment
 // Algorithm 2 enforces.
 func (f *Formula) MinimalSolutions() [][]Predicate {
+	out, _ := f.MinimalSolutionsBudget(sat.Budget{})
+	return out
+}
+
+// MinimalSolutionsBudget is MinimalSolutions under a solver enumeration
+// budget (see sat.Budget). truncated reports that the budget tripped and
+// the returned solutions may be incomplete — the synthesis loop records
+// this as Result.SolverTruncated and proceeds with the best repairs found.
+func (f *Formula) MinimalSolutionsBudget(budget sat.Budget) (solutions [][]Predicate, truncated bool) {
 	if f.Empty() {
-		return nil
+		return nil, false
 	}
-	models := sat.MinimalModels(len(f.byVar)-1, f.clauses)
+	models, truncated := sat.MinimalModelsBudget(len(f.byVar)-1, f.clauses, budget)
 	out := make([][]Predicate, len(models))
 	for i, m := range models {
 		ps := make([]Predicate, len(m))
@@ -197,5 +206,5 @@ func (f *Formula) MinimalSolutions() [][]Predicate {
 		}
 		return false
 	})
-	return out
+	return out, truncated
 }
