@@ -5,6 +5,8 @@
 #   make race    test suite under the race detector — exercises the
 #                parallel execution engine's worker pool
 #   make vet     static checks
+#   make lint    staticcheck, if installed (CI installs it; locally it is
+#                skipped with a notice when absent)
 #   make bench   one pass over every benchmark (smoke; use BENCHTIME for
 #                real measurements, e.g. make bench BENCHTIME=3s)
 #   make ci      everything a PR must pass
@@ -12,7 +14,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet lint bench ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +27,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || \
+		echo "staticcheck not installed; skipping (CI runs it)"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .

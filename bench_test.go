@@ -207,6 +207,50 @@ func BenchmarkSynthesizeWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesizePruned measures the static delay-set pruning on the
+// two largest benchmarks: the same synthesis (fixed seed, identical seed
+// schedule) with StaticPrune off and on. Reported metrics: executions to
+// convergence, fences synthesized, and — for the pruned runs — the
+// predicates discarded because they lie on no static critical cycle.
+func BenchmarkSynthesizePruned(b *testing.B) {
+	for _, name := range []string{"chase-lev", "michael-alloc"} {
+		subject, err := progs.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crit := spec.SeqConsistency
+		if subject.SkipSeqCheck {
+			crit = spec.MemorySafety
+		}
+		for _, prune := range []bool{false, true} {
+			mode := "static=off"
+			if prune {
+				mode = "static=on"
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				execs, fences, pruned := 0, 0, 0
+				for i := 0; i < b.N; i++ {
+					cfg := benchCfg(subject, memmodel.PSO, crit, 1)
+					cfg.ValidateFences = false
+					cfg.StaticPrune = prune
+					res, err := core.Synthesize(subject.Program(), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					execs += res.TotalExecutions
+					fences += res.SynthesizedFences
+					pruned += res.PrunedPredicates
+				}
+				b.ReportMetric(float64(execs)/float64(b.N), "execs/op")
+				b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+				if prune {
+					b.ReportMetric(float64(pruned)/float64(b.N), "pruned/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExecution measures raw interpreter throughput: one complete
 // scheduled execution of each benchmark per iteration.
 func BenchmarkExecution(b *testing.B) {

@@ -23,6 +23,18 @@
 //	-validate  prune redundant fences after convergence (default true)
 //	-disasm  print the compiled IR and exit
 //	-builtin use a built-in benchmark instead of a file (e.g. chase-lev)
+//	-static  consult the static delay-set analysis: converge with zero
+//	         executions when the delay set is empty, and prune proposed
+//	         predicates to the static critical cycles
+//
+// The `analyze` subcommand runs only the static passes — the IR verifier
+// and the delay-set analysis — and prints candidate pairs, delay pairs,
+// and one witness critical cycle per delay, without executing anything:
+//
+//	dfence analyze -model pso program.mc
+//	dfence analyze -model tso -builtin chase-lev
+//
+// Verifier findings print to stderr and exit with status 2.
 //
 // Resilience flags (see DESIGN.md, Resilience):
 //
@@ -38,6 +50,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,9 +62,14 @@ import (
 	"dfence/internal/memmodel"
 	"dfence/internal/progs"
 	"dfence/internal/spec"
+	"dfence/internal/staticanalysis"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	var (
 		modelF   = flag.String("model", "pso", "memory model: sc, tso, pso")
 		specF    = flag.String("spec", "sc", "criterion: safety, sc, lin")
@@ -72,6 +90,7 @@ func main() {
 		builtin  = flag.String("builtin", "", "use a built-in benchmark (see cmd/experiments -table2)")
 		witness  = flag.Bool("witness", false, "print the captured counterexample schedule")
 		redund   = flag.Bool("redundant", false, "discover redundant fences in an already-fenced program (§6.3.1) instead of synthesizing")
+		static   = flag.Bool("static", false, "consult the static delay-set analysis: skip dynamic rounds when the program is provably robust, and prune proposed predicates to the static critical cycles")
 	)
 	flag.Parse()
 
@@ -114,6 +133,7 @@ func main() {
 		Deadline:       *deadline,
 		MinConclusive:  *minConc,
 		MaxModels:      *maxMod,
+		StaticPrune:    *static,
 	}
 	if benchmark != nil {
 		cfg.NewSpec = benchmark.NewSpec()
@@ -158,6 +178,48 @@ func main() {
 	}
 }
 
+// runAnalyze implements the `dfence analyze` subcommand: verify the
+// program's IR and print its static delay-set analysis — thread roots,
+// conflict edges, candidate pairs, and the delay pairs on critical cycles
+// with one witness cycle each — without running a single execution.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	var (
+		modelF  = fs.String("model", "pso", "memory model: sc, tso, pso")
+		builtin = fs.String("builtin", "", "analyze a built-in benchmark instead of a file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dfence analyze [-model sc|tso|pso] program.mc (or -builtin name)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	model, err := memmodel.ParseModel(*modelF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
+		os.Exit(1)
+	}
+	prog, _, err := loadProgram(*builtin, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
+		os.Exit(1)
+	}
+	res, err := staticanalysis.Analyze(prog, model)
+	if err != nil {
+		var verr *staticanalysis.VerifyError
+		if errors.As(err, &verr) {
+			fmt.Fprintf(os.Stderr, "dfence analyze: IR verification failed (%d finding(s)):\n", len(verr.Diags))
+			for _, d := range verr.Diags {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report(prog))
+}
+
 func loadProgram(builtin string, args []string) (*ir.Program, *progs.Benchmark, error) {
 	if builtin != "" {
 		b, err := progs.ByName(builtin)
@@ -194,6 +256,12 @@ func report(res *core.Result, model memmodel.Model, crit spec.Criterion) {
 				r.Inconclusive, r.Errors, r.Skipped, 100*r.ConclusiveFraction())
 		}
 		fmt.Println()
+	}
+	if res.StaticallyRobust {
+		fmt.Println("static analysis: delay set empty — program proved robust, no dynamic rounds needed")
+	} else if res.StaticCandidates > 0 {
+		fmt.Printf("static analysis: %d candidate pairs, %d on critical cycles; %d dynamic predicates pruned\n",
+			res.StaticCandidates, res.StaticDelayPairs, res.PrunedPredicates)
 	}
 	switch res.Outcome {
 	case core.OutcomeUnfixable:

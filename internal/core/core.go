@@ -21,6 +21,7 @@ import (
 	"dfence/internal/sat"
 	"dfence/internal/sched"
 	"dfence/internal/spec"
+	"dfence/internal/staticanalysis"
 	"dfence/internal/synth"
 )
 
@@ -126,6 +127,16 @@ type Config struct {
 	// usable for per-execution tuning. It is not applied to the
 	// validation, redundancy, or CheckOnly trials.
 	OptionsHook func(round, index int, opts sched.Options) sched.Options
+	// StaticPrune consults the static delay-set analysis
+	// (internal/staticanalysis) before and during synthesis: a program
+	// whose delay set is empty is reported converged with zero dynamic
+	// executions (StaticallyRobust), and each violating execution's repair
+	// disjunction is filtered to the predicates on some static critical
+	// cycle. Pruning is sound — if filtering would empty a non-empty
+	// disjunction, the full disjunction is kept and the round's
+	// PruneFallbacks counter records it. Default off; results with the
+	// flag off are bit-identical to earlier versions.
+	StaticPrune bool
 }
 
 func (c *Config) fill() {
@@ -233,6 +244,17 @@ type Round struct {
 	// ExecsPerSec is Executions divided by Wall — the engine's observed
 	// throughput, so Workers speedups show up directly in Summary.
 	ExecsPerSec float64
+	// StaticDelayPairs is the size of the static delay set computed for the
+	// round's program (0 when StaticPrune is off). Fences inserted by
+	// earlier rounds shrink it.
+	StaticDelayPairs int
+	// PrunedPredicates counts the dynamically proposed predicates this
+	// round discarded because they lie on no static critical cycle.
+	PrunedPredicates int
+	// PruneFallbacks counts the violating executions whose entire repair
+	// disjunction fell outside the static delay set; their disjunctions
+	// were kept unpruned (the soundness fallback).
+	PruneFallbacks int
 }
 
 // ConclusiveFraction is the share of the round's execution budget that
@@ -298,6 +320,18 @@ type Result struct {
 	Redundant int
 	// SynthesizedFences is the raw count before validation/merging.
 	SynthesizedFences int
+	// StaticallyRobust reports that the pre-round static analysis proved
+	// the input program's delay set empty: every execution is sequentially
+	// consistent under the model, so synthesis converged with zero dynamic
+	// executions. Only set when Config.StaticPrune is on.
+	StaticallyRobust bool
+	// StaticCandidates and StaticDelayPairs record the initial program's
+	// static analysis sizes (0 when StaticPrune is off).
+	StaticCandidates int
+	StaticDelayPairs int
+	// PrunedPredicates totals the statically pruned predicates across
+	// rounds.
+	PrunedPredicates int
 	// Witness is the schedule of the first violating execution observed
 	// (against the program as it was in that round): a reproducible
 	// counterexample the user can sched.Replay. Nil if no violation or
@@ -325,6 +359,19 @@ func (r *Result) Summary() string {
 			fmt.Fprintf(&b, ", %d inconclusive (%d errored), %d skipped, %.0f%% conclusive",
 				rd.Inconclusive, rd.Errors, rd.Skipped, 100*rd.ConclusiveFraction())
 		}
+		if rd.StaticDelayPairs > 0 || rd.PrunedPredicates > 0 || rd.PruneFallbacks > 0 {
+			fmt.Fprintf(&b, ", static: %d delay pairs, %d predicates pruned",
+				rd.StaticDelayPairs, rd.PrunedPredicates)
+			if rd.PruneFallbacks > 0 {
+				fmt.Fprintf(&b, " (%d fallbacks)", rd.PruneFallbacks)
+			}
+		}
+	}
+	if r.StaticallyRobust {
+		b.WriteString("\nstatic analysis: delay set empty — program proved robust, no dynamic rounds needed")
+	} else if r.StaticCandidates > 0 {
+		fmt.Fprintf(&b, "\nstatic analysis: %d candidate pairs, %d on critical cycles; %d dynamic predicates pruned",
+			r.StaticCandidates, r.StaticDelayPairs, r.PrunedPredicates)
 	}
 	fmt.Fprintf(&b, "\nfences inserted: %d", len(r.Fences))
 	if r.SynthesizedFences > len(r.Fences) || r.Redundant > 0 {
@@ -392,6 +439,24 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	work := prog.Clone()
 	result := &Result{Program: work}
 
+	if cfg.StaticPrune {
+		sa, err := staticanalysis.Analyze(work, cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("core: static analysis rejected the input program: %w", err)
+		}
+		result.StaticCandidates = len(sa.Candidates)
+		result.StaticDelayPairs = len(sa.Delays)
+		if sa.Robust() {
+			// No relaxation lies on a critical cycle: every execution is
+			// sequentially consistent under the model, so there is nothing
+			// for the dynamic loop to find. Converge in zero rounds.
+			result.StaticallyRobust = true
+			result.Converged = true
+			result.Outcome = OutcomeConverged
+			return result, nil
+		}
+	}
+
 	// The deadline context bounds the whole repair loop: rounds run under
 	// it, and once it expires the in-flight round's remaining executions
 	// are skipped and the loop records OutcomeAborted.
@@ -406,6 +471,18 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	for round := 0; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
 		stats := Round{}
+		var delaySet map[staticanalysis.Pair]bool
+		if cfg.StaticPrune {
+			// Re-analyse the working program: fences inserted by earlier
+			// rounds kill pending paths and shrink the delay set, so each
+			// round prunes against the current program, not the original.
+			sa, err := staticanalysis.Analyze(work, cfg.Model)
+			if err != nil {
+				return nil, fmt.Errorf("core: static analysis failed in round %d: %w", round+1, err)
+			}
+			delaySet = sa.DelaySet()
+			stats.StaticDelayPairs = len(sa.Delays)
+		}
 		started := time.Now()
 		// Fan the round's K executions across cfg.Workers goroutines; the
 		// outcome slots come back in execution order, so the merge below is
@@ -437,6 +514,26 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			stats.Violations++
 			if witnessIdx < 0 {
 				witnessIdx = i
+			}
+			if delaySet != nil && len(o.repairs) > 0 {
+				kept := make([]synth.Predicate, 0, len(o.repairs))
+				for _, p := range o.repairs {
+					if delaySet[staticanalysis.Pair{L: p.L, K: p.K}] {
+						kept = append(kept, p)
+					}
+				}
+				if len(kept) == 0 {
+					// Every proposed predicate fell outside the static delay
+					// set. The static model should over-approximate the
+					// dynamic engine, so this means the violation escaped the
+					// abstraction; keep the full disjunction rather than
+					// declare the execution unfixable.
+					stats.PruneFallbacks++
+				} else {
+					stats.PrunedPredicates += len(o.repairs) - len(kept)
+					result.PrunedPredicates += len(o.repairs) - len(kept)
+					o.repairs = kept
+				}
 			}
 			if len(o.repairs) == 0 {
 				// No candidate repairs: this execution cannot be avoided by
@@ -553,7 +650,11 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.MergeFences {
-		result.MergedAway = synth.MergeFences(result.Program)
+		merged, err := synth.MergeFences(result.Program)
+		if err != nil {
+			return nil, err
+		}
+		result.MergedAway = merged
 	}
 	return result, nil
 }
@@ -658,6 +759,9 @@ func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.
 		trial := prog.Clone()
 		drop := append(append([]ir.Label(nil), redundant...), kept[i])
 		removeFences(trial, drop)
+		if err := staticanalysis.Verify(trial); err != nil {
+			return nil, fmt.Errorf("core: program failed verification after fence removal: %w", err)
+		}
 		if clean(trial) {
 			redundant = append(redundant, kept[i])
 		}

@@ -144,6 +144,41 @@ func argList(args []Reg) string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// Def returns the register the instruction writes, or NoReg for
+// instructions without a result (store, fence, branches, ...). OpCall
+// returns NoReg when the call result is discarded.
+func (in *Instr) Def() Reg {
+	switch in.Op {
+	case OpConst, OpGlobal, OpSelf, OpMov, OpBin, OpNot, OpNeg,
+		OpLoad, OpCas, OpFork, OpAlloc:
+		return in.Dst
+	case OpCall:
+		return in.Dst // may be NoReg
+	}
+	return NoReg
+}
+
+// Uses appends the registers the instruction reads to dst and returns the
+// extended slice. Callers typically reuse dst across instructions to avoid
+// allocation.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case OpMov, OpNot, OpNeg, OpLoad, OpCondBr, OpJoin, OpFree, OpAssert, OpPrint, OpAlloc:
+		dst = append(dst, in.A)
+	case OpBin, OpStore:
+		dst = append(dst, in.A, in.B)
+	case OpCas:
+		dst = append(dst, in.A, in.B, in.C)
+	case OpCall, OpFork:
+		dst = append(dst, in.Args...)
+	case OpRet:
+		if in.HasVal {
+			dst = append(dst, in.A)
+		}
+	}
+	return dst
+}
+
 // IsSharedStore reports whether the instruction writes shared memory
 // through the memory model (a buffered store).
 func (in *Instr) IsSharedStore() bool {

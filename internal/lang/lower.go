@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dfence/internal/ir"
+	"dfence/internal/staticanalysis"
 )
 
 // Compile parses, analyzes, and lowers mini-C source into a linked IR
@@ -56,6 +57,12 @@ func Lower(u *Unit) (*ir.Program, error) {
 	}
 	if err := prog.Link(); err != nil {
 		return nil, err
+	}
+	// The verifier backstops the lowering itself: any def-before-use hole,
+	// stale link, or unsound ThreadLocal claim the front end produces is a
+	// compiler bug and surfaces here instead of as a miscompiled execution.
+	if err := staticanalysis.Verify(prog); err != nil {
+		return nil, fmt.Errorf("lower: generated IR failed verification: %w", err)
 	}
 	return prog, nil
 }

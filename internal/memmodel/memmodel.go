@@ -57,6 +57,18 @@ func ParseModel(s string) (Model, error) {
 	return SC, fmt.Errorf("memmodel: unknown model %q (want sc, tso, or pso)", s)
 }
 
+// RelaxesStoreLoad reports whether the model may reorder a store with a
+// later load of the same thread (the store sits in a buffer while the
+// load reads memory). True for TSO and PSO — the reordering fence(st-ld)
+// prevents.
+func (m Model) RelaxesStoreLoad() bool { return m == TSO || m == PSO }
+
+// RelaxesStoreStore reports whether the model may reorder two stores of
+// the same thread to different addresses (per-address buffers commit
+// independently). True only for PSO — TSO's single FIFO preserves store
+// order, so under TSO only loads can observe pending stores.
+func (m Model) RelaxesStoreStore() bool { return m == PSO }
+
 // Entry is one pending buffered store. Label records the program label of
 // the store instruction — the instrumented semantics (paper Semantics 2)
 // need it to build ordering predicates.

@@ -1,0 +1,126 @@
+package staticanalysis_test
+
+// Soundness cross-check: for every program in the repository's corpora
+// (the litmus suite, the embedded benchmarks, and the quickstart mailbox)
+// and every relaxed model, the static candidate set must contain every
+// predicate the instrumented dynamic semantics actually propose. A
+// missing pair would mean the pruning in core.Synthesize could silently
+// discard a necessary repair.
+
+import (
+	"testing"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/litmus"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/sched"
+	"dfence/internal/staticanalysis"
+	"dfence/internal/synth"
+)
+
+const mailboxSrc = `
+int data = 0;
+int flag = 0;
+void producer() {
+  data = 42;
+  flag = 1;
+}
+void consumer() {
+  while (!flag) { }
+  assert(data == 42);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1;
+  join t2;
+  return 0;
+}
+`
+
+// collectDynamic unions the predicates the collector reports over runs
+// pseudo-random executions of prog under model.
+func collectDynamic(t *testing.T, prog *ir.Program, model memmodel.Model, runs int) map[synth.Predicate]bool {
+	t.Helper()
+	seen := make(map[synth.Predicate]bool)
+	col := synth.NewCollector(model)
+	for i := 0; i < runs; i++ {
+		opts := sched.DefaultOptions(int64(1000 + i))
+		if model == memmodel.TSO {
+			opts.FlushProb = 0.1
+		}
+		sched.Run(prog, model, col, opts)
+		for _, p := range col.TakeDisjunction() {
+			seen[p] = true
+		}
+	}
+	return seen
+}
+
+// checkSuperset asserts the static candidate set covers every dynamically
+// observed predicate and that the delay set stays within the candidates.
+// It returns the number of dynamic predicates observed, so suite-level
+// callers can assert the check was not vacuous.
+func checkSuperset(t *testing.T, name string, prog *ir.Program, model memmodel.Model, runs int) int {
+	t.Helper()
+	res, err := staticanalysis.Analyze(prog, model)
+	if err != nil {
+		t.Errorf("%s/%v: Analyze failed: %v", name, model, err)
+		return 0
+	}
+	cand := res.CandidateSet()
+	dyn := collectDynamic(t, prog, model, runs)
+	for p := range dyn {
+		if !cand[staticanalysis.Pair{L: p.L, K: p.K}] {
+			t.Errorf("%s/%v: dynamic engine proposed %v but it is missing from the static candidate set %v",
+				name, model, p, res.Candidates)
+		}
+	}
+	for _, d := range res.Delays {
+		if !cand[d] {
+			t.Errorf("%s/%v: delay %v is not a candidate — delays must refine candidates", name, model, d)
+		}
+	}
+	return len(dyn)
+}
+
+func TestCrossCheckLitmus(t *testing.T) {
+	total := 0
+	for _, test := range litmus.All() {
+		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+			test, model := test, model
+			t.Run(test.Name+"/"+model.String(), func(t *testing.T) {
+				total += checkSuperset(t, test.Name, test.Program(), model, 150)
+			})
+		}
+	}
+	if total == 0 {
+		t.Error("no dynamic predicates were collected across the litmus suite — the cross-check is vacuous (observer wiring broken?)")
+	}
+}
+
+func TestCrossCheckBenchmarks(t *testing.T) {
+	runs := 40
+	if testing.Short() {
+		runs = 10
+	}
+	for _, b := range progs.All() {
+		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+			t.Run(b.Name+"/"+model.String(), func(t *testing.T) {
+				checkSuperset(t, b.Name, b.Program(), model, runs)
+			})
+		}
+	}
+}
+
+func TestCrossCheckMailbox(t *testing.T) {
+	prog, err := lang.Compile(mailboxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		checkSuperset(t, "mailbox", prog, model, 200)
+	}
+}

@@ -1,0 +1,291 @@
+package staticanalysis_test
+
+// External test package: it compiles mini-C sources with internal/lang,
+// which itself calls into staticanalysis — an in-package test would cycle.
+
+import (
+	"testing"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+	"dfence/internal/memmodel"
+	"dfence/internal/staticanalysis"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func analyze(t *testing.T, src string, model memmodel.Model) *staticanalysis.Result {
+	t.Helper()
+	res, err := staticanalysis.Analyze(compile(t, src), model)
+	if err != nil {
+		t.Fatalf("Analyze(%v): %v", model, err)
+	}
+	return res
+}
+
+// accessLabel finds the nth (0-based) shared access of the given op in
+// function fn whose address register was last defined as &global.
+func accessLabel(t *testing.T, p *ir.Program, fn string, op ir.Op, global string, nth int) ir.Label {
+	t.Helper()
+	f := p.Funcs[fn]
+	if f == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	regGlobal := make(map[ir.Reg]string)
+	count := 0
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Op == ir.OpGlobal {
+			regGlobal[in.Dst] = in.Func
+			continue
+		}
+		if in.Op == op && regGlobal[in.A] == global {
+			if count == nth {
+				return in.Label
+			}
+			count++
+		}
+	}
+	t.Fatalf("no %v of global %q (occurrence %d) in %s", op, global, nth, fn)
+	return ir.NoLabel
+}
+
+const sbSrc = `
+int x = 0; int y = 0;
+void w1() { x = 1; print(y); }
+void w2() { y = 1; print(x); }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  return 0;
+}
+`
+
+const mpSrc = `
+int data = 0; int flag = 0;
+void producer() { data = 42; flag = 1; }
+void consumer() {
+  while (!flag) { }
+  print(data);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1; join t2;
+  return 0;
+}
+`
+
+// SB under TSO: each writer's store may be delayed past its own load of
+// the other variable, and both reorderings sit on the classic critical
+// cycle — the exact pairs the dynamic engine proposes.
+func TestAnalyzeSBTSO(t *testing.T) {
+	p := compile(t, sbSrc)
+	res, err := staticanalysis.Analyze(p, memmodel.TSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust() {
+		t.Fatal("SB reported robust under TSO")
+	}
+	want := []staticanalysis.Pair{
+		{L: accessLabel(t, p, "w1", ir.OpStore, "x", 0), K: accessLabel(t, p, "w1", ir.OpLoad, "y", 0)},
+		{L: accessLabel(t, p, "w2", ir.OpStore, "y", 0), K: accessLabel(t, p, "w2", ir.OpLoad, "x", 0)},
+	}
+	delays := res.DelaySet()
+	for _, w := range want {
+		if !delays[w] {
+			t.Errorf("delay set %v is missing %v", res.Delays, w)
+		}
+		if len(res.Cycles[w]) < 3 {
+			t.Errorf("delay %v has no witness cycle: %v", w, res.Cycles[w])
+		}
+	}
+	if len(res.Delays) != len(want) {
+		t.Errorf("got %d delays %v, want %d", len(res.Delays), res.Delays, len(want))
+	}
+}
+
+// MP under TSO is robust: the producer never loads after its stores, so
+// no store→load reordering exists to delay.
+func TestAnalyzeMPTSORobust(t *testing.T) {
+	res := analyze(t, mpSrc, memmodel.TSO)
+	if !res.Robust() {
+		t.Fatalf("MP not robust under TSO: delays %v", res.Delays)
+	}
+	if len(res.Candidates) != 0 {
+		t.Fatalf("MP should have no TSO candidates, got %v", res.Candidates)
+	}
+}
+
+// MP under PSO: the data store can be delayed past the flag store, and the
+// consumer's flag-spin/data-read closes the cycle.
+func TestAnalyzeMPPSODelay(t *testing.T) {
+	p := compile(t, mpSrc)
+	res, err := staticanalysis.Analyze(p, memmodel.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := staticanalysis.Pair{
+		L: accessLabel(t, p, "producer", ir.OpStore, "data", 0),
+		K: accessLabel(t, p, "producer", ir.OpStore, "flag", 0),
+	}
+	if !res.DelaySet()[want] {
+		t.Fatalf("delay set %v is missing %v", res.Delays, want)
+	}
+}
+
+// A fully fenced SB is statically robust under every model: the fences
+// kill every pending path, so no candidates survive.
+func TestAnalyzeFencedSBRobust(t *testing.T) {
+	src := `
+int x = 0; int y = 0;
+void w1() { x = 1; fence_sl(); print(y); }
+void w2() { y = 1; fence_sl(); print(x); }
+int main() {
+  int t1 = fork w1();
+  int t2 = fork w2();
+  join t1; join t2;
+  return 0;
+}
+`
+	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		res := analyze(t, src, model)
+		if !res.Robust() {
+			t.Errorf("fenced SB not robust under %v: delays %v", model, res.Delays)
+		}
+		if len(res.Candidates) != 0 {
+			t.Errorf("fenced SB should have no %v candidates, got %v", model, res.Candidates)
+		}
+	}
+}
+
+// A single-threaded program has no conflict edges, so even programs full
+// of store→load pairs are robust.
+func TestAnalyzeSingleThreadedRobust(t *testing.T) {
+	src := `
+int x = 0; int y = 0;
+int main() {
+  x = 1;
+  y = 2;
+  print(x);
+  print(y);
+  return 0;
+}
+`
+	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		res := analyze(t, src, model)
+		if !res.Robust() {
+			t.Errorf("single-threaded program not robust under %v: delays %v", model, res.Delays)
+		}
+		if res.Conflicts != 0 {
+			t.Errorf("single-threaded program has %d conflict edges", res.Conflicts)
+		}
+	}
+}
+
+// Two stores to the same scalar global never form a candidate: the
+// instrumented semantics exclude same-address pending stores, so the
+// dynamic engine could never propose the pair (coherence handles it).
+func TestAnalyzeSameScalarExcluded(t *testing.T) {
+	src := `
+int x = 0;
+void w() { x = 1; x = 2; }
+int main() {
+  int t1 = fork w();
+  int t2 = fork w();
+  join t1; join t2;
+  return 0;
+}
+`
+	res := analyze(t, src, memmodel.PSO)
+	if len(res.Candidates) != 0 {
+		t.Fatalf("same-scalar store pair leaked into candidates: %v", res.Candidates)
+	}
+	if !res.Robust() {
+		t.Fatalf("CoWW-style program not robust under PSO: %v", res.Delays)
+	}
+}
+
+// Under SC nothing is relaxed, so even SB has no candidates at all.
+func TestAnalyzeSCEmpty(t *testing.T) {
+	res := analyze(t, sbSrc, memmodel.SC)
+	if len(res.Candidates) != 0 || !res.Robust() {
+		t.Fatalf("SC analysis not empty: candidates %v, delays %v", res.Candidates, res.Delays)
+	}
+}
+
+// The pruning demonstration: the writer's stores to a and b travel with
+// the message-passing idiom on x and y, so the dynamic collector proposes
+// predicates over all of them — but only [x ⊰ y] lies on a critical
+// cycle. Candidates keep the full proposable superset; delays prune it to
+// the one pair worth enforcing.
+func TestAnalyzeCoTravelerPruning(t *testing.T) {
+	src := `
+int x = 0; int y = 0; int a = 0; int b = 0;
+void w() { a = 1; b = 1; x = 1; y = 1; }
+void r() {
+  while (!y) { }
+  assert(x);
+}
+int main() {
+  int t1 = fork w();
+  int t2 = fork r();
+  join t1; join t2;
+  return 0;
+}
+`
+	p := compile(t, src)
+	res, err := staticanalysis.Analyze(p, memmodel.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 6 {
+		t.Errorf("want 6 candidates (all ordered store pairs in w), got %v", res.Candidates)
+	}
+	want := staticanalysis.Pair{
+		L: accessLabel(t, p, "w", ir.OpStore, "x", 0),
+		K: accessLabel(t, p, "w", ir.OpStore, "y", 0),
+	}
+	if len(res.Delays) != 1 || res.Delays[0] != want {
+		t.Fatalf("want delays == {%v}, got %v", want, res.Delays)
+	}
+	cand := res.CandidateSet()
+	for _, d := range res.Delays {
+		if !cand[d] {
+			t.Errorf("delay %v not in candidate set", d)
+		}
+	}
+}
+
+// A critical-cycle-free program reached by inserting the synthesized
+// fence must analyse as robust — the property the fast path in
+// core.Synthesize relies on to terminate in zero dynamic rounds.
+func TestAnalyzeFencedMPRobustPSO(t *testing.T) {
+	src := `
+int data = 0; int flag = 0;
+void producer() { data = 42; fence_ss(); flag = 1; }
+void consumer() {
+  while (!flag) { }
+  print(data);
+}
+int main() {
+  int t1 = fork producer();
+  int t2 = fork consumer();
+  join t1; join t2;
+  return 0;
+}
+`
+	res := analyze(t, src, memmodel.PSO)
+	if !res.Robust() {
+		t.Fatalf("fenced MP not robust under PSO: delays %v", res.Delays)
+	}
+}

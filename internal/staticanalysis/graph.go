@@ -1,0 +1,204 @@
+package staticanalysis
+
+// This file builds the per-thread interprocedural control-flow view the
+// delay-set analysis walks: one rootGraph per thread root (the entry
+// function plus every OpFork target), spanning the functions the root can
+// reach through calls, with call edges into callee entries and return
+// edges back to every call site's successor (context-insensitive).
+
+import (
+	"sort"
+
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// bitvec is a dense bitset over node indices.
+type bitvec []uint64
+
+func newBitvec(n int) bitvec    { return make(bitvec, (n+63)/64) }
+func (b bitvec) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitvec) add(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+
+// rootGraph is the interprocedural CFG of one thread root.
+type rootGraph struct {
+	p     *ir.Program
+	root  string
+	funcs []string // call closure of root, sorted
+	nodes []struct {
+		fn  *ir.Func
+		idx int
+	}
+	byLabel map[ir.Label]int // instruction label -> dense node index
+	succs   [][]int          // full interprocedural successor lists
+
+	reachMemo map[int]bitvec // node -> nodes reachable in >= 1 step
+}
+
+// instr returns the instruction at dense node index n.
+func (g *rootGraph) instr(n int) *ir.Instr {
+	nd := g.nodes[n]
+	return &nd.fn.Code[nd.idx]
+}
+
+// callClosure returns the functions reachable from root through OpCall
+// edges (forked functions run in their own thread and belong to their own
+// root graph).
+func callClosure(p *ir.Program, root string) []string {
+	seen := map[string]bool{root: true}
+	work := []string{root}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		f := p.Funcs[name]
+		if f == nil {
+			continue
+		}
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Op == ir.OpCall && !seen[in.Func] {
+				seen[in.Func] = true
+				work = append(work, in.Func)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildRootGraph assembles the interprocedural CFG for one root.
+func buildRootGraph(p *ir.Program, root string) *rootGraph {
+	g := &rootGraph{
+		p:         p,
+		root:      root,
+		funcs:     callClosure(p, root),
+		byLabel:   make(map[ir.Label]int),
+		reachMemo: make(map[int]bitvec),
+	}
+	base := make(map[string]int) // function -> first node index
+	for _, name := range g.funcs {
+		f := p.Funcs[name]
+		base[name] = len(g.nodes)
+		for i := range f.Code {
+			g.byLabel[f.Code[i].Label] = len(g.nodes)
+			g.nodes = append(g.nodes, struct {
+				fn  *ir.Func
+				idx int
+			}{f, i})
+		}
+	}
+	// Collect the call sites of every function in the closure; a ret edge
+	// goes to each site's fall-through (OpCall is never a terminator, so
+	// idx+1 exists).
+	retTargets := make(map[string][]int)
+	for _, name := range g.funcs {
+		f := p.Funcs[name]
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Op == ir.OpCall {
+				retTargets[in.Func] = append(retTargets[in.Func], base[name]+i+1)
+			}
+		}
+	}
+	g.succs = make([][]int, len(g.nodes))
+	for n := range g.nodes {
+		f, idx := g.nodes[n].fn, g.nodes[n].idx
+		in := &f.Code[idx]
+		switch in.Op {
+		case ir.OpBr:
+			g.succs[n] = []int{base[f.Name] + f.IndexOf(in.Target)}
+		case ir.OpCondBr:
+			g.succs[n] = []int{base[f.Name] + f.IndexOf(in.Target), base[f.Name] + f.IndexOf(in.Target2)}
+		case ir.OpCall:
+			// Control enters the callee; it comes back via the ret edges.
+			g.succs[n] = []int{base[in.Func]}
+		case ir.OpRet:
+			g.succs[n] = append([]int(nil), retTargets[f.Name]...)
+		default:
+			if idx+1 < len(f.Code) {
+				g.succs[n] = []int{base[f.Name] + idx + 1}
+			}
+		}
+	}
+	return g
+}
+
+// kills reports whether executing the instruction forcibly drains the
+// thread's store buffers, ending every pending store's lifetime: fences
+// always, fork always (the interpreter drains the parent before the new
+// thread starts), and CAS on models whose single FIFO must fully drain
+// first (TSO). Under PSO a CAS drains only its own address's buffer, so
+// it is not a kill for other locations (keeping it pending-transparent
+// over-approximates soundly).
+func kills(in *ir.Instr, model memmodel.Model) bool {
+	switch in.Op {
+	case ir.OpFence, ir.OpFork:
+		return true
+	case ir.OpCas:
+		return !model.RelaxesStoreStore()
+	}
+	return false
+}
+
+// pendingReach returns the nodes a pending store buffered at node n can
+// still be pending at: every node reachable from n in >= 1 step without
+// passing through a buffer-draining instruction. Kill nodes themselves
+// are not in the result — by the time they execute, the buffers drained.
+func (g *rootGraph) pendingReach(n int, model memmodel.Model) bitvec {
+	out := newBitvec(len(g.nodes))
+	var work []int
+	seen := newBitvec(len(g.nodes))
+	for _, s := range g.succs[n] {
+		if !seen.has(s) {
+			seen.add(s)
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		if kills(g.instr(m), model) {
+			continue
+		}
+		out.add(m)
+		for _, s := range g.succs[m] {
+			if !seen.has(s) {
+				seen.add(s)
+				work = append(work, s)
+			}
+		}
+	}
+	return out
+}
+
+// reach returns the nodes reachable from n in >= 1 step through the full
+// interprocedural CFG (memoized).
+func (g *rootGraph) reach(n int) bitvec {
+	if r, ok := g.reachMemo[n]; ok {
+		return r
+	}
+	out := newBitvec(len(g.nodes))
+	var work []int
+	for _, s := range g.succs[n] {
+		if !out.has(s) {
+			out.add(s)
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		m := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.succs[m] {
+			if !out.has(s) {
+				out.add(s)
+				work = append(work, s)
+			}
+		}
+	}
+	g.reachMemo[n] = out
+	return out
+}

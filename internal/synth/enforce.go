@@ -5,7 +5,18 @@ import (
 	"sort"
 
 	"dfence/internal/ir"
+	"dfence/internal/staticanalysis"
 )
+
+// verifyMutation re-verifies a program after a fence mutation. Every
+// insertion and removal path funnels through it so a synthesis step can
+// never hand a corrupted program to the next round.
+func verifyMutation(prog *ir.Program, what string) error {
+	if err := staticanalysis.Verify(prog); err != nil {
+		return fmt.Errorf("synth: program failed verification after %s: %w", what, err)
+	}
+	return nil
+}
 
 // InsertedFence describes one fence placed by Enforce.
 type InsertedFence struct {
@@ -71,6 +82,9 @@ func Enforce(prog *ir.Program, preds []Predicate) ([]InsertedFence, error) {
 		}
 		out = append(out, InsertedFence{After: l, Label: fl, Kind: kinds[l], Func: f.Name})
 	}
+	if err := verifyMutation(prog, "fence insertion (Enforce)"); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -94,6 +108,9 @@ func InsertFences(prog *ir.Program, fences []InsertedFence) ([]InsertedFence, er
 		}
 		out = append(out, InsertedFence{After: f.After, Label: nl, Kind: f.Kind, Func: fn.Name})
 	}
+	if err := verifyMutation(prog, "fence insertion (InsertFences)"); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -106,12 +123,17 @@ func InsertFences(prog *ir.Program, fences []InsertedFence) ([]InsertedFence, er
 // "buffers certainly empty since the last fence" (meet = conjunction,
 // entry = unknown). A fence whose entry state is protected is removed.
 // Returns the number of fences removed.
-func MergeFences(prog *ir.Program) int {
+func MergeFences(prog *ir.Program) (int, error) {
 	removed := 0
 	for _, name := range prog.FuncNames() {
 		removed += mergeFunc(prog.Funcs[name])
 	}
-	return removed
+	if removed > 0 {
+		if err := verifyMutation(prog, "fence removal (MergeFences)"); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }
 
 func mergeFunc(f *ir.Func) int {

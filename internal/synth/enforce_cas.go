@@ -64,5 +64,8 @@ func EnforceWithCAS(prog *ir.Program, model memmodel.Model, preds []Predicate) (
 		}
 		out = append(out, InsertedFence{After: l, Label: cl, Kind: ir.FenceFull, Func: f.Name})
 	}
+	if err := verifyMutation(prog, "dummy-CAS insertion (EnforceWithCAS)"); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -59,7 +59,10 @@ func NewCollector(model memmodel.Model) *Collector {
 
 // OnSharedAccess implements interp.Observer.
 func (c *Collector) OnSharedAccess(thread int, label ir.Label, kind interp.AccessKind, addr int64, pending []interp.PendingStore) {
-	if c.model == memmodel.TSO && kind != interp.AccLoad {
+	// A non-load access K can only appear in a predicate [L ⊰ K] when the
+	// model reorders stores with later stores (PSO). Under TSO the single
+	// FIFO preserves store order and CAS drains it, so only loads observe.
+	if !c.model.RelaxesStoreStore() && kind != interp.AccLoad {
 		return
 	}
 	for _, p := range pending {

@@ -204,7 +204,11 @@ func TestMergeRemovesBackToBackFences(t *testing.T) {
 	if err := p.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if got := MergeFences(p); got != 1 {
+	got, err := MergeFences(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
 		t.Fatalf("merged %d fences, want 1", got)
 	}
 	if err := p.Validate(); err != nil {
@@ -233,7 +237,11 @@ func TestMergeKeepsFenceAfterStore(t *testing.T) {
 	if err := p.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if got := MergeFences(p); got != 0 {
+	got, err := MergeFences(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
 		t.Fatalf("merged %d fences, want 0 (store between fences)", got)
 	}
 }
@@ -263,7 +271,11 @@ func TestMergeDiamondBothPathsFenced(t *testing.T) {
 	if err := p.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if got := MergeFences(p); got != 1 {
+	got, err := MergeFences(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
 		t.Fatalf("merged %d, want 1 (join fence dominated on both paths)", got)
 	}
 	if err := p.Validate(); err != nil {
@@ -295,7 +307,11 @@ func TestMergeDiamondOnePathUnfenced(t *testing.T) {
 	if err := p.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if got := MergeFences(p); got != 0 {
+	got, err := MergeFences(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
 		t.Fatalf("merged %d, want 0", got)
 	}
 }
@@ -324,7 +340,11 @@ func TestMergeRetargetsBranchesToRemovedFence(t *testing.T) {
 	if err := p.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if got := MergeFences(p); got != 1 {
+	got, err := MergeFences(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
 		t.Fatalf("merged %d fences, want 1 (loop-head fence dominated by entry fence)", got)
 	}
 	if err := p.Validate(); err != nil {
