@@ -9,12 +9,23 @@
 #                skipped with a notice when absent)
 #   make bench   one pass over every benchmark (smoke; use BENCHTIME for
 #                real measurements, e.g. make bench BENCHTIME=3s)
+#   make bench-json     run the engine benchmarks with -benchmem and write
+#                       them as JSON (BENCH_JSON, default BENCH_pr4.json)
+#                       via cmd/benchjson — no external tools needed
+#   make bench-compare  benchstat OLD=a.txt NEW=b.txt, when benchstat is
+#                       installed (it is not vendored; skipped otherwise)
 #   make ci      everything a PR must pass
 
 GO ?= go
 BENCHTIME ?= 1x
+BENCH_JSON ?= BENCH_pr4.json
+# The engine benchmarks: the PR 4 acceptance metrics (throughput,
+# allocations, cache effect) — what bench-json snapshots.
+ENGINE_BENCH = BenchmarkSynthesizeWorkers|BenchmarkExecutionEngine|BenchmarkSynthesizeCache
+OLD ?= bench_old.txt
+NEW ?= bench_new.txt
 
-.PHONY: build test race vet lint bench ci
+.PHONY: build test race vet lint bench bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -34,5 +45,13 @@ lint:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 && benchstat $(OLD) $(NEW) || \
+		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"
 
 ci: build vet test race

@@ -7,6 +7,8 @@
 //	BenchmarkFig5/*           Figure 5 points (flush-probability sweep)
 //	BenchmarkSchedulerSweep/* §6.5 violation exposure per model
 //	BenchmarkExecution/*      raw interpreter throughput per benchmark
+//	BenchmarkExecutionEngine/* fresh vs pooled machine allocs per execution
+//	BenchmarkSynthesizeCache/* execution caching on vs off (validation)
 //	BenchmarkChecker/*        SC / linearizability checker throughput
 //	BenchmarkSAT/*            repair-formula minimal-model extraction
 //	BenchmarkAblation/*       design-choice ablations (DESIGN.md)
@@ -16,6 +18,7 @@
 package dfence_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -24,6 +27,7 @@ import (
 
 	"dfence/internal/core"
 	"dfence/internal/eval"
+	"dfence/internal/interp"
 	"dfence/internal/ir"
 	"dfence/internal/memmodel"
 	"dfence/internal/progs"
@@ -202,6 +206,76 @@ func BenchmarkSynthesizeWorkers(b *testing.B) {
 			b.ReportMetric(float64(execs)/float64(b.N), "execs/op")
 			if wall > 0 {
 				b.ReportMetric(float64(execs)/wall.Seconds(), "execs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkExecutionEngine is the per-execution allocation comparison for
+// the pooled engine: the same Chase-Lev PSO execution stream run through
+// fresh one-shot machines (sched.Run allocates a machine, store buffers,
+// and history per call) vs the pooled batch engine (one reused machine
+// per worker, compiled dispatch, Reset between executions). allocs/op is
+// the headline metric; the executions are bit-identical either way (see
+// internal/core's determinism tests).
+func BenchmarkExecutionEngine(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := subject.Program()
+	optsFor := func(i int) sched.Options { return sched.DefaultOptions(int64(i)) }
+	b.Run("fresh-machine", func(b *testing.B) {
+		b.ReportAllocs()
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			steps += sched.Run(p, memmodel.PSO, nil, optsFor(i)).Steps
+		}
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+	b.Run("pooled-machine", func(b *testing.B) {
+		b.ReportAllocs()
+		steps := 0
+		sched.RunBatch(context.Background(), p, memmodel.PSO, b.N, 1, nil, optsFor,
+			func(i, _ int, _ interp.Observer, res *interp.Result, _ *sched.ExecError) (struct{}, bool) {
+				steps += res.Steps
+				return struct{}{}, false
+			})
+		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+	})
+}
+
+// BenchmarkSynthesizeCache measures the cross-phase execution caching:
+// the same Chase-Lev PSO synthesis with fence validation (the phase the
+// fence-touch cache accelerates) with the caches enabled vs disabled.
+// The fence sets are identical either way — the caches are exact.
+func BenchmarkSynthesizeCache(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nocache := range []bool{false, true} {
+		name := "cache=on"
+		if nocache {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			execs, hits := 0, 0
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(subject, memmodel.PSO, spec.SeqConsistency, 1)
+				cfg.Workers = 1
+				cfg.NoExecCache = nocache
+				res, err := core.Synthesize(subject.Program(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				execs += res.TotalExecutions
+				hits += res.CacheHits
+			}
+			b.ReportMetric(float64(execs)/float64(b.N), "execs/op")
+			if !nocache {
+				b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
 			}
 		})
 	}

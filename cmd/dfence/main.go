@@ -60,6 +60,7 @@ import (
 	"dfence/internal/ir"
 	"dfence/internal/lang"
 	"dfence/internal/memmodel"
+	"dfence/internal/profiling"
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 	"dfence/internal/staticanalysis"
@@ -91,13 +92,27 @@ func main() {
 		witness  = flag.Bool("witness", false, "print the captured counterexample schedule")
 		redund   = flag.Bool("redundant", false, "discover redundant fences in an already-fenced program (§6.3.1) instead of synthesizing")
 		static   = flag.Bool("static", false, "consult the static delay-set analysis: skip dynamic rounds when the program is provably robust, and prune proposed predicates to the static critical cycles")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// os.Exit skips deferred calls; error paths below flush profiles first.
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	prog, benchmark, err := loadProgram(*builtin, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *optimize {
 		removed := ir.Optimize(prog)
@@ -111,12 +126,12 @@ func main() {
 	model, err := memmodel.ParseModel(*modelF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	crit, ok := spec.ParseCriterion(*specF)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dfence: unknown criterion %q (want safety, sc, lin)\n", *specF)
-		os.Exit(1)
+		exit(1)
 	}
 
 	cfg := core.Config{
@@ -143,7 +158,7 @@ func main() {
 		newSpec, err := spec.ByName(*seqF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfence:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		cfg.NewSpec = newSpec
 	}
@@ -152,7 +167,7 @@ func main() {
 		labels, err := core.FindRedundantFences(prog, cfg, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfence:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("fences in program: %d\n", len(prog.Fences()))
 		fmt.Printf("redundant under %v/%v: %d\n", model, crit, len(labels))
@@ -167,14 +182,14 @@ func main() {
 	res, err := core.Synthesize(prog, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	report(res, model, crit)
 	if *witness && res.Witness != nil {
 		fmt.Printf("witness schedule: %s\n", res.Witness)
 	}
 	if res.Unfixable {
-		os.Exit(3)
+		exit(3)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"dfence/internal/eval"
 	"dfence/internal/memmodel"
+	"dfence/internal/profiling"
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 )
@@ -35,11 +36,24 @@ func main() {
 		execs  = flag.Int("execs", 1000, "executions per round (K)")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		jobs   = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); artifacts are identical for any value")
+		cpuP   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memP   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
 	flag.Parse()
 	if !*table2 && !*table3 && !*fig4 && !*fig5 && !*sweep && !*all {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProf, err := profiling.Start(*cpuP, *memP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// os.Exit skips deferred calls; error paths below flush profiles first.
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
 	}
 	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true, Workers: *jobs}
 
@@ -53,7 +67,7 @@ func main() {
 			b, err := progs.ByName(*bench)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			benches = []*progs.Benchmark{b}
 		}
@@ -62,7 +76,7 @@ func main() {
 		rows, err := eval.Table3(benches, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Print(eval.FormatTable3(rows))
 		fmt.Printf("(%d rows in %.1fs)\n\n", len(rows), time.Since(start).Seconds())
@@ -72,7 +86,7 @@ func main() {
 		pts, err := eval.Fig4([]int{50, 100, 200, 500, 1000, 2000}, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Print(eval.FormatFig4(pts))
 		fmt.Println()
@@ -83,7 +97,7 @@ func main() {
 		pts, err := eval.Fig5(probs, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Print(eval.FormatFig5(pts))
 		fmt.Println()
@@ -92,7 +106,7 @@ func main() {
 		pts2, err := eval.Fig5For("chase-lev", spec.Linearizability, probs, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Print(eval.FormatFig5Titled("Chase-Lev, linearizability, PSO", pts2))
 		fmt.Println()
@@ -104,7 +118,7 @@ func main() {
 			res, err := eval.SchedulerSweep("chase-lev", m, spec.SeqConsistency, probs, 1000, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("%s: ", m)
 			for _, p := range probs {

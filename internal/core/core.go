@@ -137,6 +137,14 @@ type Config struct {
 	// PruneFallbacks counter records it. Default off; results with the
 	// flag off are bit-identical to earlier versions.
 	StaticPrune bool
+	// NoExecCache disables the cross-phase execution caches (see
+	// execcache.go): the per-worker verdict memo, which judges each
+	// distinct history once, and the fence-touch outcome transfer, which
+	// lets the validation and redundancy trials skip executions provably
+	// unaffected by the dropped fences. Both caches are exact, so results
+	// are bit-identical with the flag on or off — the knob exists for
+	// measurement and as the determinism-test control.
+	NoExecCache bool
 }
 
 func (c *Config) fill() {
@@ -332,6 +340,14 @@ type Result struct {
 	// PrunedPredicates totals the statically pruned predicates across
 	// rounds.
 	PrunedPredicates int
+	// CacheHits counts execution verdicts answered by the caches: verdict
+	// memo hits plus validation-trial executions whose outcome transferred
+	// from the baseline instead of re-running. CacheMisses counts verdicts
+	// computed afresh (and memoized). These are throughput diagnostics;
+	// every other Result field is bit-identical whether caching is on or
+	// off.
+	CacheHits   int
+	CacheMisses int
 	// Witness is the schedule of the first violating execution observed
 	// (against the program as it was in that round): a reproducible
 	// counterexample the user can sched.Replay. Nil if no violation or
@@ -382,6 +398,10 @@ func (r *Result) Summary() string {
 	}
 	if r.MergedAway > 0 {
 		fmt.Fprintf(&b, "\nmerged away: %d", r.MergedAway)
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "\nexec cache: %d hits, %d misses (%.0f%% hit rate)",
+			r.CacheHits, r.CacheMisses, 100*float64(r.CacheHits)/float64(r.CacheHits+r.CacheMisses))
 	}
 	if r.SolverTruncated {
 		b.WriteString("\nsolver enumeration truncated by budget (repairs best-effort, not provably minimal)")
@@ -467,6 +487,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		defer cancel()
 	}
 	aborted := false
+	jcs := newJudgeCaches(&cfg)
 
 	for round := 0; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
@@ -487,7 +508,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		// Fan the round's K executions across cfg.Workers goroutines; the
 		// outcome slots come back in execution order, so the merge below is
 		// identical to the serial loop.
-		outcomes := runRound(ctx, work, &cfg, round)
+		outcomes := runRound(ctx, work, &cfg, jcs, round)
 		witnessIdx := -1
 		for i, o := range outcomes {
 			if !o.ran {
@@ -645,8 +666,18 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	}
 	result.SynthesizedFences = len(result.Fences)
 	if cfg.ValidateFences && !cfg.EnforceWithCAS && result.Converged && len(result.Fences) > 0 {
-		if err := validateFences(prog, &cfg, result); err != nil {
-			return nil, err
+		handled := false
+		if !cfg.NoExecCache {
+			var err error
+			handled, err = validateFencesCached(prog, &cfg, result, jcs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !handled {
+			if err := validateFences(prog, &cfg, result, jcs); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if cfg.MergeFences {
@@ -656,6 +687,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 		result.MergedAway = merged
 	}
+	tallyJudgeCaches(jcs, result)
 	return result, nil
 }
 
@@ -663,7 +695,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 // violations, rebuilding the result program from the original plus the
 // surviving fences. Validation runs use a disjoint seed block so fences are
 // not kept merely because the synthesis schedules recur.
-func validateFences(orig *ir.Program, cfg *Config, result *Result) error {
+func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCache) error {
 	budget := cfg.ValidateExecs // fill() defaulted this to 3 * ExecsPerRound
 	// Sweep flush probabilities: a missing fence's violation rate peaks at
 	// model-dependent probabilities (paper Fig. 5), so trying only the
@@ -677,7 +709,7 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result) error {
 		}
 		// One violation decides the trial, so the batch early-cancels the
 		// remaining workers as soon as any execution violates.
-		_, found := violationBatch(p, cfg, budget, true, func(i int) sched.Options {
+		_, found := violationBatch(p, cfg, jcs, budget, true, func(i int) sched.Options {
 			return sched.Options{
 				Seed:      seedBase + int64(i),
 				FlushProb: probs[i%len(probs)],
@@ -737,9 +769,21 @@ func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.
 	if execsPerFence <= 0 {
 		execsPerFence = 2 * cfg.ExecsPerRound
 	}
+	jcs := newJudgeCaches(&cfg)
+	verify := func(p *ir.Program) error {
+		if err := staticanalysis.Verify(p); err != nil {
+			return fmt.Errorf("core: program failed verification after fence removal: %w", err)
+		}
+		return nil
+	}
+	if !cfg.NoExecCache {
+		if redundant, handled, err := findRedundantCached(prog, &cfg, jcs, execsPerFence, verify); handled {
+			return redundant, err
+		}
+	}
 	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	clean := func(p *ir.Program) bool {
-		_, found := violationBatch(p, &cfg, execsPerFence, true, func(i int) sched.Options {
+		_, found := violationBatch(p, &cfg, jcs, execsPerFence, true, func(i int) sched.Options {
 			return sched.Options{
 				Seed:      cfg.Seed + int64(i),
 				FlushProb: probs[i%len(probs)],
@@ -830,7 +874,7 @@ func branchesTo(f *ir.Func, l ir.Label) bool {
 // scheduler-effectiveness benchmarks.
 func CheckOnly(prog *ir.Program, cfg Config, n int) (violations int) {
 	cfg.fill()
-	violations, _ = violationBatch(prog, &cfg, n, false, func(i int) sched.Options {
+	violations, _ = violationBatch(prog, &cfg, newJudgeCaches(&cfg), n, false, func(i int) sched.Options {
 		return sched.Options{
 			Seed:      cfg.Seed + int64(i),
 			FlushProb: cfg.FlushProb,

@@ -1,0 +1,474 @@
+// Cross-phase execution caching. Two exact caches sit between the engine
+// and Algorithm 1's verdict/trial logic:
+//
+//  1. The verdict memo: judging an execution (spec.CompleteOps + the
+//     sequentialization search) is a pure function of the recorded
+//     history, so each worker memoizes verdict-by-history. Round
+//     executions under the demonic scheduler produce heavily recurring
+//     histories, and the memo persists across rounds AND into the
+//     validation pass — the sequentialization DFS runs once per distinct
+//     history instead of once per execution.
+//
+//  2. The fence-touch outcome transfer: the validation and redundancy
+//     trials re-run the same seed block against programs differing only
+//     in which fences are present. An execution that never reaches a
+//     fence is bit-identical with or without it (same instruction
+//     sequence, same RNG draws, same history), so its verdict transfers
+//     to every candidate program whose dropped fences it never touched.
+//     Trials are compiled with interp.CompileWatched, which records per
+//     seed the bitmask of fences the execution reached; a trial then
+//     runs only the seeds whose outcome the candidate could actually
+//     change. The validation pass arms this baseline opportunistically:
+//     a failed drop early-stops exactly like the uncached pass (no
+//     baseline cost), while a successful drop necessarily ran its whole
+//     seed block clean — the same executions the uncached pass pays for —
+//     and those watched results become the baseline for every later
+//     trial. The redundancy scan seeds the baseline from its all-fences
+//     cleanliness check, which the uncached scan runs in full anyway.
+//
+// Both caches are exact — they skip recomputation, never approximate it —
+// so synthesis results are bit-identical with Config.NoExecCache on or
+// off (the determinism tests in determinism_test.go enforce this).
+package core
+
+import (
+	"context"
+	"encoding/binary"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/sched"
+	"dfence/internal/spec"
+	"dfence/internal/synth"
+)
+
+// maxJudgeMemoEntries bounds each worker's verdict memo. At the cap the
+// memo stops inserting (lookups keep working), so a pathological workload
+// with unbounded distinct histories degrades to the uncached cost plus
+// one map probe instead of growing without bound.
+const maxJudgeMemoEntries = 1 << 16
+
+// judgeCache is one worker's verdict memo. It is owned by the reduce
+// calls of a single batch worker index (the worker-ownership invariant in
+// sched/batch.go), so no locking is needed; a slice of them indexed by
+// worker is shared across every batch of one synthesis, which is what
+// carries hits across rounds and into the validation trials.
+type judgeCache struct {
+	memo map[string]verdict
+	key  []byte // scratch for the alloc-free map[string(bytes)] probe
+	// ck owns the reusable checker state (memo table, partition buffers,
+	// recycled spec states) that makes cache misses cheap too.
+	ck           spec.Checker
+	hits, misses int64
+}
+
+// newJudgeCaches returns one verdict memo per worker, or nil when the
+// config disables caching (judgeWorker falls back to plain judge).
+func newJudgeCaches(cfg *Config) []judgeCache {
+	if cfg.NoExecCache {
+		return nil
+	}
+	return make([]judgeCache, cfg.Workers)
+}
+
+// tally adds the caches' hit/miss counters to the result.
+func tallyJudgeCaches(jcs []judgeCache, result *Result) {
+	for i := range jcs {
+		result.CacheHits += int(jcs[i].hits)
+		result.CacheMisses += int(jcs[i].misses)
+	}
+}
+
+// judgeWorker is judge with the calling worker's verdict memo. The memo
+// only covers the history check: step-limited, timed-out, and
+// interpreter-detected violations are classified directly from the
+// result, exactly as judge does.
+func judgeWorker(cfg *Config, jcs []judgeCache, worker int, res *interp.Result) verdict {
+	if res.StepLimitHit || res.TimedOut {
+		return verdictInconclusive
+	}
+	if res.Violation != nil {
+		return verdictViolation
+	}
+	if jcs == nil || worker >= len(jcs) {
+		return judge(cfg, res)
+	}
+	jc := &jcs[worker]
+	jc.key = appendHistoryKey(jc.key[:0], res.History)
+	if v, ok := jc.memo[string(jc.key)]; ok {
+		jc.hits++
+		return v
+	}
+	v := judgeMiss(cfg, jc, res)
+	jc.misses++
+	if jc.memo == nil {
+		jc.memo = make(map[string]verdict, 256)
+	}
+	if len(jc.memo) < maxJudgeMemoEntries {
+		jc.memo[string(jc.key)] = v
+	}
+	return v
+}
+
+// judgeMiss is judge's history check on the worker's reusable Checker:
+// identical verdicts, none of the per-call allocations.
+func judgeMiss(cfg *Config, jc *judgeCache, res *interp.Result) verdict {
+	ops := jc.ck.CompleteOps(res.History)
+	if cfg.RelaxStealAborts {
+		ops = jc.ck.RelaxStealAborts(ops)
+	}
+	if jc.ck.Check(cfg.Criterion, ops, cfg.NewSpec, cfg.CheckGarbage) {
+		return verdictClean
+	}
+	return verdictViolation
+}
+
+// appendHistoryKey serializes a history into dst as a memo key. The
+// encoding is injective (op names are NUL-terminated, counts are
+// explicit), so two executions share a key exactly when their observable
+// histories are identical — the condition under which the verdict is
+// guaranteed equal.
+func appendHistoryKey(dst []byte, evs []interp.Event) []byte {
+	for _, e := range evs {
+		dst = append(dst, byte(e.Kind))
+		dst = binary.AppendVarint(dst, int64(e.Thread))
+		dst = append(dst, e.Op...)
+		dst = append(dst, 0)
+		dst = binary.AppendVarint(dst, int64(len(e.Args)))
+		for _, a := range e.Args {
+			dst = binary.AppendVarint(dst, a)
+		}
+		if e.HasRet {
+			dst = append(dst, 1)
+			dst = binary.AppendVarint(dst, e.Ret)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// --- fence-touch outcome transfer ---
+
+// trialOut records one watched trial execution: whether it ran (an
+// early-cancelled batch leaves abandoned slots), whether it violated, and
+// the watch-order bitmask of fences it reached.
+type trialOut struct {
+	ran      bool
+	violated bool
+	mask     uint64
+}
+
+// watchedBatch runs the executions seeds[k] (k in order) of the watched
+// compile c and reports, per seed, the violation verdict and the touched
+// bitmask. With stopEarly the first violation cancels the rest — callers
+// use the full per-seed data only when no violation was found, in which
+// case every slot completed.
+func watchedBatch(c *interp.Compiled, cfg *Config, jcs []judgeCache, seeds []int, optsFor func(i int) sched.Options, stopEarly bool) []trialOut {
+	return sched.RunBatchCompiled(context.Background(), c, cfg.Model, len(seeds), cfg.Workers, nil,
+		func(k int) sched.Options { return optsFor(seeds[k]) },
+		func(k, worker int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (trialOut, bool) {
+			if err != nil {
+				// The touched mask of a panicked execution is unknowable, so
+				// report every fence touched: the seed is re-run in every
+				// trial, exactly as the uncached pass would.
+				return trialOut{ran: true, mask: ^uint64(0)}, false
+			}
+			v := judgeWorker(cfg, jcs, worker, res) == verdictViolation
+			return trialOut{ran: true, violated: v, mask: res.FenceTouched}, v && stopEarly
+		})
+}
+
+// baseEntry is the baseline record of one trial seed: whether the
+// current fence set's execution at that seed is known (and clean — only
+// clean runs are recorded), and the canonical mask (bit = fence's index
+// in the original fence list) of fences it reached. Unknown seeds are
+// must-run for every trial.
+type baseEntry struct {
+	known   bool
+	touched uint64
+}
+
+// fenceTrialCache drives the outcome transfer for one greedy
+// fence-dropping pass. Fences are identified by their index in the
+// original list (the canonical bit), which stays stable as the kept set
+// shrinks.
+type fenceTrialCache struct {
+	cfg     *Config
+	jcs     []judgeCache
+	optsFor func(i int) sched.Options
+	budget  int
+	base    []baseEntry
+	// skipped counts executions whose verdict transferred from the
+	// baseline instead of running.
+	skipped int
+}
+
+// canonicalize maps a watch-order touched mask to canonical fence bits.
+func canonicalize(mask uint64, bits []int) uint64 {
+	var out uint64
+	for w, bit := range bits {
+		if mask&(1<<uint(w)) != 0 {
+			out |= 1 << uint(bit)
+		}
+	}
+	return out
+}
+
+// seedBaseline records the full-seed-block baseline from a violation-free
+// pass: out[k] is seed k's run against the current fence set, bits[w] the
+// canonical bit of watch index w.
+func (fc *fenceTrialCache) seedBaseline(out []trialOut, bits []int) {
+	fc.base = make([]baseEntry, len(out))
+	for k, o := range out {
+		fc.base[k] = baseEntry{known: true, touched: canonicalize(o.mask, bits)}
+	}
+}
+
+// mustRun returns the seeds whose verdict the candidate (current set
+// minus the fences in dropMask) could change: seeds with no baseline
+// record yet, and clean runs that reached a dropped fence. Every other
+// seed's execution is bit-identical under the candidate, so its clean
+// verdict transfers.
+func (fc *fenceTrialCache) mustRun(dropMask uint64) []int {
+	var seeds []int
+	for k := range fc.base {
+		if !fc.base[k].known || fc.base[k].touched&dropMask != 0 {
+			seeds = append(seeds, k)
+		}
+	}
+	fc.skipped += fc.budget - len(seeds)
+	return seeds
+}
+
+// trial runs the candidate compile over the must-run seeds and reports
+// whether any violated. A violated trial leaves the baseline untouched
+// (its partial results describe a program that is not becoming the kept
+// set). A clean trial ran every must-run seed, the drop succeeds, and
+// the candidate becomes the new kept set — so the trial's own watched
+// results refresh the baseline entries of the seeds that ran, while the
+// transferred seeds' entries stay valid verbatim (their executions are
+// bit-identical under the new set and their masks cannot contain the
+// dropped bit). This is what arms the cache without a dedicated
+// baseline pass in validation.
+func (fc *fenceTrialCache) trial(c *interp.Compiled, seeds []int, bits []int) bool {
+	if len(seeds) == 0 {
+		return false
+	}
+	out := watchedBatch(c, fc.cfg, fc.jcs, seeds, fc.optsFor, true)
+	for _, o := range out {
+		if o.ran && o.violated {
+			return true
+		}
+	}
+	for k, o := range out {
+		fc.base[seeds[k]] = baseEntry{known: true, touched: canonicalize(o.mask, bits)}
+	}
+	return false
+}
+
+// validateFencesCached is validateFences with the outcome transfer. It
+// reports handled == false (leaving result untouched) when the fence set
+// cannot be watched — more fences than interp.MaxWatchedFences, or an
+// insertion-site collision — in which case the caller falls back to the
+// uncached pass. The kept/dropped decisions are bit-identical to the
+// uncached pass: each trial's any-violation verdict is computed over the
+// same seed block, with provably unchanged executions answered from the
+// baseline instead of re-run.
+func validateFencesCached(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCache) (handled bool, err error) {
+	if len(result.Fences) > interp.MaxWatchedFences {
+		return false, nil
+	}
+	probs := []float64{0.1, 0.3, cfg.FlushProb}
+	seedBase := cfg.Seed + 1_000_003
+	fc := &fenceTrialCache{
+		cfg: cfg, jcs: jcs, budget: cfg.ValidateExecs,
+		optsFor: func(i int) sched.Options {
+			return sched.Options{
+				Seed:      seedBase + int64(i),
+				FlushProb: probs[i%len(probs)],
+				MaxSteps:  cfg.MaxStepsPerExec,
+				PORWindow: 64,
+			}
+		},
+	}
+	// kept[j] pairs each surviving fence with its canonical bit (index in
+	// the original Fences list).
+	type keptFence struct {
+		f   synth.InsertedFence
+		bit int
+	}
+	kept := make([]keptFence, len(result.Fences))
+	for i, f := range result.Fences {
+		kept[i] = keptFence{f: f, bit: i}
+	}
+	// compile rebuilds orig + the given fences and watches each inserted
+	// fence; bits[w] is the canonical bit of watch index w. A skipped
+	// insertion (site collision) breaks the watch mapping and is reported
+	// as unhandled.
+	compile := func(ks []keptFence) (*interp.Compiled, []int, error) {
+		p := orig.Clone()
+		ins := make([]synth.InsertedFence, len(ks))
+		bits := make([]int, len(ks))
+		for j, k := range ks {
+			ins[j] = k.f
+			bits[j] = k.bit
+		}
+		final, ierr := synth.InsertFences(p, ins)
+		if ierr != nil {
+			return nil, nil, ierr
+		}
+		if len(final) != len(ks) {
+			return nil, nil, nil // collision: caller falls back
+		}
+		watch := make([]ir.Label, len(final))
+		for j, f := range final {
+			watch[j] = f.Label
+		}
+		c, cerr := interp.CompileWatched(p, watch)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		return c, bits, nil
+	}
+
+	// Compile the full set once, purely to detect unwatchable fence sets
+	// (insertion-site collisions) before mutating the result: no executions
+	// run against it. The baseline arms itself from the first clean trial.
+	if baseC, _, cerr := compile(kept); cerr != nil || baseC == nil {
+		return false, cerr
+	}
+	fc.base = make([]baseEntry, fc.budget)
+
+	for i := len(kept) - 1; i >= 0; i-- {
+		candidate := append(append([]keptFence(nil), kept[:i]...), kept[i+1:]...)
+		seeds := fc.mustRun(1 << uint(kept[i].bit))
+		if len(seeds) > 0 {
+			c, bits, cerr := compile(candidate)
+			if cerr != nil {
+				return true, cerr
+			}
+			if c == nil {
+				return true, errInsertCollision
+			}
+			if fc.trial(c, seeds, bits) {
+				continue // a violation needs this fence: keep it
+			}
+		}
+		kept = candidate
+		result.Redundant++
+	}
+
+	p := orig.Clone()
+	ins := make([]synth.InsertedFence, len(kept))
+	for j, k := range kept {
+		ins[j] = k.f
+	}
+	final, err := synth.InsertFences(p, ins)
+	if err != nil {
+		return true, err
+	}
+	result.Program = p
+	result.Fences = final
+	result.CacheHits += fc.skipped
+	return true, nil
+}
+
+// findRedundantCached is FindRedundantFences' greedy loop with the
+// outcome transfer. It reports handled == false when the program's fence
+// count exceeds interp.MaxWatchedFences (the caller falls back to the
+// uncached loop). The redundant set is bit-identical to the uncached
+// loop's: trials run over the same seed block with provably unchanged
+// executions answered from the baseline.
+func findRedundantCached(prog *ir.Program, cfg *Config, jcs []judgeCache, execsPerFence int, verify func(*ir.Program) error) (redundant []ir.Label, handled bool, err error) {
+	kept := prog.Fences()
+	if len(kept) > interp.MaxWatchedFences {
+		return nil, false, nil
+	}
+	probs := []float64{0.1, 0.3, cfg.FlushProb}
+	fc := &fenceTrialCache{
+		cfg: cfg, jcs: jcs, budget: execsPerFence,
+		optsFor: func(i int) sched.Options {
+			return sched.Options{
+				Seed:      cfg.Seed + int64(i),
+				FlushProb: probs[i%len(probs)],
+				MaxSteps:  cfg.MaxStepsPerExec,
+				PORWindow: 64,
+			}
+		},
+	}
+	baseC, cerr := interp.CompileWatched(prog, kept)
+	if cerr != nil {
+		return nil, false, nil // e.g. a watch label is not a fence: fall back
+	}
+	bits := make([]int, len(kept))
+	for i := range bits {
+		bits[i] = i
+	}
+	allSeeds := make([]int, execsPerFence)
+	for i := range allSeeds {
+		allSeeds[i] = i
+	}
+	// The all-fences baseline doubles as the initial cleanliness check.
+	out := watchedBatch(baseC, cfg, jcs, allSeeds, fc.optsFor, false)
+	for _, o := range out {
+		if o.violated {
+			return nil, true, errBaselineViolates
+		}
+	}
+	fc.seedBaseline(out, bits)
+
+	isRedundant := make([]bool, len(kept))
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := prog.Clone()
+		drop := append(append([]ir.Label(nil), redundant...), kept[i])
+		removeFences(trial, drop)
+		if verr := verify(trial); verr != nil {
+			return nil, true, verr
+		}
+		seeds := fc.mustRun(1 << uint(i))
+		if len(seeds) > 0 {
+			// Watch the fences surviving this candidate; labels are stable
+			// across Clone, and removeFences leaves other fences' labels
+			// untouched.
+			var watch []ir.Label
+			var wbits []int
+			for j, l := range kept {
+				if j != i && !isRedundant[j] {
+					watch = append(watch, l)
+					wbits = append(wbits, j)
+				}
+			}
+			c, werr := interp.CompileWatched(trial, watch)
+			if werr != nil {
+				return nil, true, werr
+			}
+			if fc.trial(c, seeds, wbits) {
+				continue // a violation needs this fence
+			}
+		}
+		redundant = append(redundant, kept[i])
+		isRedundant[i] = true
+	}
+	return redundant, true, nil
+}
+
+// errBaselineViolates mirrors the uncached loop's precondition error.
+var errBaselineViolates = errBaselineViolatesT{}
+
+type errBaselineViolatesT struct{}
+
+func (errBaselineViolatesT) Error() string {
+	return "core: program violates its specification even with all fences present"
+}
+
+// errInsertCollision reports a fence-insertion site collision appearing
+// mid-pass after the initial compile succeeded — dropping a fence cannot
+// create one, so this is a logic error, not an input condition.
+var errInsertCollision = errInsertCollisionT{}
+
+type errInsertCollisionT struct{}
+
+func (errInsertCollisionT) Error() string {
+	return "core: fence insertion collided mid-validation (watch mapping lost)"
+}

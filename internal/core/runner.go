@@ -59,21 +59,21 @@ func roundOpts(cfg *Config, round, i int) sched.Options {
 // execution gets its own interp.Machine and each worker its own collector.
 // Slots whose execution never started (ctx or RoundTimeout expired first)
 // come back as the zero outcome with ran == false.
-func runRound(ctx context.Context, work *ir.Program, cfg *Config, round int) []execOutcome {
+func runRound(ctx context.Context, work *ir.Program, cfg *Config, jcs []judgeCache, round int) []execOutcome {
 	if cfg.RoundTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.RoundTimeout)
 		defer cancel()
 	}
 	newObs := func(int) interp.Observer { return synth.NewCollector(cfg.Model) }
-	reduce := func(i int, obs interp.Observer, res *interp.Result, err *sched.ExecError) (execOutcome, bool) {
+	reduce := func(i, worker int, obs interp.Observer, res *interp.Result, err *sched.ExecError) (execOutcome, bool) {
 		coll := obs.(*synth.Collector)
 		if err != nil {
 			coll.Reset() // a panicked run may leave partial predicates behind
 			err.Round = round
 			return execOutcome{ran: true, inconclusive: true, err: err}, false
 		}
-		switch judge(cfg, res) {
+		switch judgeWorker(cfg, jcs, worker, res) {
 		case verdictInconclusive:
 			coll.Reset()
 			return execOutcome{ran: true, inconclusive: true}, false
@@ -99,13 +99,13 @@ func runRound(ctx context.Context, work *ir.Program, cfg *Config, round int) []e
 // worker count. Without stopEarly all n executions run and the count is
 // exact and deterministic. Panicked and inconclusive executions count as
 // non-violating here: the trials only ask "did any run expose a bug".
-func violationBatch(prog *ir.Program, cfg *Config, n int, stopEarly bool, optsFor func(i int) sched.Options) (violations int, found bool) {
+func violationBatch(prog *ir.Program, cfg *Config, jcs []judgeCache, n int, stopEarly bool, optsFor func(i int) sched.Options) (violations int, found bool) {
 	slots := sched.RunBatch(context.Background(), prog, cfg.Model, n, cfg.Workers, nil, optsFor,
-		func(i int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (bool, bool) {
+		func(i, worker int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (bool, bool) {
 			if err != nil {
 				return false, false
 			}
-			v := judge(cfg, res) == verdictViolation
+			v := judgeWorker(cfg, jcs, worker, res) == verdictViolation
 			return v, v && stopEarly
 		})
 	for _, v := range slots {

@@ -111,6 +111,10 @@ func (k AccessKind) String() string {
 // entries of the same thread to *other* addresses at the moment of the
 // access — the labels ly whose ordering before this access would repair
 // the execution.
+//
+// pendingOther is scratch space reused across calls: it is valid only for
+// the duration of the call, and implementations must copy anything they
+// want to retain.
 type Observer interface {
 	OnSharedAccess(thread int, label ir.Label, kind AccessKind, addr int64, pendingOther []PendingStore)
 }
@@ -142,4 +146,10 @@ type Result struct {
 	TimedOut bool
 	// ExitCode is main's return value (0 if void or cut off).
 	ExitCode int64
+	// FenceTouched is a bitmask of the watched fences the execution
+	// reached: bit i is set iff the fence labelled by the i-th entry of the
+	// CompileWatched watch list executed. Always 0 when the program was
+	// compiled without a watch list. The execution cache uses it to decide
+	// which candidate fence sets could possibly change this execution.
+	FenceTouched uint64
 }

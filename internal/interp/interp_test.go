@@ -768,12 +768,14 @@ type recordingObserver struct {
 }
 
 func (r *recordingObserver) OnSharedAccess(thread int, label ir.Label, kind AccessKind, addr int64, pend []PendingStore) {
+	// The pend slice is scratch space reused across calls (see Observer);
+	// copy it before retaining.
 	r.calls = append(r.calls, struct {
 		label ir.Label
 		kind  AccessKind
 		addr  int64
 		pend  []PendingStore
-	}{label, kind, addr, pend})
+	}{label, kind, addr, append([]PendingStore(nil), pend...)})
 }
 
 func TestObserverSeesPendingOther(t *testing.T) {

@@ -9,6 +9,15 @@
 // The interpreter exposes individual transitions (StepThread, FlushOne) so
 // that a demonic scheduler (package sched) fully controls interleaving and
 // flush timing, exactly as in the paper's architecture.
+//
+// Executions run over a Compiled program (see Compile): branch targets and
+// callees are pre-resolved to array indices, so the step loop performs no
+// map lookups. A Machine is reusable: Reset re-arms it for the next
+// execution while retaining every internal buffer (memory image, thread
+// and frame pools, register slices, history), which makes the per-
+// execution hot path allocation-free after warm-up. Results produced by a
+// Machine alias its internal buffers — they are valid only until the next
+// Reset of the same Machine.
 package interp
 
 import (
@@ -20,9 +29,9 @@ import (
 
 // frame is one activation record.
 type frame struct {
-	fn     *ir.Func
+	fn     *cfunc
 	regs   []int64
-	pc     int    // index into fn.Code
+	pc     int    // index into fn.code
 	retDst ir.Reg // caller register receiving the return value (NoReg: dropped)
 	isOp   bool   // operation frame: its return emits an EventResponse
 }
@@ -45,10 +54,13 @@ func (t *Thread) Finished() bool { return len(t.frames) == 0 }
 // Buffers exposes the thread's store buffers (read-only use intended).
 func (t *Thread) Buffers() *memmodel.Buffers { return t.buf }
 
-// Machine executes one program run. It is not safe for concurrent use;
-// create one Machine per execution.
+// Machine executes one program run. It is not safe for concurrent use.
+// The zero Machine is ready for Reset; NewMachine compiles and resets in
+// one step. A Machine may be reused for any number of executions via
+// Reset — each Reset retains the pooled internals, so steady-state
+// executions allocate (almost) nothing.
 type Machine struct {
-	prog  *ir.Program
+	c     *Compiled
 	model memmodel.Model
 	obs   Observer
 
@@ -60,6 +72,17 @@ type Machine struct {
 	steps    int
 	violated *Violation
 	exitCode int64
+	touched  uint64 // bitmask of watched fences executed (CompileWatched)
+
+	// Pools, retained across Reset. threadsFree holds retired Thread
+	// structs (with their buffers); regsFree holds retired register
+	// slices; argArena backs history-event argument slices; pendScratch
+	// and entScratch back the observation hook.
+	threadsFree []*Thread
+	regsFree    [][]int64
+	argArena    []int64
+	pendScratch []PendingStore
+	entScratch  []memmodel.Entry
 }
 
 // heapGap is the number of unaddressable guard words placed between
@@ -69,23 +92,122 @@ type Machine struct {
 const heapGap = 1
 
 // NewMachine prepares an execution of prog under the given memory model.
-// prog must be linked. obs may be nil.
+// prog must be linked. obs may be nil. It compiles prog on the spot; batch
+// callers should Compile once and Reset a pooled Machine instead.
 func NewMachine(prog *ir.Program, model memmodel.Model, obs Observer) *Machine {
-	m := &Machine{prog: prog, model: model, obs: obs}
-	m.mem = make([]int64, prog.GlobalsSize())
-	for _, g := range prog.Globals {
+	m := &Machine{}
+	m.Reset(Compile(prog), model, obs)
+	return m
+}
+
+// Reset re-arms the machine for a fresh execution of c under the given
+// model. All internal buffers are retained and reused; any Result (and its
+// History/Output slices) obtained from the machine before the Reset is
+// invalidated. The zero Machine may be Reset.
+func (m *Machine) Reset(c *Compiled, model memmodel.Model, obs Observer) {
+	m.c = c
+	m.model = model
+	m.obs = obs
+	m.steps = 0
+	m.violated = nil
+	m.exitCode = 0
+	m.touched = 0
+	m.history = m.history[:0]
+	m.output = m.output[:0]
+	m.argArena = m.argArena[:0]
+	m.units.units = m.units.units[:0]
+
+	// Retire every thread of the previous run (frames return their
+	// register slices to the pool) before building the new main thread.
+	for _, t := range m.threads {
+		for i := range t.frames {
+			m.putRegs(t.frames[i].regs)
+		}
+		t.frames = t.frames[:0]
+		t.opDepth = 0
+		m.threadsFree = append(m.threadsFree, t)
+	}
+	m.threads = m.threads[:0]
+
+	size := c.prog.GlobalsSize()
+	if int64(cap(m.mem)) >= size {
+		m.mem = m.mem[:size]
+		clear(m.mem)
+	} else {
+		m.mem = make([]int64, size)
+	}
+	for _, g := range c.prog.Globals {
 		m.units.add(g.Addr, g.Size)
 		copy(m.mem[g.Addr:g.Addr+g.Size], g.Init)
 	}
-	entry := prog.Funcs[prog.Entry]
-	main := &Thread{ID: 0, buf: memmodel.New(model)}
+	entry := &c.funcs[c.entry]
+	main := m.newThread(0)
 	main.frames = append(main.frames, frame{
 		fn:     entry,
-		regs:   make([]int64, entry.NumRegs),
+		regs:   m.getRegs(entry.numRegs),
 		retDst: ir.NoReg,
 	})
-	m.threads = []*Thread{main}
-	return m
+	m.threads = append(m.threads, main)
+}
+
+// newThread takes a thread from the pool (or allocates one) with empty
+// buffers under the current model.
+func (m *Machine) newThread(id int) *Thread {
+	var t *Thread
+	if n := len(m.threadsFree); n > 0 {
+		t = m.threadsFree[n-1]
+		m.threadsFree = m.threadsFree[:n-1]
+		t.buf.Reset(m.model)
+	} else {
+		t = &Thread{buf: memmodel.New(m.model)}
+	}
+	t.ID = id
+	return t
+}
+
+// getRegs returns a zeroed register slice of length n, reusing a pooled
+// slice when one is large enough. Zeroing keeps reused frames bit-identical
+// to freshly allocated ones.
+func (m *Machine) getRegs(n int) []int64 {
+	for i := len(m.regsFree) - 1; i >= 0; i-- {
+		if cap(m.regsFree[i]) >= n {
+			s := m.regsFree[i][:n]
+			last := len(m.regsFree) - 1
+			m.regsFree[i] = m.regsFree[last]
+			m.regsFree[last] = nil
+			m.regsFree = m.regsFree[:last]
+			clear(s)
+			return s
+		}
+	}
+	return make([]int64, n)
+}
+
+// putRegs returns a register slice to the pool.
+func (m *Machine) putRegs(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	m.regsFree = append(m.regsFree, s)
+}
+
+// allocArgs carves an n-word slice out of the machine's argument arena
+// (history-event arguments live until the next Reset, not until frame pop,
+// so they cannot share the register pool).
+func (m *Machine) allocArgs(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if len(m.argArena)+n > cap(m.argArena) {
+		grow := 256
+		if n > grow {
+			grow = n
+		}
+		m.argArena = make([]int64, 0, grow)
+	}
+	off := len(m.argArena)
+	m.argArena = m.argArena[: off+n : off+n]
+	return m.argArena[off:]
 }
 
 // Threads returns the live thread table (index = thread id).
@@ -155,7 +277,7 @@ func (m *Machine) joinReady(target int64) bool {
 
 func (m *Machine) current(t *Thread) *ir.Instr {
 	fr := &t.frames[len(t.frames)-1]
-	return &fr.fn.Code[fr.pc]
+	return &fr.fn.code[fr.pc]
 }
 
 // StepKind describes what a transition did, for scheduler bookkeeping.
@@ -226,7 +348,7 @@ func (m *Machine) forcedFlush(tid int, addr int64) StepKind {
 	if m.model == memmodel.PSO && addr >= 0 && !t.buf.EmptyFor(addr) {
 		return m.FlushOne(tid, addr)
 	}
-	pend := t.buf.PendingAddrs()
+	pend := t.buf.PendingAddrsView()
 	if len(pend) == 0 {
 		return StepBlocked
 	}
@@ -246,11 +368,11 @@ func (m *Machine) StepThread(tid int) StepKind {
 		if t.buf.Empty() {
 			return StepBlocked
 		}
-		pend := t.buf.PendingAddrs()
+		pend := t.buf.PendingAddrsView()
 		return m.FlushOne(tid, pend[0])
 	}
 	fr := &t.frames[len(t.frames)-1]
-	in := &fr.fn.Code[fr.pc]
+	in := &fr.fn.code[fr.pc]
 
 	// Instructions that require drained buffers first (FENCE, CAS, and the
 	// flush half of JOIN handled via joinReady) trigger forced flushes.
@@ -282,6 +404,7 @@ func (m *Machine) StepThread(tid int) StepKind {
 }
 
 func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
+	pc := fr.pc // index of in within fr.fn (for the resolved side table)
 	advance := true
 	kind := StepLocal
 	switch in.Op {
@@ -359,37 +482,40 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 
 	case ir.OpFence:
 		kind = StepShared // buffers already empty (forced flushes ran)
+		if w := fr.fn.rx[pc].watch; w >= 0 {
+			m.touched |= 1 << uint(w)
+		}
 
 	case ir.OpBr:
-		fr.pc = fr.fn.IndexOf(in.Target)
+		fr.pc = int(fr.fn.rx[pc].target)
 		advance = false
 	case ir.OpCondBr:
 		if fr.regs[in.A] != 0 {
-			fr.pc = fr.fn.IndexOf(in.Target)
+			fr.pc = int(fr.fn.rx[pc].target)
 		} else {
-			fr.pc = fr.fn.IndexOf(in.Target2)
+			fr.pc = int(fr.fn.rx[pc].target2)
 		}
 		advance = false
 
 	case ir.OpCall:
-		callee := m.prog.Funcs[in.Func]
+		callee := &m.c.funcs[fr.fn.rx[pc].callee]
 		nf := frame{
 			fn:     callee,
-			regs:   make([]int64, callee.NumRegs),
+			regs:   m.getRegs(callee.numRegs),
 			retDst: in.Dst,
 		}
 		for i, a := range in.Args {
 			nf.regs[i] = fr.regs[a]
 		}
-		if callee.IsOperation && t.opDepth == 0 {
+		if callee.isOp && t.opDepth == 0 {
 			nf.isOp = true
 			t.opDepth++
-			args := make([]int64, len(in.Args))
+			args := m.allocArgs(len(in.Args))
 			copy(args, nf.regs[:len(in.Args)])
 			m.history = append(m.history, Event{
-				Kind: EventInvoke, Thread: t.ID, Op: callee.Name, Args: args,
+				Kind: EventInvoke, Thread: t.ID, Op: callee.name, Args: args,
 			})
-		} else if callee.IsOperation {
+		} else if callee.isOp {
 			t.opDepth++
 		}
 		fr.pc++ // return lands after the call
@@ -404,13 +530,14 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		}
 		if fr.isOp {
 			m.history = append(m.history, Event{
-				Kind: EventResponse, Thread: t.ID, Op: fr.fn.Name, Ret: val, HasRet: hasVal,
+				Kind: EventResponse, Thread: t.ID, Op: fr.fn.name, Ret: val, HasRet: hasVal,
 			})
 		}
-		if fr.fn.IsOperation {
+		if fr.fn.isOp {
 			t.opDepth--
 		}
 		retDst := fr.retDst
+		m.putRegs(fr.regs)
 		t.frames = t.frames[:len(t.frames)-1]
 		if len(t.frames) == 0 {
 			if t.ID == 0 {
@@ -424,23 +551,23 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		kind = StepShared // returns are scheduling points (keeps POR honest)
 
 	case ir.OpFork:
-		callee := m.prog.Funcs[in.Func]
-		nt := &Thread{ID: len(m.threads), buf: memmodel.New(m.model)}
+		callee := &m.c.funcs[fr.fn.rx[pc].callee]
+		nt := m.newThread(len(m.threads))
 		nf := frame{
 			fn:     callee,
-			regs:   make([]int64, callee.NumRegs),
+			regs:   m.getRegs(callee.numRegs),
 			retDst: ir.NoReg,
 		}
 		for i, a := range in.Args {
 			nf.regs[i] = fr.regs[a]
 		}
-		if callee.IsOperation {
+		if callee.isOp {
 			nf.isOp = true
 			nt.opDepth++
-			args := make([]int64, len(in.Args))
+			args := m.allocArgs(len(in.Args))
 			copy(args, nf.regs[:len(in.Args)])
 			m.history = append(m.history, Event{
-				Kind: EventInvoke, Thread: nt.ID, Op: callee.Name, Args: args,
+				Kind: EventInvoke, Thread: nt.ID, Op: callee.name, Args: args,
 			})
 		}
 		nt.frames = append(nt.frames, nf)
@@ -460,9 +587,16 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 			size = 1
 		}
 		base := int64(len(m.mem)) + heapGap
-		grown := make([]int64, base+size)
-		copy(grown, m.mem)
-		m.mem = grown
+		need := base + size
+		if int64(cap(m.mem)) >= need {
+			old := int64(len(m.mem))
+			m.mem = m.mem[:need]
+			clear(m.mem[old:])
+		} else {
+			grown := make([]int64, need)
+			copy(grown, m.mem)
+			m.mem = grown
+		}
 		m.units.add(base, size)
 		fr.regs[in.Dst] = base
 		kind = StepShared
@@ -512,19 +646,23 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 }
 
 // observe reports a shared access to the Observer with the same-thread
-// pending stores to other addresses (instrumented Semantics 2).
+// pending stores to other addresses (instrumented Semantics 2). The
+// pending-store slice handed to the Observer is scratch space reused
+// across calls — observers must not retain it (see Observer).
 func (m *Machine) observe(t *Thread, l ir.Label, kind AccessKind, addr int64) {
 	if m.obs == nil || m.model == memmodel.SC {
 		return
 	}
-	entries := t.buf.PendingOther(addr)
+	entries := t.buf.AppendPendingOther(m.entScratch[:0], addr)
+	m.entScratch = entries[:0]
 	if len(entries) == 0 {
 		return // no pending stores to other locations: no predicates arise
 	}
-	pend := make([]PendingStore, len(entries))
-	for i, e := range entries {
-		pend[i] = PendingStore{Label: e.Label, Addr: e.Addr}
+	pend := m.pendScratch[:0]
+	for _, e := range entries {
+		pend = append(pend, PendingStore{Label: e.Label, Addr: e.Addr})
 	}
+	m.pendScratch = pend[:0]
 	m.obs.OnSharedAccess(t.ID, l, kind, addr, pend)
 }
 
@@ -538,7 +676,7 @@ func (m *Machine) MemRead(addr int64) int64 {
 
 // GlobalValue returns the committed value of the named global's first word.
 func (m *Machine) GlobalValue(name string) (int64, bool) {
-	g := m.prog.Global(name)
+	g := m.c.prog.Global(name)
 	if g == nil {
 		return 0, false
 	}
@@ -546,7 +684,10 @@ func (m *Machine) GlobalValue(name string) (int64, bool) {
 }
 
 // Result snapshots the execution outcome. stepLimitHit is supplied by the
-// runner that enforced the budget.
+// runner that enforced the budget. The History and Output slices alias the
+// machine's internal buffers: they are valid until the machine's next
+// Reset, so batch reducers must consume (or copy) them before the worker
+// moves on to its next execution.
 func (m *Machine) Result(stepLimitHit bool) *Result {
 	return &Result{
 		Violation:    m.violated,
@@ -555,5 +696,6 @@ func (m *Machine) Result(stepLimitHit bool) *Result {
 		Steps:        m.steps,
 		StepLimitHit: stepLimitHit,
 		ExitCode:     m.exitCode,
+		FenceTouched: m.touched,
 	}
 }

@@ -79,24 +79,69 @@ type Entry struct {
 }
 
 // Buffers holds the pending stores of one thread under one memory model.
-// The zero value is not usable; call New.
+// The zero value is not usable; call New (or Reset, which accepts the zero
+// value).
+//
+// Storage is pooled for machine reuse: the FIFOs are head-indexed queues
+// whose backing arrays (and, under PSO, whose per-address map entries)
+// survive both flushes and Reset, so a thread that keeps executing — or a
+// pooled thread re-armed for its next execution — stops allocating once
+// the queues have grown to the workload's high-water mark.
 type Buffers struct {
 	model Model
 	count int
 
-	tso []Entry // TSO: single FIFO
+	tso fifo // TSO: single FIFO
 
-	pso   map[int64][]Entry // PSO: per-address FIFO
-	order []int64           // addresses with pending entries, oldest-first insertion order (deterministic iteration)
+	pso   map[int64]*fifo // PSO: per-address FIFO (entries persist across Reset, emptied not deleted)
+	order []int64         // addresses with pending entries, oldest-first insertion order (deterministic iteration)
+
+	scratch [1]int64 // backing for the TSO PendingAddrsView result
+}
+
+// fifo is a head-indexed queue of entries: pops advance head instead of
+// reslicing, so the backing array keeps its capacity, and the storage is
+// reclaimed wholesale whenever the queue empties.
+type fifo struct {
+	ents []Entry
+	head int
+}
+
+func (q *fifo) len() int       { return len(q.ents) - q.head }
+func (q *fifo) slice() []Entry { return q.ents[q.head:] }
+func (q *fifo) push(e Entry)   { q.ents = append(q.ents, e) }
+func (q *fifo) reset()         { q.ents = q.ents[:0]; q.head = 0 }
+func (q *fifo) pop() Entry {
+	e := q.ents[q.head]
+	q.head++
+	if q.head == len(q.ents) {
+		q.reset()
+	}
+	return e
 }
 
 // New returns empty buffers for one thread under model m.
 func New(m Model) *Buffers {
-	b := &Buffers{model: m}
-	if m == PSO {
-		b.pso = make(map[int64][]Entry)
-	}
+	b := &Buffers{}
+	b.Reset(m)
 	return b
+}
+
+// Reset empties the buffers and switches them to model m, retaining the
+// backing storage of previous runs (including the PSO per-address queues)
+// so a pooled thread's buffers are allocation-free after warm-up. The zero
+// Buffers value may be Reset.
+func (b *Buffers) Reset(m Model) {
+	b.model = m
+	b.count = 0
+	b.tso.reset()
+	b.order = b.order[:0]
+	if m == PSO && b.pso == nil {
+		b.pso = make(map[int64]*fifo)
+	}
+	for _, q := range b.pso {
+		q.reset()
+	}
 }
 
 // Model returns the memory model these buffers implement.
@@ -117,9 +162,10 @@ func (b *Buffers) EmptyFor(addr int64) bool {
 	case SC:
 		return true
 	case TSO:
-		return len(b.tso) == 0
+		return b.tso.len() == 0
 	case PSO:
-		return len(b.pso[addr]) == 0
+		q := b.pso[addr]
+		return q == nil || q.len() == 0
 	}
 	return true
 }
@@ -131,13 +177,17 @@ func (b *Buffers) Put(addr, val int64, label ir.Label) {
 	case SC:
 		panic("memmodel: Put on SC buffers")
 	case TSO:
-		b.tso = append(b.tso, Entry{Addr: addr, Val: val, Label: label})
+		b.tso.push(Entry{Addr: addr, Val: val, Label: label})
 	case PSO:
 		q := b.pso[addr]
-		if len(q) == 0 {
+		if q == nil {
+			q = &fifo{}
+			b.pso[addr] = q
+		}
+		if q.len() == 0 {
 			b.order = append(b.order, addr)
 		}
-		b.pso[addr] = append(q, Entry{Addr: addr, Val: val, Label: label})
+		q.push(Entry{Addr: addr, Val: val, Label: label})
 	}
 	b.count++
 }
@@ -148,14 +198,16 @@ func (b *Buffers) Put(addr, val int64, label ir.Label) {
 func (b *Buffers) Lookup(addr int64) (val int64, ok bool) {
 	switch b.model {
 	case TSO:
-		for i := len(b.tso) - 1; i >= 0; i-- {
-			if b.tso[i].Addr == addr {
-				return b.tso[i].Val, true
+		s := b.tso.slice()
+		for i := len(s) - 1; i >= 0; i-- {
+			if s[i].Addr == addr {
+				return s[i].Val, true
 			}
 		}
 	case PSO:
-		if q := b.pso[addr]; len(q) > 0 {
-			return q[len(q)-1].Val, true
+		if q := b.pso[addr]; q != nil && q.len() > 0 {
+			s := q.slice()
+			return s[len(s)-1].Val, true
 		}
 	}
 	return 0, false
@@ -169,24 +221,19 @@ func (b *Buffers) Lookup(addr int64) (val int64, ok bool) {
 func (b *Buffers) FlushOldest(addr int64) (Entry, bool) {
 	switch b.model {
 	case TSO:
-		if len(b.tso) == 0 {
+		if b.tso.len() == 0 {
 			return Entry{}, false
 		}
-		e := b.tso[0]
-		b.tso = b.tso[1:]
 		b.count--
-		return e, true
+		return b.tso.pop(), true
 	case PSO:
 		q := b.pso[addr]
-		if len(q) == 0 {
+		if q == nil || q.len() == 0 {
 			return Entry{}, false
 		}
-		e := q[0]
-		if len(q) == 1 {
-			delete(b.pso, addr)
+		e := q.pop()
+		if q.len() == 0 {
 			b.removeFromOrder(addr)
-		} else {
-			b.pso[addr] = q[1:]
 		}
 		b.count--
 		return e, true
@@ -209,14 +256,34 @@ func (b *Buffers) removeFromOrder(addr int64) {
 func (b *Buffers) PendingAddrs() []int64 {
 	switch b.model {
 	case TSO:
-		if len(b.tso) == 0 {
+		if b.tso.len() == 0 {
 			return nil
 		}
-		return []int64{b.tso[0].Addr}
+		return []int64{b.tso.slice()[0].Addr}
 	case PSO:
 		out := make([]int64, len(b.order))
 		copy(out, b.order)
 		return out
+	}
+	return nil
+}
+
+// PendingAddrsView is PendingAddrs without the copy: the returned slice
+// aliases internal state (the PSO insertion-order list, or a one-element
+// scratch buffer under TSO) and is only valid until the next buffer
+// mutation. Callers must not retain or modify it — it exists so the
+// scheduler's flush choice and the interpreter's forced flushes are
+// allocation-free on the per-step hot path.
+func (b *Buffers) PendingAddrsView() []int64 {
+	switch b.model {
+	case TSO:
+		if b.tso.len() == 0 {
+			return nil
+		}
+		b.scratch[0] = b.tso.slice()[0].Addr
+		return b.scratch[:1]
+	case PSO:
+		return b.order
 	}
 	return nil
 }
@@ -227,12 +294,19 @@ func (b *Buffers) PendingAddrs() []int64 {
 // *other* buffers of the same thread, any of which could be ordered before
 // the current access to repair the execution.
 func (b *Buffers) PendingOther(exclude int64) []Entry {
-	var out []Entry
+	return b.AppendPendingOther(nil, exclude)
+}
+
+// AppendPendingOther is PendingOther appending into dst (which may be a
+// reused scratch slice), returning the extended slice. The interpreter's
+// observation hook uses it to keep the per-access instrumented-semantics
+// path allocation-free.
+func (b *Buffers) AppendPendingOther(dst []Entry, exclude int64) []Entry {
 	switch b.model {
 	case TSO:
-		for _, e := range b.tso {
+		for _, e := range b.tso.slice() {
 			if e.Addr != exclude {
-				out = append(out, e)
+				dst = append(dst, e)
 			}
 		}
 	case PSO:
@@ -240,10 +314,10 @@ func (b *Buffers) PendingOther(exclude int64) []Entry {
 			if a == exclude {
 				continue
 			}
-			out = append(out, b.pso[a]...)
+			dst = append(dst, b.pso[a].slice()...)
 		}
 	}
-	return out
+	return dst
 }
 
 // All returns every pending entry (TSO: FIFO order; PSO: grouped by
@@ -261,14 +335,15 @@ func (b *Buffers) Drain() []Entry {
 	var out []Entry
 	switch b.model {
 	case TSO:
-		out = b.tso
-		b.tso = nil
+		out = append(out, b.tso.slice()...)
+		b.tso.reset()
 	case PSO:
 		for _, a := range b.order {
-			out = append(out, b.pso[a]...)
+			q := b.pso[a]
+			out = append(out, q.slice()...)
+			q.reset()
 		}
-		b.pso = make(map[int64][]Entry)
-		b.order = nil
+		b.order = b.order[:0]
 	}
 	b.count = 0
 	return out

@@ -1,0 +1,52 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into the commands. Profiles are written with runtime/pprof and
+// read with `go tool pprof`; the synthesis loop is the usual subject
+// (see the Engine performance section of EXPERIMENTS.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memFile (when non-empty). Either file name may be empty; stop is
+// always non-nil. Callers must invoke stop on every exit path —
+// os.Exit skips deferred calls, so paths that exit with a status code
+// need an explicit stop first.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			cpu = nil // stop is idempotent
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage awaiting collection
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+			memFile = ""
+		}
+	}, nil
+}

@@ -35,12 +35,14 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 	p := buildSB(t)
 	run := func(workers int) []batchOutcome {
 		return RunBatch(context.Background(), p, memmodel.PSO, 64, workers, nil, batchOptsFor,
-			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+			func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
 				if err != nil {
 					t.Errorf("slot %d: unexpected exec error: %v", i, err)
 					return batchOutcome{}, false
 				}
-				return batchOutcome{steps: res.Steps, output: res.Output}, false
+				// res.Output aliases the pooled worker machine (see the
+				// worker-ownership invariant); copy before retaining.
+				return batchOutcome{steps: res.Steps, output: append([]int64(nil), res.Output...)}, false
 			})
 	}
 	serial := run(1)
@@ -73,7 +75,7 @@ func TestRunBatchEarlyStop(t *testing.T) {
 	p := buildSB(t)
 	const stopAt = 5
 	serial := RunBatch(context.Background(), p, memmodel.PSO, 32, 1, nil, batchOptsFor,
-		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
+		func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 			return true, i == stopAt
 		})
 	for i, ran := range serial {
@@ -82,7 +84,7 @@ func TestRunBatchEarlyStop(t *testing.T) {
 		}
 	}
 	parallel := RunBatch(context.Background(), p, memmodel.PSO, 32, 4, nil, batchOptsFor,
-		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
+		func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 			return true, i == stopAt
 		})
 	if !parallel[stopAt] {
@@ -97,7 +99,7 @@ func TestRunBatchCancelledContext(t *testing.T) {
 	cancel()
 	for _, workers := range []int{1, 4} {
 		ran := RunBatch(ctx, p, memmodel.PSO, 16, workers, nil, batchOptsFor,
-			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
+			func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (bool, bool) {
 				return true, false
 			})
 		for i, r := range ran {
@@ -116,7 +118,7 @@ func TestRunBatchObserverPerWorker(t *testing.T) {
 	RunBatch(context.Background(), p, memmodel.PSO, 16, 4,
 		func(w int) interp.Observer { made <- w; return &countObs{id: w} },
 		batchOptsFor,
-		func(i int, obs interp.Observer, res *interp.Result, err *ExecError) (struct{}, bool) {
+		func(i, _ int, obs interp.Observer, res *interp.Result, err *ExecError) (struct{}, bool) {
 			if _, ok := obs.(*countObs); !ok {
 				t.Errorf("slot %d: reduce got observer %T, want *countObs", i, obs)
 			}
@@ -161,11 +163,13 @@ func TestRunBatchPanicIsolation(t *testing.T) {
 		return opts
 	}
 	clean := RunBatch(context.Background(), p, memmodel.PSO, n, 1, nil, optsFor,
-		func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+		func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
 			if err != nil {
 				t.Fatalf("clean run: slot %d errored: %v", i, err)
 			}
-			return batchOutcome{steps: res.Steps, output: res.Output}, false
+			// res.Output aliases the pooled worker machine (see the
+				// worker-ownership invariant); copy before retaining.
+				return batchOutcome{steps: res.Steps, output: append([]int64(nil), res.Output...)}, false
 		})
 	faultyOptsFor := func(i int) Options {
 		opts := optsFor(i)
@@ -177,7 +181,7 @@ func TestRunBatchPanicIsolation(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		var gotErr *ExecError
 		faulty := RunBatch(context.Background(), p, memmodel.PSO, n, workers, nil, faultyOptsFor,
-			func(i int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
+			func(i, _ int, _ interp.Observer, res *interp.Result, err *ExecError) (batchOutcome, bool) {
 				if err != nil {
 					if i != poisoned {
 						t.Errorf("workers=%d: unexpected error in slot %d: %v", workers, i, err)
@@ -185,7 +189,9 @@ func TestRunBatchPanicIsolation(t *testing.T) {
 					gotErr = err
 					return batchOutcome{}, false
 				}
-				return batchOutcome{steps: res.Steps, output: res.Output}, false
+				// res.Output aliases the pooled worker machine (see the
+				// worker-ownership invariant); copy before retaining.
+				return batchOutcome{steps: res.Steps, output: append([]int64(nil), res.Output...)}, false
 			})
 		if gotErr == nil {
 			t.Fatalf("workers=%d: injected panic was not reported", workers)

@@ -120,12 +120,28 @@ func DefaultOptions(seed int64) Options {
 	return Options{Seed: seed, FlushProb: 0.5, MaxSteps: 200000, PORWindow: 64}
 }
 
+// worker is the reusable per-execution state of one scheduler goroutine:
+// the pooled interpreter machine, the RNG (re-seeded per execution, never
+// re-allocated), and the scratch slices of the scheduling loop. A worker
+// is owned by exactly one goroutine — see the worker-ownership invariant
+// in the package comment of batch.go. The zero worker is ready to use.
+type worker struct {
+	m          interp.Machine
+	rng        *rand.Rand
+	actable    []int
+	priorities []float64
+}
+
 // Run executes prog once under the given memory model and scheduling
 // options. obs may be nil. The returned result carries the violation (if
 // any), the operation history, and bookkeeping. A panic in the interpreter
 // or an observer propagates; use RunSafe where isolation is required.
+// Run compiles prog on the spot and discards the machine afterwards, so
+// its Result has no aliasing hazard; batch callers use RunBatch, which
+// compiles once and pools machines across executions.
 func Run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) *interp.Result {
-	return run(context.Background(), prog, model, obs, opts, nil)
+	var w worker
+	return w.run(context.Background(), interp.Compile(prog), model, obs, opts, nil)
 }
 
 // RunSafe is Run with panic isolation: a panic anywhere in the execution
@@ -133,25 +149,35 @@ func Run(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Optio
 // structured *ExecError (with Round/Index -1; batch callers fill them)
 // instead of crashing the caller. res is nil exactly when err is non-nil.
 func RunSafe(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (res *interp.Result, err *ExecError) {
-	return runSafe(context.Background(), prog, model, obs, opts)
+	var w worker
+	return w.runSafe(context.Background(), interp.Compile(prog), model, obs, opts)
 }
 
-func runSafe(ctx context.Context, prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (res *interp.Result, err *ExecError) {
+func (w *worker) runSafe(ctx context.Context, c *interp.Compiled, model memmodel.Model, obs interp.Observer, opts Options) (res *interp.Result, err *ExecError) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil
 			err = &ExecError{Round: -1, Index: -1, Seed: opts.Seed, Panic: p, Stack: string(debug.Stack())}
 		}
 	}()
-	return run(ctx, prog, model, obs, opts, nil), nil
+	return w.run(ctx, c, model, obs, opts, nil), nil
 }
 
-func run(ctx context.Context, prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
+func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
 	if opts.Wrap != nil {
 		obs = opts.Wrap(obs)
 	}
-	m := interp.NewMachine(prog, model, obs)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &w.m
+	m.Reset(c, model, obs)
+	if w.rng == nil {
+		w.rng = rand.New(rand.NewSource(opts.Seed))
+	} else {
+		// Re-seeding a private rand.Rand restarts the exact stream a fresh
+		// rand.New(rand.NewSource(seed)) would produce, so reuse cannot
+		// perturb the schedule.
+		w.rng.Seed(opts.Seed)
+	}
+	rng := w.rng
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 200000
@@ -164,9 +190,11 @@ func run(ctx context.Context, prog *ir.Program, model memmodel.Model, obs interp
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
-	var priorities []float64
+	priorities := w.priorities[:0]
+	defer func() { w.priorities = priorities[:0] }()
 
-	var actable []int
+	actable := w.actable[:0]
+	defer func() { w.actable = actable[:0] }()
 	for iter := 0; m.Steps() < maxSteps; iter++ {
 		if iter%budgetCheckEvery == 0 {
 			if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
@@ -259,8 +287,10 @@ func lowest(ps []float64) int {
 // flushOne commits one pending store of thread t, choosing the flushed
 // variable uniformly among those with pending entries (under PSO the
 // scheduler "can choose to flush only values for a particular variable").
+// It reads the pending-address view in place (no copy): the slice is
+// consumed before the FlushOne mutation invalidates it.
 func flushOne(m *interp.Machine, t *interp.Thread, tid int, rng *rand.Rand, tr *Trace) {
-	pend := t.Buffers().PendingAddrs()
+	pend := t.Buffers().PendingAddrsView()
 	if len(pend) == 0 {
 		return
 	}

@@ -65,7 +65,8 @@ func (tr *Trace) record(thread int, flush bool, addr int64) {
 // alongside the result.
 func RunTraced(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts Options) (*interp.Result, *Trace) {
 	tr := &Trace{Model: model}
-	res := run(context.Background(), prog, model, obs, opts, tr)
+	var w worker
+	res := w.run(context.Background(), interp.Compile(prog), model, obs, opts, tr)
 	return res, tr
 }
 

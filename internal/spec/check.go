@@ -27,21 +27,38 @@ func IsLinearizable(ops []Op, newSpec func() Sequential) bool {
 }
 
 func check(ops []Op, newSpec func() Sequential, realTime bool) bool {
-	byThread, threads := PerThread(ops)
-	queues := make([][]Op, len(threads))
-	for i, t := range threads {
-		queues[i] = byThread[t]
+	var c Checker
+	return c.check(ops, newSpec, realTime)
+}
+
+// clone copies state for one DFS branch, reusing a recycled dead state
+// when possible: every state in one search is the same concrete type, so
+// a copyFrom hit replaces the Clone allocation with an in-place copy.
+func (s *Checker) clone(state Sequential) Sequential {
+	if n := len(s.free); n > 0 {
+		c := s.free[n-1]
+		if cf, ok := c.(copierFrom); ok && cf.copyFrom(state) {
+			s.free = s.free[:n-1]
+			return c
+		}
 	}
-	idx := make([]int, len(queues))
-	memo := make(map[string]bool)
-	return dfs(queues, idx, newSpec(), memo, realTime)
+	return state.Clone()
+}
+
+// recycle returns a state whose branch failed to the free list. Dead
+// states are unreachable from anywhere else (each owns its backing
+// storage exclusively), so reuse cannot alias a live state.
+func (s *Checker) recycle(state Sequential) {
+	if _, ok := state.(copierFrom); ok {
+		s.free = append(s.free, state)
+	}
 }
 
 // dfs explores the next operation choices. memo records failed states.
-func dfs(queues [][]Op, idx []int, state Sequential, memo map[string]bool, realTime bool) bool {
+func (s *Checker) dfs(state Sequential) bool {
 	done := true
-	for i := range queues {
-		if idx[i] < len(queues[i]) {
+	for i := range s.queues {
+		if s.idx[i] < len(s.queues[i]) {
 			done = false
 			break
 		}
@@ -49,31 +66,35 @@ func dfs(queues [][]Op, idx []int, state Sequential, memo map[string]bool, realT
 	if done {
 		return true
 	}
-	key := stateKey(idx, state)
-	if memo[key] {
+	s.keyBuf = appendStateKey(s.keyBuf[:0], s.idx, state)
+	if s.memo[string(s.keyBuf)] {
 		return false // known dead end
 	}
 
-	for i := range queues {
-		if idx[i] >= len(queues[i]) {
+	for i := range s.queues {
+		if s.idx[i] >= len(s.queues[i]) {
 			continue
 		}
-		op := queues[i][idx[i]]
-		if realTime && !minimalInRealTime(queues, idx, i, op) {
+		op := s.queues[i][s.idx[i]]
+		if s.realTime && !minimalInRealTime(s.queues, s.idx, i, op) {
 			continue
 		}
-		next := state.Clone()
+		next := s.clone(state)
 		if !next.Apply(op) {
+			s.recycle(next)
 			continue
 		}
-		idx[i]++
-		if dfs(queues, idx, next, memo, realTime) {
-			idx[i]--
+		s.idx[i]++
+		if s.dfs(next) {
+			s.idx[i]--
 			return true
 		}
-		idx[i]--
+		s.idx[i]--
+		s.recycle(next)
 	}
-	memo[key] = true
+	// Rebuild the key: recursive calls clobbered the scratch buffer.
+	key := string(appendStateKey(s.keyBuf[:0], s.idx, state))
+	s.memo[key] = true
 	return false
 }
 
@@ -93,15 +114,16 @@ func minimalInRealTime(queues [][]Op, idx []int, self int, op Op) bool {
 	return true
 }
 
-func stateKey(idx []int, state Sequential) string {
-	var b strings.Builder
+func appendStateKey(dst []byte, idx []int, state Sequential) []byte {
 	for _, i := range idx {
-		b.WriteString(strconv.Itoa(i))
-		b.WriteByte(':')
+		dst = strconv.AppendInt(dst, int64(i), 10)
+		dst = append(dst, ':')
 	}
-	b.WriteByte('|')
-	b.WriteString(state.Key())
-	return b.String()
+	dst = append(dst, '|')
+	if ka, ok := state.(keyAppender); ok {
+		return ka.appendKey(dst)
+	}
+	return append(dst, state.Key()...)
 }
 
 // RelaxStealAborts rewrites every steal()=EMPTY operation that overlaps

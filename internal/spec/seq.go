@@ -3,7 +3,7 @@ package spec
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Sequential is an executable sequential specification (paper §5.2:
@@ -325,12 +325,91 @@ func (a *Alloc) Key() string {
 }
 
 func encodeInts(vs []int64) string {
-	var b strings.Builder
-	for _, v := range vs {
-		fmt.Fprintf(&b, "%d,", v)
-	}
-	return b.String()
+	return string(appendInts(make([]byte, 0, 12*len(vs)), vs))
 }
+
+// appendInts is the alloc-free form of encodeInts: the checker's DFS
+// builds state keys into a reused scratch buffer, so slice-backed
+// specifications implement keyAppender through it and skip the Key()
+// string materialization entirely.
+func appendInts(dst []byte, vs []int64) []byte {
+	for _, v := range vs {
+		dst = strconv.AppendInt(dst, v, 10)
+		dst = append(dst, ',')
+	}
+	return dst
+}
+
+// copierFrom is the optional recycling path of Sequential: overwrite the
+// receiver with src's state without allocating (src must be the same
+// concrete type; reports false otherwise). Used by the checker's DFS to
+// reuse dead states instead of Clone-ing fresh ones.
+type copierFrom interface {
+	copyFrom(src Sequential) bool
+}
+
+func (d *Deque) copyFrom(src Sequential) bool {
+	o, ok := src.(*Deque)
+	if !ok {
+		return false
+	}
+	d.items = append(d.items[:0], o.items...)
+	return true
+}
+
+func (w *WSQDiscipline) copyFrom(src Sequential) bool {
+	o, ok := src.(*WSQDiscipline)
+	if !ok {
+		return false
+	}
+	w.items = append(w.items[:0], o.items...)
+	w.takeAtHead, w.stealAtHead = o.takeAtHead, o.stealAtHead
+	return true
+}
+
+func (q *Queue) copyFrom(src Sequential) bool {
+	o, ok := src.(*Queue)
+	if !ok {
+		return false
+	}
+	q.items = append(q.items[:0], o.items...)
+	return true
+}
+
+func (s *Set) copyFrom(src Sequential) bool {
+	o, ok := src.(*Set)
+	if !ok {
+		return false
+	}
+	clear(s.members)
+	for k, v := range o.members {
+		s.members[k] = v
+	}
+	return true
+}
+
+func (a *Alloc) copyFrom(src Sequential) bool {
+	o, ok := src.(*Alloc)
+	if !ok {
+		return false
+	}
+	clear(a.live)
+	for k, v := range o.live {
+		a.live[k] = v
+	}
+	return true
+}
+
+// keyAppender is the optional fast path of Sequential: append the
+// canonical state encoding (identical to Key()) to dst without
+// allocating. The checker falls back to Key() when absent.
+type keyAppender interface {
+	appendKey(dst []byte) []byte
+}
+
+func (d *Deque) appendKey(dst []byte) []byte         { return appendInts(dst, d.items) }
+func (w *WSQDiscipline) appendKey(dst []byte) []byte { return appendInts(dst, w.items) }
+func (q *Queue) appendKey(dst []byte) []byte         { return appendInts(dst, q.items) }
 
 // ByName returns a fresh-spec constructor by specification name
 // ("deque", "queue", "set", "alloc").

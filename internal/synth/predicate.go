@@ -8,6 +8,7 @@
 package synth
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -104,6 +105,7 @@ type Formula struct {
 	byVar   []Predicate       // 1-based: variable -> predicate
 	clauses [][]sat.Lit
 	seen    map[string]struct{}
+	keyBuf  []byte            // scratch for the clause-fingerprint probe
 	freq    map[Predicate]int // #violating executions mentioning the predicate
 }
 
@@ -132,17 +134,26 @@ func (f *Formula) AddExecution(d []Predicate) error {
 	if len(d) == 0 {
 		return fmt.Errorf("synth: execution has no candidate repairs (cannot be fixed by fences)")
 	}
+	// freq counts every occurrence, including duplicates of an existing
+	// clause: support ordering in MinimalSolutions depends on it, so the
+	// dedup below must not short-circuit these updates.
 	for _, p := range d {
 		f.freq[p]++
 	}
-	key := ""
+	// Fingerprint the ordered predicate sequence into the reused scratch
+	// buffer (varints are injective per field, so distinct disjunctions
+	// cannot collide); the map[string(bytes)] probe allocates nothing, and
+	// the key is materialized only for clauses actually inserted.
+	buf := f.keyBuf[:0]
 	for _, p := range d {
-		key += fmt.Sprintf("%d<%d;", p.L, p.K)
+		buf = binary.AppendVarint(buf, int64(p.L))
+		buf = binary.AppendVarint(buf, int64(p.K))
 	}
-	if _, dup := f.seen[key]; dup {
+	f.keyBuf = buf
+	if _, dup := f.seen[string(buf)]; dup {
 		return nil
 	}
-	f.seen[key] = struct{}{}
+	f.seen[string(buf)] = struct{}{}
 	clause := make([]sat.Lit, len(d))
 	for i, p := range d {
 		v, ok := f.vars[p]
