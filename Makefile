@@ -10,22 +10,27 @@
 #   make bench   one pass over every benchmark (smoke; use BENCHTIME for
 #                real measurements, e.g. make bench BENCHTIME=3s)
 #   make bench-json     run the engine benchmarks with -benchmem and write
-#                       them as JSON (BENCH_JSON, default BENCH_pr4.json)
+#                       them as JSON (BENCH_JSON, default BENCH_pr5.json)
 #                       via cmd/benchjson — no external tools needed
 #   make bench-compare  benchstat OLD=a.txt NEW=b.txt, when benchstat is
 #                       installed (it is not vendored; skipped otherwise)
+#   make journal-smoke  record a run journal and replay it through
+#                       `dfence explain` — fails if the journal schema
+#                       drifted (the strict reader rejects it) or the
+#                       witness no longer renders
 #   make ci      everything a PR must pass
 
 GO ?= go
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr5.json
+JOURNAL ?= /tmp/dfence_journal_smoke.jsonl
 # The engine benchmarks: the PR 4 acceptance metrics (throughput,
 # allocations, cache effect) — what bench-json snapshots.
 ENGINE_BENCH = BenchmarkSynthesizeWorkers|BenchmarkExecutionEngine|BenchmarkSynthesizeCache
 OLD ?= bench_old.txt
 NEW ?= bench_new.txt
 
-.PHONY: build test race vet lint bench bench-json bench-compare ci
+.PHONY: build test race vet lint bench bench-json bench-compare journal-smoke ci
 
 build:
 	$(GO) build ./...
@@ -54,4 +59,15 @@ bench-compare:
 	@command -v benchstat >/dev/null 2>&1 && benchstat $(OLD) $(NEW) || \
 		echo "benchstat not installed; skipping (go install golang.org/x/perf/cmd/benchstat@latest)"
 
-ci: build vet test race
+# Journal schema smoke: record a real run's journal, then replay it
+# through the strict reader and the witness explainer. ReadJournal
+# rejects unknown events/fields and version mismatches, and explain
+# exits non-zero when no witness renders, so this trips on schema drift
+# end to end.
+journal-smoke:
+	$(GO) run ./cmd/dfence -model pso -spec safety -execs 300 \
+		-journal $(JOURNAL) examples/mailbox.mc >/dev/null
+	$(GO) run ./cmd/dfence explain $(JOURNAL) >/dev/null
+	@echo "journal-smoke: ok ($(JOURNAL) replayed cleanly)"
+
+ci: build vet test race journal-smoke

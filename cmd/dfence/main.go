@@ -27,6 +27,18 @@
 //	         executions when the delay set is empty, and prune proposed
 //	         predicates to the static critical cycles
 //
+// Telemetry flags (see DESIGN.md, Telemetry):
+//
+//	-journal      write a JSONL run journal (RunStart, RoundStart,
+//	              Violation, SolverResult, FenceChange, RoundEnd,
+//	              Converged) that fully reconstructs the run
+//	-listen       serve /metrics (OpenMetrics), /runz (JSON run status),
+//	              and /debug/pprof on this address (e.g. :6060)
+//	-metrics-out  write an OpenMetrics snapshot to this file at exit
+//	-explain      render the violation witness as a human-readable
+//	              interleaving report (also shown automatically when the
+//	              program is unfixable)
+//
 // The `analyze` subcommand runs only the static passes — the IR verifier
 // and the delay-set analysis — and prints candidate pairs, delay pairs,
 // and one witness critical cycle per delay, without executing anything:
@@ -35,6 +47,12 @@
 //	dfence analyze -model tso -builtin chase-lev
 //
 // Verifier findings print to stderr and exit with status 2.
+//
+// The `explain` subcommand re-renders the violation witnesses of a
+// recorded journal — no re-execution, no access to the original source
+// file (the journal embeds it):
+//
+//	dfence explain run.jsonl
 //
 // Resilience flags (see DESIGN.md, Resilience):
 //
@@ -54,9 +72,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"dfence/internal/core"
-	"dfence/internal/eval"
 	"dfence/internal/ir"
 	"dfence/internal/lang"
 	"dfence/internal/memmodel"
@@ -64,12 +83,20 @@ import (
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 	"dfence/internal/staticanalysis"
+	"dfence/internal/synth"
+	"dfence/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "analyze" {
-		runAnalyze(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyze":
+			runAnalyze(os.Args[2:])
+			return
+		case "explain":
+			runExplain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		modelF   = flag.String("model", "pso", "memory model: sc, tso, pso")
@@ -90,8 +117,12 @@ func main() {
 		withCAS  = flag.Bool("cas", false, "enforce predicates with dummy-location CAS instead of fences (TSO only, §4.2)")
 		builtin  = flag.String("builtin", "", "use a built-in benchmark (see cmd/experiments -table2)")
 		witness  = flag.Bool("witness", false, "print the captured counterexample schedule")
+		explainW = flag.Bool("explain", false, "render the violation witness as an interleaving report")
 		redund   = flag.Bool("redundant", false, "discover redundant fences in an already-fenced program (§6.3.1) instead of synthesizing")
 		static   = flag.Bool("static", false, "consult the static delay-set analysis: skip dynamic rounds when the program is provably robust, and prune proposed predicates to the static critical cycles")
+		journalF = flag.String("journal", "", "write a JSONL run journal to this file")
+		listenF  = flag.String("listen", "", "serve /metrics, /runz, and /debug/pprof on this address (e.g. :6060)")
+		metOut   = flag.String("metrics-out", "", "write an OpenMetrics snapshot to this file at exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
@@ -109,7 +140,7 @@ func main() {
 		os.Exit(code)
 	}
 
-	prog, benchmark, err := loadProgram(*builtin, flag.Args())
+	prog, src, benchmark, err := loadProgram(*builtin, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
 		exit(1)
@@ -150,10 +181,12 @@ func main() {
 		MaxModels:      *maxMod,
 		StaticPrune:    *static,
 	}
+	seqName := ""
 	if benchmark != nil {
 		cfg.NewSpec = benchmark.NewSpec()
 		cfg.CheckGarbage = benchmark.CheckGarbage
 		cfg.RelaxStealAborts = benchmark.RelaxStealAborts
+		seqName = benchmark.SpecName
 	} else if crit != spec.MemorySafety {
 		newSpec, err := spec.ByName(*seqF)
 		if err != nil {
@@ -161,6 +194,63 @@ func main() {
 			exit(1)
 		}
 		cfg.NewSpec = newSpec
+		seqName = *seqF
+	}
+
+	// Telemetry setup. The witness capture sink always runs (it is two
+	// type switches per cold event); metrics only when something will read
+	// them, and the journal/server only on request.
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	wc := &witnessCapture{}
+	sinks := []telemetry.Sink{wc}
+	var journal *telemetry.Journal
+	if *journalF != "" {
+		journal, err = telemetry.CreateJournal(*journalF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			exit(1)
+		}
+		sinks = append(sinks, journal)
+	}
+	var reg *telemetry.Registry
+	if *listenF != "" || *metOut != "" {
+		reg = telemetry.NewRegistry(workers)
+		cfg.Metrics = telemetry.NewMetrics(reg)
+	}
+	if *listenF != "" {
+		status := &telemetry.Status{}
+		sinks = append(sinks, status)
+		srv := &telemetry.Server{Registry: reg, Status: status}
+		bound, shutdown, err := srv.Start(*listenF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", bound)
+	}
+	cfg.Sink = telemetry.MultiSink(sinks...)
+	finishTelemetry := func() {
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dfence: journal:", err)
+			}
+		}
+		if *metOut != "" && reg != nil {
+			f, err := os.Create(*metOut)
+			if err == nil {
+				err = reg.WriteOpenMetrics(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dfence: metrics-out:", err)
+			}
+		}
 	}
 
 	if *redund {
@@ -176,20 +266,184 @@ func main() {
 			fn := prog.FuncOf(l)
 			fmt.Printf("  %v in %s (line %d)\n", in.Kind, fn.Name, in.Line)
 		}
+		finishTelemetry()
 		return
 	}
 
+	telemetry.Emit(cfg.Sink, telemetry.RunStart{
+		Model:     model.String(),
+		Criterion: crit.String(),
+		SeqSpec:   seqName,
+		Seed:      *seed,
+		Execs:     *execs,
+		MaxRounds: *rounds,
+		FlushProb: effectiveFlushProb(*flushP, model),
+		Workers:   workers,
+		Source:    src,
+		Builtin:   *builtin,
+	})
 	res, err := core.Synthesize(prog, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
+		finishTelemetry()
 		exit(1)
 	}
 	report(res, model, crit)
 	if *witness && res.Witness != nil {
 		fmt.Printf("witness schedule: %s\n", res.Witness)
 	}
+	// The full witness explanation: on request, and always embedded in the
+	// failure output of an unfixable program (the witness ran against the
+	// program before the first fence round, i.e. the loaded program).
+	if res.Witness != nil && (*explainW || res.Unfixable) {
+		opts := telemetry.ExplainOptions{Desc: res.WitnessViolation}
+		if v := wc.witness(); v != nil {
+			opts.Round, opts.Seed, opts.Disjunction = v.Round, v.Seed, v.Disjunction
+		}
+		if txt, eerr := telemetry.ExplainWitness(prog, res.Witness, opts); eerr == nil {
+			fmt.Println()
+			fmt.Print(txt)
+		} else {
+			fmt.Fprintln(os.Stderr, "dfence: explain:", eerr)
+		}
+	}
+	finishTelemetry()
 	if res.Unfixable {
 		exit(3)
+	}
+}
+
+// effectiveFlushProb resolves the -flush flag the way core.Config.fill
+// does, so the journal records the probability the run actually used.
+func effectiveFlushProb(p float64, model memmodel.Model) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p == 0 {
+		if model == memmodel.TSO {
+			return 0.1
+		}
+		return 0.5
+	}
+	return p
+}
+
+// witnessCapture remembers the first journaled Violation that carries a
+// trace — the run's witness — so the live explanation can cite its round,
+// seed, and repair disjunction without re-deriving them.
+type witnessCapture struct {
+	mu sync.Mutex
+	v  *telemetry.Violation
+}
+
+func (wc *witnessCapture) Emit(e telemetry.Event) {
+	v, ok := e.(telemetry.Violation)
+	if !ok || len(v.Trace) == 0 {
+		return
+	}
+	wc.mu.Lock()
+	if wc.v == nil {
+		wc.v = &v
+	}
+	wc.mu.Unlock()
+}
+
+func (wc *witnessCapture) witness() *telemetry.Violation {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.v
+}
+
+// runExplain implements `dfence explain journal.jsonl`: decode the
+// journal (strictly — schema drift is an error, not a shrug), rebuild the
+// program it ran from the embedded source or builtin name, re-apply the
+// fences each witness's round had already inserted, and render every
+// witness as an interleaving report.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	maxSteps := fs.Int("max-steps", 0, "cap the rendered interleaving (0 = 400; longer replays elide the middle)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dfence explain [-max-steps n] run.jsonl")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dfence explain:", err)
+		os.Exit(1)
+	}
+	events, err := telemetry.ReadJournalFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	jr := telemetry.SummarizeJournal(events)
+	if jr.Start == nil {
+		fail(fmt.Errorf("%s: journal has no RunStart event", fs.Arg(0)))
+	}
+	model, err := memmodel.ParseModel(jr.Start.Model)
+	if err != nil {
+		fail(err)
+	}
+	var prog *ir.Program
+	switch {
+	case jr.Start.Source != "":
+		prog, err = lang.Compile(jr.Start.Source)
+		if err != nil {
+			fail(fmt.Errorf("recompiling journaled source: %w", err))
+		}
+	case jr.Start.Builtin != "":
+		b, berr := progs.ByName(jr.Start.Builtin)
+		if berr != nil {
+			fail(berr)
+		}
+		prog = b.Program()
+	default:
+		fail(fmt.Errorf("%s: journal carries neither source nor builtin name; cannot rebuild the program", fs.Arg(0)))
+	}
+
+	wits := jr.Witnesses()
+	if len(wits) == 0 {
+		fmt.Printf("%s: %d violation(s) journaled, none with a witness trace\n", fs.Arg(0), len(jr.Violations))
+		if jr.Converged != nil {
+			fmt.Printf("run outcome: %s after %d round(s), %d executions, %d fence(s)\n",
+				jr.Converged.Outcome, jr.Converged.Rounds, jr.Converged.TotalExecutions, jr.Converged.Fences)
+		}
+		os.Exit(1)
+	}
+	for i, v := range wits {
+		if i > 0 {
+			fmt.Println()
+		}
+		// The witness ran against the program plus every fence inserted in
+		// the rounds before its own.
+		p := prog.Clone()
+		if fences := jr.FencesBefore(v.Round); len(fences) > 0 {
+			ins, ferr := telemetry.InsertedFences(fences)
+			if ferr != nil {
+				fail(ferr)
+			}
+			if _, ferr := synth.InsertFences(p, ins); ferr != nil {
+				fail(ferr)
+			}
+		}
+		txt, eerr := telemetry.ExplainWitness(p, telemetry.TraceFrom(v.Trace, model), telemetry.ExplainOptions{
+			Round:       v.Round,
+			Seed:        v.Seed,
+			Desc:        v.Desc,
+			Disjunction: v.Disjunction,
+			MaxSteps:    *maxSteps,
+		})
+		if eerr != nil {
+			fail(eerr)
+		}
+		fmt.Print(txt)
+	}
+	if jr.Converged != nil {
+		fmt.Printf("\nrun outcome: %s after %d round(s), %d executions, %d fence(s)\n",
+			jr.Converged.Outcome, jr.Converged.Rounds, jr.Converged.TotalExecutions, jr.Converged.Fences)
 	}
 }
 
@@ -214,7 +468,7 @@ func runAnalyze(args []string) {
 		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
 		os.Exit(1)
 	}
-	prog, _, err := loadProgram(*builtin, fs.Args())
+	prog, _, _, err := loadProgram(*builtin, fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
 		os.Exit(1)
@@ -235,80 +489,35 @@ func runAnalyze(args []string) {
 	fmt.Print(res.Report(prog))
 }
 
-func loadProgram(builtin string, args []string) (*ir.Program, *progs.Benchmark, error) {
+// loadProgram resolves -builtin or a source path. The returned src is the
+// mini-C text for file runs ("" for builtins) — what RunStart embeds so
+// `dfence explain` can rebuild the program from the journal alone.
+func loadProgram(builtin string, args []string) (*ir.Program, string, *progs.Benchmark, error) {
 	if builtin != "" {
 		b, err := progs.ByName(builtin)
 		if err != nil {
-			return nil, nil, err
+			return nil, "", nil, err
 		}
-		return b.Program(), b, nil
+		return b.Program(), "", b, nil
 	}
 	if len(args) != 1 {
-		return nil, nil, fmt.Errorf("usage: dfence [flags] program.mc (or -builtin name)")
+		return nil, "", nil, fmt.Errorf("usage: dfence [flags] program.mc (or -builtin name)")
 	}
 	src, err := os.ReadFile(args[0])
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	prog, err := lang.Compile(string(src))
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", args[0], err)
+		return nil, "", nil, fmt.Errorf("%s: %w", args[0], err)
 	}
-	return prog, nil, nil
+	return prog, string(src), nil, nil
 }
 
+// report prints the run header and delegates the body to the unified
+// renderer in core (Result.Summary), which cmd/experiments shares — the
+// two front-ends cannot drift.
 func report(res *core.Result, model memmodel.Model, crit spec.Criterion) {
-	fmt.Printf("model=%v spec=%v rounds=%d executions=%d", model, crit, len(res.Rounds), res.TotalExecutions)
-	if res.TotalInconclusive > 0 {
-		fmt.Printf(" inconclusive=%d", res.TotalInconclusive)
-	}
-	fmt.Println()
-	for i, r := range res.Rounds {
-		fmt.Printf("  round %d: %d/%d executions violated, %d predicates, %d clauses, %d fences inserted (%.0f execs/s)",
-			i+1, r.Violations, r.Executions, r.Predicates, r.DistinctClauses, len(r.Inserted), r.ExecsPerSec)
-		if r.Inconclusive > 0 || r.Skipped > 0 {
-			fmt.Printf(", %d inconclusive (%d errored), %d skipped, %.0f%% conclusive",
-				r.Inconclusive, r.Errors, r.Skipped, 100*r.ConclusiveFraction())
-		}
-		fmt.Println()
-	}
-	if res.StaticallyRobust {
-		fmt.Println("static analysis: delay set empty — program proved robust, no dynamic rounds needed")
-	} else if res.StaticCandidates > 0 {
-		fmt.Printf("static analysis: %d candidate pairs, %d on critical cycles; %d dynamic predicates pruned\n",
-			res.StaticCandidates, res.StaticDelayPairs, res.PrunedPredicates)
-	}
-	switch res.Outcome {
-	case core.OutcomeUnfixable:
-		fmt.Println("result: CANNOT SATISFY — a violation has no fence-based repair")
-		fmt.Println("  example:", res.UnfixableExample)
-	case core.OutcomeAborted:
-		fmt.Println("result: aborted — the -deadline expired; rounds above are partial")
-	case core.OutcomeInconclusive:
-		fmt.Println("result: inconclusive — round budget exhausted without a conclusive violation-free round")
-	default:
-		fmt.Println("result: converged")
-	}
-	if res.SolverTruncated {
-		fmt.Println("note: solver enumeration hit its budget; repairs are best-effort, not provably minimal")
-	}
-	for _, e := range res.ExecErrors {
-		fmt.Printf("note: %v\n", e)
-	}
-	if res.Redundant > 0 {
-		fmt.Printf("validation pruned %d redundant fence(s) of %d synthesized\n", res.Redundant, res.SynthesizedFences)
-	}
-	if res.Witness != nil {
-		fmt.Printf("witness (%s): %d scheduling decisions, replayable with sched.Replay\n",
-			res.WitnessViolation, res.Witness.Len())
-	}
-	if len(res.Fences) == 0 {
-		fmt.Println("fences required: none")
-		return
-	}
-	fmt.Printf("fences required: %d\n", len(res.Fences))
-	for _, f := range res.Fences {
-		d := eval.DescribeFence(res.Program, f)
-		fmt.Printf("  %v %s\n", f.Kind, d)
-	}
+	fmt.Printf("model=%v spec=%v\n", model, crit)
+	fmt.Println(res.Summary())
 }

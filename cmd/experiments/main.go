@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dfence/internal/eval"
@@ -22,6 +23,7 @@ import (
 	"dfence/internal/profiling"
 	"dfence/internal/progs"
 	"dfence/internal/spec"
+	"dfence/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func main() {
 		execs  = flag.Int("execs", 1000, "executions per round (K)")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		jobs   = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); artifacts are identical for any value")
+		jdir   = flag.String("journal-dir", "", "write one JSONL run journal per Table 3 cell into this directory")
+		listen = flag.String("listen", "", "serve /metrics, /runz, and /debug/pprof on this address (e.g. :6060)")
 		cpuP   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memP   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
@@ -56,6 +60,31 @@ func main() {
 		os.Exit(code)
 	}
 	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true, Workers: *jobs}
+	if *jdir != "" {
+		if err := os.MkdirAll(*jdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		opts.JournalDir = *jdir
+	}
+	if *listen != "" {
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		reg := telemetry.NewRegistry(workers)
+		opts.Metrics = telemetry.NewMetrics(reg)
+		status := &telemetry.Status{}
+		opts.Sink = status
+		srv := &telemetry.Server{Registry: reg, Status: status}
+		bound, shutdown, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", bound)
+	}
 
 	if *table2 || *all {
 		fmt.Println("== Table 2: benchmarks ==")

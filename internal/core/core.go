@@ -23,6 +23,7 @@ import (
 	"dfence/internal/spec"
 	"dfence/internal/staticanalysis"
 	"dfence/internal/synth"
+	"dfence/internal/telemetry"
 )
 
 // Config controls one synthesis run.
@@ -145,6 +146,24 @@ type Config struct {
 	// are bit-identical with the flag on or off — the knob exists for
 	// measurement and as the determinism-test control.
 	NoExecCache bool
+	// Metrics, when non-nil, receives the run's hot-path instrumentation:
+	// execution/verdict/cache counters per worker shard, solver effort,
+	// fence lifecycle, and the step/wall-time histograms. Nil (the default)
+	// costs the instrumented paths one nil check per site — telemetry off
+	// is benchmark-neutral.
+	Metrics *telemetry.Metrics
+	// Sink, when non-nil, receives the run's typed journal events
+	// (RoundStart, Violation, SolverResult, FenceChange, RoundEnd,
+	// Converged) — the structured story a JSONL journal or the /runz view
+	// is built from. The loop does not emit RunStart: only the caller
+	// knows the program's source form, so CLI/eval emit it before
+	// Synthesize. Emission happens on the coordinating goroutine only
+	// (never inside worker executions), so a Sink adds no hot-path cost.
+	Sink telemetry.Sink
+
+	// mv is the nil-safe metrics view fill() caches so hot paths record
+	// unconditionally through no-op handles when Metrics is nil.
+	mv telemetry.Metrics
 }
 
 func (c *Config) fill() {
@@ -182,6 +201,7 @@ func (c *Config) fill() {
 	} else if c.MaxModels < 0 {
 		c.MaxModels = 0 // unlimited for sat.Budget
 	}
+	c.mv = c.Metrics.View()
 }
 
 // solverBudget translates the config's solver knobs into a sat.Budget.
@@ -263,6 +283,21 @@ type Round struct {
 	// disjunction fell outside the static delay set; their disjunctions
 	// were kept unpruned (the soundness fallback).
 	PruneFallbacks int
+}
+
+// execRate divides executions by wall time, guarding the degenerate
+// timings sub-millisecond rounds can produce: a zero execution count is
+// rate 0, and a zero (or negative) wall time — possible on platforms with
+// coarse monotonic clocks — is clamped to one microsecond so the reported
+// rate is a large finite upper bound instead of 0 or +Inf.
+func execRate(execs int, wall time.Duration) float64 {
+	if execs <= 0 {
+		return 0
+	}
+	if wall < time.Microsecond {
+		wall = time.Microsecond
+	}
+	return float64(execs) / wall.Seconds()
 }
 
 // ConclusiveFraction is the share of the round's execution budget that
@@ -357,7 +392,12 @@ type Result struct {
 	WitnessViolation string
 }
 
-// Summary renders a human-readable account of the synthesis.
+// Summary renders a human-readable account of the synthesis. This is the
+// single renderer every front-end shares — cmd/dfence and cmd/experiments
+// both print it verbatim (optionally preceded by their own header lines),
+// so prune/cache/outcome reporting cannot drift between them. The layout
+// is pinned by the snapshot test in summary_test.go; extend it there when
+// adding lines.
 func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rounds=%d executions=%d converged=%v outcome=%v",
@@ -369,8 +409,9 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&b, " UNFIXABLE (%s)", r.UnfixableExample)
 	}
 	for i, rd := range r.Rounds {
-		fmt.Fprintf(&b, "\nround %d: %d/%d violations in %s (%.0f execs/s)",
-			i+1, rd.Violations, rd.Executions, rd.Wall.Round(time.Millisecond), rd.ExecsPerSec)
+		fmt.Fprintf(&b, "\nround %d: %d/%d violations, %d predicates, %d clauses, %d fences inserted in %s (%.0f execs/s)",
+			i+1, rd.Violations, rd.Executions, rd.Predicates, rd.DistinctClauses,
+			len(rd.Inserted), rd.Wall.Round(time.Millisecond), rd.ExecsPerSec)
 		if rd.Inconclusive > 0 || rd.Skipped > 0 {
 			fmt.Fprintf(&b, ", %d inconclusive (%d errored), %d skipped, %.0f%% conclusive",
 				rd.Inconclusive, rd.Errors, rd.Skipped, 100*rd.ConclusiveFraction())
@@ -395,6 +436,9 @@ func (r *Result) Summary() string {
 	}
 	for _, f := range r.Fences {
 		fmt.Fprintf(&b, "\n  %s", f)
+		if r.Program != nil {
+			fmt.Fprintf(&b, " %s", DescribeFence(r.Program, f))
+		}
 	}
 	if r.MergedAway > 0 {
 		fmt.Fprintf(&b, "\nmerged away: %d", r.MergedAway)
@@ -473,6 +517,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			result.StaticallyRobust = true
 			result.Converged = true
 			result.Outcome = OutcomeConverged
+			emitConverged(&cfg, result)
 			return result, nil
 		}
 	}
@@ -489,6 +534,33 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	aborted := false
 	jcs := newJudgeCaches(&cfg)
 
+	// endRound is the single exit path of a round's bookkeeping: it
+	// appends the statistics, feeds the round-level metrics, and emits the
+	// RoundEnd journal event — so every break/continue below reports
+	// identically.
+	endRound := func(stats *Round, round int) {
+		result.Rounds = append(result.Rounds, *stats)
+		cfg.mv.Rounds.Inc(0)
+		cfg.mv.Skipped.Add(0, int64(stats.Skipped))
+		cfg.mv.Predicates.Add(0, int64(stats.Predicates))
+		cfg.mv.PrunedPredicates.Add(0, int64(stats.PrunedPredicates))
+		cfg.mv.RoundWallUS.Observe(0, stats.Wall.Microseconds())
+		telemetry.Emit(cfg.Sink, telemetry.RoundEnd{
+			Round:           round + 1,
+			Executions:      stats.Executions,
+			Violations:      stats.Violations,
+			Inconclusive:    stats.Inconclusive,
+			Errors:          stats.Errors,
+			Skipped:         stats.Skipped,
+			DistinctClauses: stats.DistinctClauses,
+			Predicates:      stats.Predicates,
+			WallUS:          stats.Wall.Microseconds(),
+			ExecsPerSec:     stats.ExecsPerSec,
+			PrunedPreds:     stats.PrunedPredicates,
+			PruneFallbacks:  stats.PruneFallbacks,
+		})
+	}
+
 	for round := 0; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
 		stats := Round{}
@@ -504,11 +576,20 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			delaySet = sa.DelaySet()
 			stats.StaticDelayPairs = len(sa.Delays)
 		}
+		cfg.mv.CurrentRound.Set(int64(round + 1))
+		telemetry.Emit(cfg.Sink, telemetry.RoundStart{Round: round + 1, DelayPairs: stats.StaticDelayPairs})
 		started := time.Now()
 		// Fan the round's K executions across cfg.Workers goroutines; the
 		// outcome slots come back in execution order, so the merge below is
 		// identical to the serial loop.
 		outcomes := runRound(ctx, work, &cfg, jcs, round)
+		// vioEvents collects this round's journal-worthy violations (one
+		// per distinct disjunction, plus the first unfixable one); the
+		// witness trace, captured after the merge, lands on the entry of
+		// the witness execution before emission.
+		var vioEvents []telemetry.Violation
+		witnessEvIdx := -1
+		emittedEmpty := false
 		witnessIdx := -1
 		for i, o := range outcomes {
 			if !o.ran {
@@ -566,6 +647,36 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 				if result.UnfixableExample == "" {
 					result.UnfixableExample = o.desc
 				}
+				if cfg.Sink != nil && !emittedEmpty {
+					// Journal the first empty-disjunction violation of the
+					// round (they recur heavily; RoundEnd's counters cover
+					// the rest).
+					emittedEmpty = true
+					if i == witnessIdx {
+						witnessEvIdx = len(vioEvents)
+					}
+					vioEvents = append(vioEvents, telemetry.Violation{
+						Round: round + 1, Index: i, Seed: roundOpts(&cfg, round, i).Seed, Desc: o.desc,
+					})
+				}
+				continue
+			}
+			if cfg.Sink != nil {
+				// Journal one Violation per distinct disjunction: φ dedupes
+				// clauses, so "did NumClauses grow" is exactly that test.
+				pre := formula.NumClauses()
+				if err := formula.AddExecution(o.repairs); err != nil {
+					return nil, err
+				}
+				if formula.NumClauses() > pre {
+					if i == witnessIdx {
+						witnessEvIdx = len(vioEvents)
+					}
+					vioEvents = append(vioEvents, telemetry.Violation{
+						Round: round + 1, Index: i, Seed: roundOpts(&cfg, round, i).Seed,
+						Disjunction: telemetry.PredsOf(o.repairs),
+					})
+				}
 				continue
 			}
 			if err := formula.AddExecution(o.repairs); err != nil {
@@ -576,9 +687,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		stats.DistinctClauses = formula.NumClauses()
 		stats.Predicates = formula.NumPredicates()
 		stats.Wall = time.Since(started)
-		if s := stats.Wall.Seconds(); s > 0 {
-			stats.ExecsPerSec = float64(stats.Executions) / s
-		}
+		stats.ExecsPerSec = execRate(stats.Executions, stats.Wall)
 		if witnessIdx >= 0 && result.Witness == nil && !cfg.NoWitness {
 			// Re-run the lowest violating seed traced to capture a
 			// reproducible counterexample schedule (the same execution the
@@ -586,19 +695,31 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			opts := roundOpts(&cfg, round, witnessIdx)
 			if wres, tr := sched.RunTraced(work.Clone(), cfg.Model, nil, opts); judge(&cfg, wres) == verdictViolation {
 				result.Witness = tr
-				result.WitnessViolation = describeViolation(wres)
+				result.WitnessViolation = describeViolation(&cfg, wres)
+				if witnessEvIdx >= 0 {
+					// The witness execution's journal entry carries the full
+					// schedule (and the failure description) so `dfence
+					// explain` can re-render it without re-running synthesis.
+					vioEvents[witnessEvIdx].Trace = telemetry.TraceOf(tr)
+					if vioEvents[witnessEvIdx].Desc == "" {
+						vioEvents[witnessEvIdx].Desc = result.WitnessViolation
+					}
+				}
 			}
+		}
+		for _, ve := range vioEvents {
+			telemetry.Emit(cfg.Sink, ve)
 		}
 
 		if ctx.Err() != nil {
 			// The deadline expired during (or before) this round. Keep the
 			// partial round's statistics but trust no verdict from it.
-			result.Rounds = append(result.Rounds, stats)
+			endRound(&stats, round)
 			aborted = true
 			break
 		}
 		if stats.Violations == 0 {
-			result.Rounds = append(result.Rounds, stats)
+			endRound(&stats, round)
 			if stats.ConclusiveFraction() >= cfg.MinConclusive {
 				result.Converged = true
 				break
@@ -610,10 +731,17 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 		if formula.Empty() {
 			// Every violation this round was unfixable.
-			result.Rounds = append(result.Rounds, stats)
+			endRound(&stats, round)
 			break
 		}
-		sols, truncated := formula.MinimalSolutionsBudget(cfg.solverBudget())
+		var sst sat.Stats
+		solveStart := time.Now()
+		sols, truncated := formula.MinimalSolutionsStats(cfg.solverBudget(), &sst)
+		solverWall := time.Since(solveStart)
+		cfg.mv.SolverModels.Add(0, int64(sst.Models))
+		cfg.mv.SolverConflicts.Add(0, sst.Conflicts)
+		cfg.mv.SolverClauses.Add(0, int64(sst.Clauses))
+		cfg.mv.SolverWallUS.Observe(0, solverWall.Microseconds())
 		if truncated {
 			result.SolverTruncated = true
 		}
@@ -633,6 +761,16 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		telemetry.Emit(cfg.Sink, telemetry.SolverResult{
+			Round:      round + 1,
+			Clauses:    sst.Clauses,
+			Predicates: stats.Predicates,
+			Models:     sst.Models,
+			Conflicts:  sst.Conflicts,
+			Truncated:  truncated,
+			WallUS:     solverWall.Microseconds(),
+			Chosen:     telemetry.PredsOf(chosen),
+		})
 		var fences []synth.InsertedFence
 		var err error
 		if cfg.EnforceWithCAS {
@@ -645,7 +783,14 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 		stats.Inserted = fences
 		result.Fences = append(result.Fences, fences...)
-		result.Rounds = append(result.Rounds, stats)
+		if len(fences) > 0 {
+			cfg.mv.FencesInserted.Add(0, int64(len(fences)))
+			telemetry.Emit(cfg.Sink, telemetry.FenceChange{
+				Round: round + 1, Action: "insert",
+				Fences: telemetry.FencesOf(fences), Count: len(fences),
+			})
+		}
+		endRound(&stats, round)
 		if len(fences) == 0 && stats.Violations > 0 {
 			// No progress possible (all fences already present yet
 			// violations persist): stop rather than loop.
@@ -686,9 +831,30 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		result.MergedAway = merged
+		if merged > 0 {
+			cfg.mv.FencesRemoved.Add(0, int64(merged))
+			telemetry.Emit(cfg.Sink, telemetry.FenceChange{Action: "merge", Count: merged})
+		}
 	}
 	tallyJudgeCaches(jcs, result)
+	emitConverged(&cfg, result)
 	return result, nil
+}
+
+// emitConverged closes the journal with the terminal event (emitted for
+// every outcome) and settles the gauge-style run totals.
+func emitConverged(cfg *Config, result *Result) {
+	telemetry.Emit(cfg.Sink, telemetry.Converged{
+		Outcome:          result.Outcome.String(),
+		Rounds:           len(result.Rounds),
+		TotalExecutions:  result.TotalExecutions,
+		Fences:           len(result.Fences),
+		Redundant:        result.Redundant,
+		MergedAway:       result.MergedAway,
+		CacheHits:        result.CacheHits,
+		CacheMisses:      result.CacheMisses,
+		StaticallyRobust: result.StaticallyRobust,
+	})
 }
 
 // validateFences greedily removes fences whose absence no longer produces
@@ -723,6 +889,7 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCa
 	// Try dropping fences newest-first: later rounds react to rarer
 	// violations and are the likelier over-fit.
 	for i := len(kept) - 1; i >= 0; i-- {
+		dropped := kept[i]
 		candidate := append(append([]synth.InsertedFence(nil), kept[:i]...), kept[i+1:]...)
 		ok, err := trial(candidate)
 		if err != nil {
@@ -731,6 +898,11 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCa
 		if ok {
 			kept = candidate
 			result.Redundant++
+			cfg.mv.FencesRemoved.Inc(0)
+			telemetry.Emit(cfg.Sink, telemetry.FenceChange{
+				Action: "drop-redundant",
+				Fences: telemetry.FencesOf([]synth.InsertedFence{dropped}),
+			})
 		}
 	}
 	p := orig.Clone()
@@ -743,11 +915,22 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCa
 	return nil
 }
 
-func describeViolation(res *interp.Result) string {
+// describeViolation renders what a violating execution violated: the
+// interpreter fault if there was one, otherwise the specification
+// checker's prose diagnosis of the failed history (which names the first
+// offending operation), falling back to the raw operation list when the
+// checker has nothing more specific to say.
+func describeViolation(cfg *Config, res *interp.Result) string {
 	if res.Violation != nil {
 		return res.Violation.Error()
 	}
 	ops := spec.CompleteOps(res.History)
+	if cfg.RelaxStealAborts {
+		ops = spec.RelaxStealAborts(ops)
+	}
+	if d := spec.DescribeFailure(cfg.Criterion, ops, cfg.NewSpec, cfg.CheckGarbage); d != "" {
+		return d
+	}
 	parts := make([]string, len(ops))
 	for i, o := range ops {
 		parts[i] = o.String()

@@ -40,6 +40,7 @@ import (
 	"dfence/internal/sched"
 	"dfence/internal/spec"
 	"dfence/internal/synth"
+	"dfence/internal/telemetry"
 )
 
 // maxJudgeMemoEntries bounds each worker's verdict memo. At the cap the
@@ -97,10 +98,12 @@ func judgeWorker(cfg *Config, jcs []judgeCache, worker int, res *interp.Result) 
 	jc.key = appendHistoryKey(jc.key[:0], res.History)
 	if v, ok := jc.memo[string(jc.key)]; ok {
 		jc.hits++
+		cfg.mv.CacheHits.Inc(worker)
 		return v
 	}
 	v := judgeMiss(cfg, jc, res)
 	jc.misses++
+	cfg.mv.CacheMisses.Inc(worker)
 	if jc.memo == nil {
 		jc.memo = make(map[string]verdict, 256)
 	}
@@ -168,13 +171,18 @@ func watchedBatch(c *interp.Compiled, cfg *Config, jcs []judgeCache, seeds []int
 	return sched.RunBatchCompiled(context.Background(), c, cfg.Model, len(seeds), cfg.Workers, nil,
 		func(k int) sched.Options { return optsFor(seeds[k]) },
 		func(k, worker int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (trialOut, bool) {
+			cfg.mv.Executions.Inc(worker)
 			if err != nil {
 				// The touched mask of a panicked execution is unknowable, so
 				// report every fence touched: the seed is re-run in every
 				// trial, exactly as the uncached pass would.
+				cfg.mv.Panics.Inc(worker)
 				return trialOut{ran: true, mask: ^uint64(0)}, false
 			}
 			v := judgeWorker(cfg, jcs, worker, res) == verdictViolation
+			if v {
+				cfg.mv.Violations.Inc(worker)
+			}
 			return trialOut{ran: true, violated: v, mask: res.FenceTouched}, v && stopEarly
 		})
 }
@@ -355,8 +363,14 @@ func validateFencesCached(orig *ir.Program, cfg *Config, result *Result, jcs []j
 				continue // a violation needs this fence: keep it
 			}
 		}
+		dropped := kept[i].f
 		kept = candidate
 		result.Redundant++
+		cfg.mv.FencesRemoved.Inc(0)
+		telemetry.Emit(cfg.Sink, telemetry.FenceChange{
+			Action: "drop-redundant",
+			Fences: telemetry.FencesOf([]synth.InsertedFence{dropped}),
+		})
 	}
 
 	p := orig.Clone()
@@ -371,6 +385,7 @@ func validateFencesCached(orig *ir.Program, cfg *Config, result *Result, jcs []j
 	result.Program = p
 	result.Fences = final
 	result.CacheHits += fc.skipped
+	cfg.mv.CacheHits.Add(0, int64(fc.skipped))
 	return true, nil
 }
 

@@ -1,0 +1,56 @@
+// Source-located fence descriptions. Historically this lived in
+// internal/eval (Table 3 renders fences as "(method, line:line)"), but the
+// unified Result renderer needs it too, so the canonical copy is here and
+// eval re-exports it.
+package core
+
+import (
+	"fmt"
+
+	"dfence/internal/ir"
+	"dfence/internal/synth"
+)
+
+// FenceDesc renders one inferred fence the way Table 3 does: method plus
+// the source lines the fence sits between.
+type FenceDesc struct {
+	Func string
+	Kind ir.FenceKind
+	// LineBefore is the source line of the store the fence follows;
+	// LineAfter the line of the next instruction (0 = method end).
+	LineBefore, LineAfter int
+}
+
+func (f FenceDesc) String() string {
+	after := "-"
+	if f.LineAfter > 0 {
+		after = fmt.Sprint(f.LineAfter)
+	}
+	return fmt.Sprintf("(%s, %d:%s)", f.Func, f.LineBefore, after)
+}
+
+// DescribeFence locates a synthesized fence in source terms.
+func DescribeFence(p *ir.Program, f synth.InsertedFence) FenceDesc {
+	d := FenceDesc{Func: f.Func, Kind: f.Kind}
+	fn := p.FuncOf(f.Label)
+	if fn == nil {
+		return d
+	}
+	idx := fn.IndexOf(f.Label)
+	if idx > 0 {
+		d.LineBefore = int(fn.Code[idx-1].Line)
+	}
+	// Find the next instruction from a later source line; treat trailing
+	// returns as method end.
+	for j := idx + 1; j < len(fn.Code); j++ {
+		in := &fn.Code[j]
+		if in.Op == ir.OpRet {
+			break
+		}
+		if in.Line != 0 && int(in.Line) != d.LineBefore {
+			d.LineAfter = int(in.Line)
+			break
+		}
+	}
+	return d
+}

@@ -68,22 +68,32 @@ func runRound(ctx context.Context, work *ir.Program, cfg *Config, jcs []judgeCac
 	newObs := func(int) interp.Observer { return synth.NewCollector(cfg.Model) }
 	reduce := func(i, worker int, obs interp.Observer, res *interp.Result, err *sched.ExecError) (execOutcome, bool) {
 		coll := obs.(*synth.Collector)
+		cfg.mv.Executions.Inc(worker)
 		if err != nil {
 			coll.Reset() // a panicked run may leave partial predicates behind
 			err.Round = round
+			cfg.mv.Panics.Inc(worker)
+			cfg.mv.Inconclusive.Inc(worker)
 			return execOutcome{ran: true, inconclusive: true, err: err}, false
 		}
+		cfg.mv.ExecSteps.Observe(worker, int64(res.Steps))
 		switch judgeWorker(cfg, jcs, worker, res) {
 		case verdictInconclusive:
 			coll.Reset()
+			cfg.mv.Inconclusive.Inc(worker)
+			if res.TimedOut {
+				cfg.mv.Timeouts.Inc(worker)
+			}
 			return execOutcome{ran: true, inconclusive: true}, false
 		case verdictClean:
 			coll.Reset()
+			cfg.mv.Clean.Inc(worker)
 			return execOutcome{ran: true}, false
 		}
+		cfg.mv.Violations.Inc(worker)
 		out := execOutcome{ran: true, violated: true, repairs: coll.TakeDisjunction()}
 		if len(out.repairs) == 0 {
-			out.desc = describeViolation(res)
+			out.desc = describeViolation(cfg, res)
 		}
 		return out, false
 	}
@@ -102,10 +112,15 @@ func runRound(ctx context.Context, work *ir.Program, cfg *Config, jcs []judgeCac
 func violationBatch(prog *ir.Program, cfg *Config, jcs []judgeCache, n int, stopEarly bool, optsFor func(i int) sched.Options) (violations int, found bool) {
 	slots := sched.RunBatch(context.Background(), prog, cfg.Model, n, cfg.Workers, nil, optsFor,
 		func(i, worker int, _ interp.Observer, res *interp.Result, err *sched.ExecError) (bool, bool) {
+			cfg.mv.Executions.Inc(worker)
 			if err != nil {
+				cfg.mv.Panics.Inc(worker)
 				return false, false
 			}
 			v := judgeWorker(cfg, jcs, worker, res) == verdictViolation
+			if v {
+				cfg.mv.Violations.Inc(worker)
+			}
 			return v, v && stopEarly
 		})
 	for _, v := range slots {

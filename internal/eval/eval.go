@@ -8,6 +8,7 @@ package eval
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 	"dfence/internal/synth"
+	"dfence/internal/telemetry"
 )
 
 // Options tunes an evaluation run. Zero values select the paper's
@@ -45,6 +47,17 @@ type Options struct {
 	// flagged cells instead of hanging.
 	ExecTimeout time.Duration
 	Deadline    time.Duration
+	// JournalDir, when non-empty, writes one JSONL run journal per cell
+	// to <JournalDir>/<bench>_<criterion>_<model>.jsonl — the per-cell
+	// provenance of a Table 3 artifact, each replayable with
+	// `dfence explain`.
+	JournalDir string
+	// Metrics and Sink pass through to every cell's core.Config: one
+	// registry accumulates across the whole table, and Sink (e.g. a
+	// telemetry.Status feeding /runz) sees every cell's events in
+	// addition to the per-cell journal.
+	Metrics *telemetry.Metrics
+	Sink    telemetry.Sink
 }
 
 func (o *Options) fill() {
@@ -73,21 +86,14 @@ func (o *Options) flushFor(m memmodel.Model) float64 {
 }
 
 // FenceDesc renders one inferred fence the way Table 3 does: method plus
-// the source lines the fence sits between.
-type FenceDesc struct {
-	Func string
-	Kind ir.FenceKind
-	// LineBefore is the source line of the store the fence follows;
-	// LineAfter the line of the next instruction (0 = method end).
-	LineBefore, LineAfter int
-}
+// the source lines the fence sits between. The canonical type lives in
+// core (the unified Result renderer uses it); the alias preserves this
+// package's historical API.
+type FenceDesc = core.FenceDesc
 
-func (f FenceDesc) String() string {
-	after := "-"
-	if f.LineAfter > 0 {
-		after = fmt.Sprint(f.LineAfter)
-	}
-	return fmt.Sprintf("(%s, %d:%s)", f.Func, f.LineBefore, after)
+// DescribeFence locates a synthesized fence in source terms.
+func DescribeFence(p *ir.Program, f synth.InsertedFence) FenceDesc {
+	return core.DescribeFence(p, f)
 }
 
 // Cell is one Table 3 cell: the outcome of synthesis for one benchmark
@@ -167,8 +173,37 @@ func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Mode
 		ValidateFences:   o.Validate,
 		ExecTimeout:      o.ExecTimeout,
 		Deadline:         o.Deadline,
+		Metrics:          o.Metrics,
 	}
+	sink := o.Sink
+	var journal *telemetry.Journal
+	if o.JournalDir != "" {
+		path := filepath.Join(o.JournalDir, fmt.Sprintf("%s_%v_%v.jsonl", b.Name, crit, model))
+		var jerr error
+		journal, jerr = telemetry.CreateJournal(path)
+		if jerr != nil {
+			return Cell{}, jerr
+		}
+		sink = telemetry.MultiSink(sink, journal)
+	}
+	cfg.Sink = sink
+	telemetry.Emit(sink, telemetry.RunStart{
+		Model:     model.String(),
+		Criterion: crit.String(),
+		SeqSpec:   b.SpecName,
+		Seed:      o.Seed,
+		Execs:     o.ExecsPerRound,
+		MaxRounds: o.MaxRounds,
+		FlushProb: o.flushFor(model),
+		Workers:   o.Workers,
+		Builtin:   b.Name,
+	})
 	res, err := core.Synthesize(b.Program(), cfg)
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return Cell{}, err
 	}
@@ -203,32 +238,6 @@ func cellFrom(res *core.Result) Cell {
 		return a.LineBefore < b.LineBefore
 	})
 	return c
-}
-
-// DescribeFence locates a synthesized fence in source terms.
-func DescribeFence(p *ir.Program, f synth.InsertedFence) FenceDesc {
-	d := FenceDesc{Func: f.Func, Kind: f.Kind}
-	fn := p.FuncOf(f.Label)
-	if fn == nil {
-		return d
-	}
-	idx := fn.IndexOf(f.Label)
-	if idx > 0 {
-		d.LineBefore = int(fn.Code[idx-1].Line)
-	}
-	// Find the next instruction from a later source line; treat trailing
-	// returns as method end.
-	for j := idx + 1; j < len(fn.Code); j++ {
-		in := &fn.Code[j]
-		if in.Op == ir.OpRet {
-			break
-		}
-		if in.Line != 0 && int(in.Line) != d.LineBefore {
-			d.LineAfter = int(in.Line)
-			break
-		}
-	}
-	return d
 }
 
 // Table3 runs the full Table 3 matrix. Benchmarks whose SC/linearizability

@@ -280,6 +280,53 @@ func (m *Machine) current(t *Thread) *ir.Instr {
 	return &fr.fn.code[fr.pc]
 }
 
+// CurrentInstr returns the instruction thread tid would execute next,
+// or nil when the thread has finished (or tid is out of range). The
+// returned pointer aliases the compiled program — read-only use. It
+// exists for replay-time introspection (the violation-witness
+// explainer), not for the hot path.
+func (m *Machine) CurrentInstr(tid int) *ir.Instr {
+	if tid < 0 || tid >= len(m.threads) {
+		return nil
+	}
+	t := m.threads[tid]
+	if t.Finished() {
+		return nil
+	}
+	return m.current(t)
+}
+
+// CurrentFunc returns the name of the function thread tid is currently
+// executing, or "" when finished.
+func (m *Machine) CurrentFunc(tid int) string {
+	if tid < 0 || tid >= len(m.threads) {
+		return ""
+	}
+	t := m.threads[tid]
+	if t.Finished() {
+		return ""
+	}
+	return t.frames[len(t.frames)-1].fn.name
+}
+
+// RegValue returns register r of thread tid's active frame. Used by the
+// explainer to resolve the address/value operands of the instruction
+// about to execute; returns 0, false when unavailable.
+func (m *Machine) RegValue(tid int, r ir.Reg) (int64, bool) {
+	if tid < 0 || tid >= len(m.threads) {
+		return 0, false
+	}
+	t := m.threads[tid]
+	if t.Finished() {
+		return 0, false
+	}
+	regs := t.frames[len(t.frames)-1].regs
+	if int(r) < 0 || int(r) >= len(regs) {
+		return 0, false
+	}
+	return regs[r], true
+}
+
 // StepKind describes what a transition did, for scheduler bookkeeping.
 type StepKind uint8
 

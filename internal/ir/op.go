@@ -233,3 +233,17 @@ func (k FenceKind) String() string {
 	}
 	return fmt.Sprintf("fencekind(%d)", uint8(k))
 }
+
+// ParseFenceKind inverts FenceKind.String — used when rebuilding a
+// program's fences from a serialized run journal.
+func ParseFenceKind(s string) (FenceKind, error) {
+	switch s {
+	case "fence":
+		return FenceFull, nil
+	case "fence(st-st)":
+		return FenceStoreStore, nil
+	case "fence(st-ld)":
+		return FenceStoreLoad, nil
+	}
+	return 0, fmt.Errorf("ir: unknown fence kind %q", s)
+}

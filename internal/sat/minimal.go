@@ -22,6 +22,17 @@ type Budget struct {
 
 func (b Budget) unlimited() bool { return b.MaxModels <= 0 && b.Timeout <= 0 }
 
+// Stats reports one enumeration's solver effort, for telemetry.
+type Stats struct {
+	// Models is the number of distinct minimal models found.
+	Models int
+	// Conflicts is the CDCL conflict count across the enumeration's
+	// Solve calls.
+	Conflicts int64
+	// Clauses is the number of input clauses (blocking clauses excluded).
+	Clauses int
+}
+
 // MinimalModels enumerates the minimal models of a *monotone* CNF formula:
 // every clause contains only positive literals, so models are upward
 // closed and the interesting solutions are the minimal sets of variables
@@ -55,6 +66,13 @@ func MinimalModels(nvars int, clauses [][]Lit) [][]int {
 // The MaxModels cutoff is deterministic; the Timeout cutoff is wall-clock
 // and therefore machine-dependent.
 func MinimalModelsBudget(nvars int, clauses [][]Lit, budget Budget) (models [][]int, truncated bool) {
+	return MinimalModelsStats(nvars, clauses, budget, nil)
+}
+
+// MinimalModelsStats is MinimalModelsBudget additionally reporting the
+// enumeration's solver effort into st (ignored when nil). The models
+// returned are identical to MinimalModelsBudget's.
+func MinimalModelsStats(nvars int, clauses [][]Lit, budget Budget, st *Stats) (models [][]int, truncated bool) {
 	s := NewSolver()
 	for i := 0; i < nvars; i++ {
 		s.NewVar()
@@ -96,6 +114,11 @@ func MinimalModelsBudget(nvars int, clauses [][]Lit, budget Budget) (models [][]
 	})
 	if err != nil {
 		panic(err)
+	}
+	if st != nil {
+		st.Models = len(out)
+		st.Conflicts = s.Conflicts()
+		st.Clauses = len(clauses)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -56,7 +56,13 @@ type Solver struct {
 	phase []bool // saved phases
 
 	unsat bool // a top-level conflict was derived
+
+	totalConflicts int64 // conflicts across every Solve call (telemetry)
 }
+
+// Conflicts reports the number of conflicts the solver has analyzed
+// across all Solve calls — the CDCL effort metric telemetry exports.
+func (s *Solver) Conflicts() int64 { return s.totalConflicts }
 
 type clause struct {
 	lits    []Lit
@@ -349,7 +355,6 @@ func (s *Solver) Solve() (map[int]bool, error) {
 		s.unsat = true
 		return nil, ErrUnsat
 	}
-	conflicts := 0
 	for {
 		confl := s.propagate()
 		if confl != nil {
@@ -357,7 +362,7 @@ func (s *Solver) Solve() (map[int]bool, error) {
 				s.unsat = true
 				return nil, ErrUnsat
 			}
-			conflicts++
+			s.totalConflicts++
 			learnt, bj := s.analyze(confl)
 			s.backtrackTo(bj)
 			if len(learnt) == 1 {

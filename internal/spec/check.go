@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 )
@@ -220,6 +221,80 @@ func ParseCriterion(s string) (Criterion, bool) {
 		return Linearizability, true
 	}
 	return MemorySafety, false
+}
+
+// DescribeFailure explains in prose why a history fails the criterion —
+// the "failed specification check" section of a violation-witness
+// report. It re-runs the relevant checks; calling it on a passing
+// history returns "". The description names the first garbage return
+// (when NoGarbage is what failed) or states that no legal
+// sequentialization of the per-thread operation sequences exists,
+// listing those sequences.
+func DescribeFailure(c Criterion, ops []Op, newSpec func() Sequential, checkGarbage bool) string {
+	if checkGarbage {
+		if op, bad := firstGarbage(ops); bad {
+			return fmt.Sprintf("no-garbage check failed: t%d's %v returned a value never passed to put", op.Thread, op)
+		}
+	}
+	var what string
+	switch c {
+	case SeqConsistency:
+		if newSpec == nil || IsSequentiallyConsistent(ops, newSpec) {
+			return ""
+		}
+		what = "sequentially-consistent ordering"
+	case Linearizability:
+		if newSpec == nil || IsLinearizable(ops, newSpec) {
+			return ""
+		}
+		what = "linearization"
+	default:
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s check failed: no %s of the completed operations is accepted by the sequential specification\n", c, what)
+	byThread := map[int][]Op{}
+	var tids []int
+	for _, o := range ops {
+		if _, seen := byThread[o.Thread]; !seen {
+			tids = append(tids, o.Thread)
+		}
+		byThread[o.Thread] = append(byThread[o.Thread], o)
+	}
+	for i := 0; i < len(tids); i++ { // tids arrive in first-invocation order; sort by id
+		for j := i + 1; j < len(tids); j++ {
+			if tids[j] < tids[i] {
+				tids[i], tids[j] = tids[j], tids[i]
+			}
+		}
+	}
+	for _, tid := range tids {
+		parts := make([]string, len(byThread[tid]))
+		for i, o := range byThread[tid] {
+			parts[i] = o.String()
+		}
+		fmt.Fprintf(&b, "  t%d: %s\n", tid, strings.Join(parts, "; "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// firstGarbage returns the first take/steal whose non-EMPTY return value
+// no put supplied.
+func firstGarbage(ops []Op) (Op, bool) {
+	puts := make(map[int64]bool)
+	for _, o := range ops {
+		if o.Name == "put" && len(o.Args) == 1 {
+			puts[o.Args[0]] = true
+		}
+	}
+	for _, o := range ops {
+		if (o.Name == "take" || o.Name == "steal") && o.HasRet && o.Ret != EmptyVal {
+			if !puts[o.Ret] {
+				return o, true
+			}
+		}
+	}
+	return Op{}, false
 }
 
 // Check applies the criterion to a history: MemorySafety always passes

@@ -184,10 +184,17 @@ func (f *Formula) MinimalSolutions() [][]Predicate {
 // the returned solutions may be incomplete — the synthesis loop records
 // this as Result.SolverTruncated and proceeds with the best repairs found.
 func (f *Formula) MinimalSolutionsBudget(budget sat.Budget) (solutions [][]Predicate, truncated bool) {
+	return f.MinimalSolutionsStats(budget, nil)
+}
+
+// MinimalSolutionsStats is MinimalSolutionsBudget additionally reporting
+// the enumeration's solver effort into st (ignored when nil) — the
+// telemetry seam. Solutions are identical to MinimalSolutionsBudget's.
+func (f *Formula) MinimalSolutionsStats(budget sat.Budget, st *sat.Stats) (solutions [][]Predicate, truncated bool) {
 	if f.Empty() {
 		return nil, false
 	}
-	models, truncated := sat.MinimalModelsBudget(len(f.byVar)-1, f.clauses, budget)
+	models, truncated := sat.MinimalModelsStats(len(f.byVar)-1, f.clauses, budget, st)
 	out := make([][]Predicate, len(models))
 	for i, m := range models {
 		ps := make([]Predicate, len(m))

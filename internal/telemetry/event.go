@@ -1,0 +1,333 @@
+// Typed run-journal events and the Sink interface they flow through.
+//
+// A Sink receives the story of a synthesis run as typed events: the
+// round lifecycle, each violating execution's seed and repair
+// disjunction, the solver's verdicts, every fence change, and the
+// terminal outcome. The core loop emits them through the nil-safe Emit
+// helper, so a run without telemetry pays one branch per (cold) call
+// site. Journal (journal.go) serializes events as JSONL; Status
+// (below) folds them into a live view for the /runz endpoint; MultiSink
+// fans one stream into both.
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"dfence/internal/ir"
+	"dfence/internal/sched"
+	"dfence/internal/synth"
+)
+
+// SchemaVersion identifies the journal event schema. Bump it when an
+// event type changes incompatibly; ReadJournal rejects mismatches, which
+// is what `make journal-smoke` trips on when the schema drifts without a
+// version bump and reader update.
+const SchemaVersion = 1
+
+// Sink receives journal events. Implementations must be safe for
+// concurrent Emit calls (core emits from the coordinating goroutine
+// today, but the contract leaves room for per-worker emission).
+type Sink interface {
+	Emit(e Event)
+}
+
+// Emit forwards e to s when s is non-nil — the guard every
+// instrumentation site uses.
+func Emit(s Sink, e Event) {
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// Event is one typed journal record. Kind returns the stable name used
+// as the JSONL discriminator ("RoundStart", "Violation", ...).
+type Event interface {
+	Kind() string
+}
+
+// Pred mirrors synth.Predicate with stable JSON field names: the
+// ordering predicate [L ⊰ K].
+type Pred struct {
+	L int32 `json:"l"`
+	K int32 `json:"k"`
+}
+
+// PredsOf converts a repair disjunction for journaling.
+func PredsOf(ps []synth.Predicate) []Pred {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]Pred, len(ps))
+	for i, p := range ps {
+		out[i] = Pred{L: int32(p.L), K: int32(p.K)}
+	}
+	return out
+}
+
+// Predicates converts journaled predicates back to synth form.
+func Predicates(ps []Pred) []synth.Predicate {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]synth.Predicate, len(ps))
+	for i, p := range ps {
+		out[i] = synth.Predicate{L: ir.Label(p.L), K: ir.Label(p.K)}
+	}
+	return out
+}
+
+// TraceDecision is one scheduling decision of a witness trace.
+type TraceDecision struct {
+	Thread int   `json:"t"`
+	Flush  bool  `json:"flush,omitempty"`
+	Addr   int64 `json:"addr,omitempty"`
+	Steps  int   `json:"steps,omitempty"`
+}
+
+// TraceOf converts a sched.Trace for journaling (nil-safe).
+func TraceOf(tr *sched.Trace) []TraceDecision {
+	if tr == nil {
+		return nil
+	}
+	out := make([]TraceDecision, len(tr.Decisions))
+	for i, d := range tr.Decisions {
+		out[i] = TraceDecision{Thread: d.Thread, Flush: d.Flush, Addr: d.Addr, Steps: d.Steps}
+	}
+	return out
+}
+
+// Fence describes one fence for journaling, mirroring
+// synth.InsertedFence with stable JSON names.
+type Fence struct {
+	After int32  `json:"after"` // label of the store the fence follows
+	Label int32  `json:"label"` // the fence instruction's own label
+	Kind  string `json:"kind"`
+	Func  string `json:"func"`
+}
+
+// FencesOf converts inserted fences for journaling.
+func FencesOf(fs []synth.InsertedFence) []Fence {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]Fence, len(fs))
+	for i, f := range fs {
+		out[i] = Fence{After: int32(f.After), Label: int32(f.Label), Kind: f.Kind.String(), Func: f.Func}
+	}
+	return out
+}
+
+// InsertedFences converts journaled fences back to synth form — the
+// inverse of FencesOf, used when rebuilding a program from a journal.
+func InsertedFences(fs []Fence) ([]synth.InsertedFence, error) {
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	out := make([]synth.InsertedFence, len(fs))
+	for i, f := range fs {
+		kind, err := ir.ParseFenceKind(f.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: fence %d: %w", i, err)
+		}
+		out[i] = synth.InsertedFence{After: ir.Label(f.After), Label: ir.Label(f.Label), Kind: kind, Func: f.Func}
+	}
+	return out, nil
+}
+
+// RunStart opens a journal: what program ran under which configuration.
+// Source carries the mini-C text for file-based runs (so `dfence
+// explain` can rebuild the program without the original file); Builtin
+// names a built-in benchmark instead. Exactly one of the two is set by
+// the CLI; library callers may leave both empty, which limits explain to
+// journals whose program the caller supplies.
+type RunStart struct {
+	Model     string  `json:"model"`
+	Criterion string  `json:"criterion"`
+	SeqSpec   string  `json:"seq_spec,omitempty"`
+	Seed      int64   `json:"seed"`
+	Execs     int     `json:"execs_per_round"`
+	MaxRounds int     `json:"max_rounds"`
+	FlushProb float64 `json:"flush_prob"`
+	Workers   int     `json:"workers"`
+	Source    string  `json:"source,omitempty"`
+	Builtin   string  `json:"builtin,omitempty"`
+}
+
+func (RunStart) Kind() string { return "RunStart" }
+
+// RoundStart opens one repair round.
+type RoundStart struct {
+	Round      int `json:"round"` // 1-based
+	DelayPairs int `json:"static_delay_pairs,omitempty"`
+}
+
+func (RoundStart) Kind() string { return "RoundStart" }
+
+// Violation records one violating execution: its seed (reproducible with
+// sched.Run under the journaled options), the repair disjunction the
+// instrumented semantics proposed, and — for the run's witness execution
+// — the full schedule. One Violation event is emitted per *distinct*
+// disjunction per round (duplicates are counted in RoundEnd), so the
+// journal reconstructs φ exactly without growing with K.
+type Violation struct {
+	Round int    `json:"round"`
+	Index int    `json:"index"` // execution index within the round
+	Seed  int64  `json:"seed"`
+	Desc  string `json:"desc,omitempty"` // violation description (empty-repair diagnostics)
+	// Disjunction is the execution's candidate repairs; empty means the
+	// execution cannot be avoided by fences (the unfixable case).
+	Disjunction []Pred `json:"disjunction"`
+	// Trace is the witness schedule, present on the execution captured as
+	// the run's counterexample.
+	Trace []TraceDecision `json:"trace,omitempty"`
+}
+
+func (Violation) Kind() string { return "Violation" }
+
+// SolverResult records one round's minimal-model enumeration.
+type SolverResult struct {
+	Round      int    `json:"round"`
+	Clauses    int    `json:"clauses"`
+	Predicates int    `json:"predicates"`
+	Models     int    `json:"models"`
+	Conflicts  int64  `json:"conflicts"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	WallUS     int64  `json:"wall_us"`
+	Chosen     []Pred `json:"chosen"` // the assignment Algorithm 2 enforces
+}
+
+func (SolverResult) Kind() string { return "SolverResult" }
+
+// FenceChange records fences entering or leaving the program.
+// Action is "insert" (end-of-round enforcement), "drop-redundant"
+// (post-convergence validation), or "merge" (static merge pass; Fences
+// empty, Count set).
+type FenceChange struct {
+	Round  int     `json:"round,omitempty"` // 0 for post-convergence passes
+	Action string  `json:"action"`
+	Fences []Fence `json:"fences,omitempty"`
+	Count  int     `json:"count,omitempty"`
+}
+
+func (FenceChange) Kind() string { return "FenceChange" }
+
+// RoundEnd closes one repair round with its statistics.
+type RoundEnd struct {
+	Round           int     `json:"round"`
+	Executions      int     `json:"executions"`
+	Violations      int     `json:"violations"`
+	Inconclusive    int     `json:"inconclusive,omitempty"`
+	Errors          int     `json:"errors,omitempty"`
+	Skipped         int     `json:"skipped,omitempty"`
+	DistinctClauses int     `json:"distinct_clauses"`
+	Predicates      int     `json:"predicates"`
+	WallUS          int64   `json:"wall_us"`
+	ExecsPerSec     float64 `json:"execs_per_sec"`
+	PrunedPreds     int     `json:"pruned_predicates,omitempty"`
+	PruneFallbacks  int     `json:"prune_fallbacks,omitempty"`
+}
+
+func (RoundEnd) Kind() string { return "RoundEnd" }
+
+// Converged is the terminal event of every journal (despite the name it
+// is emitted for every outcome — the Outcome field says which).
+type Converged struct {
+	Outcome          string `json:"outcome"`
+	Rounds           int    `json:"rounds"`
+	TotalExecutions  int    `json:"total_executions"`
+	Fences           int    `json:"fences"`
+	Redundant        int    `json:"redundant,omitempty"`
+	MergedAway       int    `json:"merged_away,omitempty"`
+	CacheHits        int    `json:"cache_hits,omitempty"`
+	CacheMisses      int    `json:"cache_misses,omitempty"`
+	StaticallyRobust bool   `json:"statically_robust,omitempty"`
+}
+
+func (Converged) Kind() string { return "Converged" }
+
+// MultiSink fans events out to every non-nil sink; returns nil when none
+// remain (so Emit's nil guard still short-circuits everything).
+func MultiSink(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// RunStatus is the live view /runz serves: where the run is and what it
+// has seen so far, folded from the event stream.
+type RunStatus struct {
+	Round           int    `json:"round"`
+	Rounds          int    `json:"rounds_completed"`
+	Executions      int    `json:"executions"`
+	Violations      int    `json:"violations"`
+	Inconclusive    int    `json:"inconclusive"`
+	Skipped         int    `json:"skipped"`
+	DistinctClauses int    `json:"distinct_clauses"`
+	FencesInserted  int    `json:"fences_inserted"`
+	FencesRemoved   int    `json:"fences_removed"`
+	CacheHits       int    `json:"cache_hits"`
+	CacheMisses     int    `json:"cache_misses"`
+	Outcome         string `json:"outcome"` // "" while running
+}
+
+// Status is a Sink that folds the event stream into a RunStatus.
+type Status struct {
+	mu  sync.Mutex
+	cur RunStatus
+}
+
+// Emit implements Sink.
+func (st *Status) Emit(e Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch ev := e.(type) {
+	case RoundStart:
+		st.cur.Round = ev.Round
+	case RoundEnd:
+		st.cur.Rounds++
+		st.cur.Executions += ev.Executions
+		st.cur.Violations += ev.Violations
+		st.cur.Inconclusive += ev.Inconclusive
+		st.cur.Skipped += ev.Skipped
+		st.cur.DistinctClauses += ev.DistinctClauses
+	case FenceChange:
+		switch ev.Action {
+		case "insert":
+			st.cur.FencesInserted += len(ev.Fences)
+		case "drop-redundant":
+			st.cur.FencesRemoved += len(ev.Fences)
+		case "merge":
+			st.cur.FencesRemoved += ev.Count
+		}
+	case Converged:
+		st.cur.Outcome = ev.Outcome
+		st.cur.CacheHits = ev.CacheHits
+		st.cur.CacheMisses = ev.CacheMisses
+	}
+}
+
+// Snapshot returns the current view.
+func (st *Status) Snapshot() RunStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cur
+}

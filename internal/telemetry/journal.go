@@ -1,0 +1,174 @@
+// JSONL run journal: the durable form of the event stream.
+//
+// Each line is an envelope {"schema":1,"ev":"RoundStart","data":{...}}.
+// The writer is a Sink, safe for concurrent Emit; errors are sticky and
+// surfaced via Err (journaling must never abort a synthesis run, so
+// Emit swallows them). ReadJournal is the strict inverse: it rejects
+// schema-version mismatches, unknown event kinds, and unknown fields
+// inside known events — the drift detector behind `make journal-smoke`.
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// envelope frames one journal line.
+type envelope struct {
+	Schema int             `json:"schema"`
+	Ev     string          `json:"ev"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// Journal is a Sink that appends events to an io.Writer as JSONL.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // nil when the caller owns the underlying writer
+	err error
+}
+
+// NewJournal wraps w. The caller keeps ownership of w; call Flush (or
+// Close, a no-op close) when done.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+// CreateJournal creates (truncating) a journal file at path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// Emit implements Sink. Marshal or write failures are recorded in Err
+// and subsequent events are dropped; the run itself is never disturbed.
+func (j *Journal) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		j.err = fmt.Errorf("telemetry: marshal %s: %w", e.Kind(), err)
+		return
+	}
+	line, err := json.Marshal(envelope{Schema: SchemaVersion, Ev: e.Kind(), Data: data})
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and, when the journal owns its file, closes it.
+func (j *Journal) Close() error {
+	ferr := j.Flush()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c != nil {
+		if cerr := j.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+		j.c = nil
+	}
+	return ferr
+}
+
+// Err reports the first write or marshal failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// decoders maps event kinds to strict decoders. Adding an event type
+// means adding a row here; forgetting to is caught by the roundtrip
+// test, not at runtime in a user's hands.
+var decoders = map[string]func(json.RawMessage) (Event, error){
+	"RunStart":     decodeAs[RunStart],
+	"RoundStart":   decodeAs[RoundStart],
+	"Violation":    decodeAs[Violation],
+	"SolverResult": decodeAs[SolverResult],
+	"FenceChange":  decodeAs[FenceChange],
+	"RoundEnd":     decodeAs[RoundEnd],
+	"Converged":    decodeAs[Converged],
+}
+
+func decodeAs[T Event](data json.RawMessage) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var v T
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ReadJournal decodes a full journal, strictly: any schema-version
+// mismatch, unknown event kind, or unknown field is an error.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // traces can be long
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var env envelope
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		if env.Schema != SchemaVersion {
+			return nil, fmt.Errorf("journal line %d: schema version %d, want %d", line, env.Schema, SchemaVersion)
+		}
+		decode, ok := decoders[env.Ev]
+		if !ok {
+			return nil, fmt.Errorf("journal line %d: unknown event kind %q", line, env.Ev)
+		}
+		ev, err := decode(env.Data)
+		if err != nil {
+			return nil, fmt.Errorf("journal line %d: %s: %w", line, env.Ev, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadJournalFile is ReadJournal over a file path.
+func ReadJournalFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,96 @@
+// The optional introspection HTTP server behind `dfence -listen` (and
+// `experiments -listen`): a plain net/http mux exposing
+//
+//	/metrics       the metrics registry in OpenMetrics text format
+//	/runz          the live run status + merged metrics snapshot as JSON
+//	/debug/pprof/  the standard runtime profiles
+//
+// The server only reads — the registry merges shards on demand and the
+// Status sink hands out a copy under its lock — so serving concurrent
+// scrapes during a run is safe and costs the synthesis loop nothing.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server exposes a Registry and a Status over HTTP. Both fields are
+// optional: a nil Registry serves an empty /metrics, a nil Status an
+// empty run section in /runz.
+type Server struct {
+	Registry *Registry
+	Status   *Status
+}
+
+// runzPayload is the /runz response body.
+type runzPayload struct {
+	Run     RunStatus `json:"run"`
+	Metrics Snapshot  `json:"metrics"`
+}
+
+// Handler returns the server's mux (exported separately from Start so
+// tests can drive it with httptest and embedders can mount it wherever).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/runz", s.serveRunz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.serveIndex)
+	return mux
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	reg := s.Registry
+	if reg == nil {
+		fmt.Fprint(w, "# EOF\n")
+		return
+	}
+	_ = reg.WriteOpenMetrics(w)
+}
+
+func (s *Server) serveRunz(w http.ResponseWriter, _ *http.Request) {
+	var p runzPayload
+	if s.Status != nil {
+		p.Run = s.Status.Snapshot()
+	}
+	if s.Registry != nil {
+		p.Metrics = s.Registry.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "dfence introspection\n\n  /metrics        OpenMetrics exposition\n  /runz           run status + metrics snapshot (JSON)\n  /debug/pprof/   runtime profiles\n")
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine. It returns the bound address — what to print for
+// the user, and what tests dial — and a shutdown function. Errors from
+// the serving goroutine after a successful Listen are dropped: the server
+// is advisory and must never take the run down with it.
+func (s *Server) Start(addr string) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
