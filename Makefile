@@ -18,19 +18,29 @@
 #                       `dfence explain` — fails if the journal schema
 #                       drifted (the strict reader rejects it) or the
 #                       witness no longer renders
+#   make fuzz-smoke     differential fuzzing campaign at a fixed seed:
+#                       200 generated programs cross-checked between
+#                       exhaustive enumeration, static analysis, and
+#                       dynamic synthesis under SC+TSO+PSO — fails on
+#                       any divergence, writing shrunk repros to
+#                       FUZZ_OUT (override FUZZ_SEED/FUZZ_N for ad-hoc
+#                       campaigns; nightly CI runs a 10x budget)
 #   make ci      everything a PR must pass
 
 GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON ?= BENCH_pr5.json
 JOURNAL ?= /tmp/dfence_journal_smoke.jsonl
+FUZZ_SEED ?= 1
+FUZZ_N ?= 200
+FUZZ_OUT ?= /tmp/dfence_fuzz_smoke
 # The engine benchmarks: the PR 4 acceptance metrics (throughput,
 # allocations, cache effect) — what bench-json snapshots.
 ENGINE_BENCH = BenchmarkSynthesizeWorkers|BenchmarkExecutionEngine|BenchmarkSynthesizeCache
 OLD ?= bench_old.txt
 NEW ?= bench_new.txt
 
-.PHONY: build test race vet lint bench bench-json bench-compare journal-smoke ci
+.PHONY: build test race vet lint bench bench-json bench-compare journal-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -70,4 +80,14 @@ journal-smoke:
 	$(GO) run ./cmd/dfence explain $(JOURNAL) >/dev/null
 	@echo "journal-smoke: ok ($(JOURNAL) replayed cleanly)"
 
-ci: build vet test race journal-smoke
+# Differential fuzzing smoke: a fixed-seed campaign over FUZZ_N programs
+# (critical-cycle litmus templates + seeded random mini-C programs),
+# each cross-checked between exhaustive interleaving+flush enumeration,
+# static delay-set analysis, and dynamic fence synthesis under SC, TSO,
+# and PSO. Same seed, same flags => bit-identical report, so this gates
+# CI deterministically; any divergence exits non-zero with a shrunk
+# reproduction under $(FUZZ_OUT).
+fuzz-smoke:
+	$(GO) run ./cmd/dfence fuzz -seed $(FUZZ_SEED) -n $(FUZZ_N) -out $(FUZZ_OUT)
+
+ci: build vet test race journal-smoke fuzz-smoke

@@ -54,6 +54,15 @@
 //
 //	dfence explain run.jsonl
 //
+// The `fuzz` subcommand runs a differential fuzzing campaign: a seeded
+// corpus of litmus templates (one per static critical-cycle shape) and
+// random mini-C programs is cross-checked between exhaustive
+// interleaving+flush enumeration (ground truth), the static delay-set
+// analysis, and dynamic synthesis; divergences are shrunk and written as
+// reproduction files, and the exit status is nonzero if any occurred:
+//
+//	dfence fuzz -seed 1 -n 200 -models tso,pso -out fuzzout
+//
 // Resilience flags (see DESIGN.md, Resilience):
 //
 //	-exec-timeout    wall-clock budget per execution (0 = none); runs that
@@ -95,6 +104,9 @@ func main() {
 			return
 		case "explain":
 			runExplain(os.Args[2:])
+			return
+		case "fuzz":
+			runFuzz(os.Args[2:])
 			return
 		}
 	}

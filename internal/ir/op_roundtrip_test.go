@@ -1,0 +1,24 @@
+package ir
+
+import "testing"
+
+// FenceKinds in op.go has no exported enumeration; keep this list in sync
+// with the FenceKind constants. The round-trip property below is what the
+// run-journal deserializer depends on: every kind the synthesizer can emit
+// must parse back to itself.
+var allFenceKinds = []FenceKind{FenceFull, FenceStoreStore, FenceStoreLoad}
+
+func TestParseFenceKindRoundTrip(t *testing.T) {
+	for _, k := range allFenceKinds {
+		got, err := ParseFenceKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseFenceKind(%q) failed: %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseFenceKind(%v.String()) = %v, want %v", k, got, k)
+		}
+	}
+	if _, err := ParseFenceKind("fence(ld-ld)"); err == nil {
+		t.Error("ParseFenceKind accepted an undefined kind")
+	}
+}

@@ -15,6 +15,7 @@ package memmodel
 
 import (
 	"fmt"
+	"strings"
 
 	"dfence/internal/ir"
 )
@@ -46,16 +47,21 @@ func (m Model) String() string {
 // ParseModel converts a name ("sc", "tso", "pso", case-insensitive) to a
 // Model.
 func ParseModel(s string) (Model, error) {
-	switch s {
-	case "sc", "SC", "Sc":
+	switch strings.ToLower(s) {
+	case "sc":
 		return SC, nil
-	case "tso", "TSO", "Tso":
+	case "tso":
 		return TSO, nil
-	case "pso", "PSO", "Pso":
+	case "pso":
 		return PSO, nil
 	}
 	return SC, fmt.Errorf("memmodel: unknown model %q (want sc, tso, or pso)", s)
 }
+
+// Models lists every defined memory model, weakest-last. Exhaustive by
+// construction: corpus sweeps and round-trip tests range over it so a model
+// added later cannot be silently skipped.
+func Models() []Model { return []Model{SC, TSO, PSO} }
 
 // RelaxesStoreLoad reports whether the model may reorder a store with a
 // later load of the same thread (the store sits in a buffer while the

@@ -15,6 +15,11 @@ func TestParseModel(t *testing.T) {
 		ok   bool
 	}{
 		{"sc", SC, true}, {"TSO", TSO, true}, {"pso", PSO, true}, {"x86", SC, false},
+		// Case-insensitivity: the doc promises any mixed-case spelling works
+		// (the CLI's -model flag passes user input through verbatim).
+		{"Sc", SC, true}, {"sC", SC, true}, {"tSO", TSO, true}, {"TsO", TSO, true},
+		{"tso", TSO, true}, {"pSo", PSO, true}, {"PsO", PSO, true}, {"psO", PSO, true},
+		{"", SC, false}, {" tso", SC, false}, {"tso ", SC, false},
 	} {
 		got, err := ParseModel(c.in)
 		if (err == nil) != c.ok {
@@ -22,6 +27,21 @@ func TestParseModel(t *testing.T) {
 		}
 		if err == nil && got != c.want {
 			t.Errorf("ParseModel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseModelRoundTrip pins ParseModel(m.String()) == m for every
+// defined model, so journal deserialization can never drop a model added
+// later (it would have to be added to Models() to be usable at all).
+func TestParseModelRoundTrip(t *testing.T) {
+	for _, m := range Models() {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Fatalf("ParseModel(%q) failed: %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseModel(%v.String()) = %v, want %v", m, got, m)
 		}
 	}
 }

@@ -1,0 +1,263 @@
+package proggen
+
+// Exhaustive interleaving+flush enumeration — the ground-truth oracle.
+// The interpreter (interp.Machine) exposes exactly two scheduler-visible
+// transitions, "thread tid executes its next step" and "thread tid
+// flushes the oldest buffered store for address a", so a program's full
+// behavior space is the tree of finite choice sequences. The enumerator
+// walks that tree by depth-first replay: a pooled Machine is Reset and
+// the choice prefix re-applied (the Machine has no snapshot/undo), and
+// each decision point is fingerprinted with Machine.AppendStateKey so any
+// prefix reaching an already-expanded state is pruned. With memoization
+// the cost is O(|states| × branching × replay-depth), which is what keeps
+// litmus-sized programs (a few thousand states) enumerable in
+// milliseconds.
+//
+// Two reductions keep the tree small without losing outcomes:
+//
+//   - Local-run collapse: after an exec choice the chosen thread keeps
+//     stepping while its steps are StepLocal (registers / provably
+//     thread-local memory only, the same partial-order reduction
+//     sched.Run applies). Local steps commute with every other thread's
+//     transitions, so bundling them with the preceding visible step
+//     cannot remove a reachable outcome.
+//   - State dedup subsumes path symmetry: two interleavings reaching the
+//     same memory/buffers/frames state share their entire future.
+//
+// Enumeration is exact when Complete is true; budgets (states, steps)
+// make it degrade to "explored a prefix" rather than hang on a too-large
+// program, and the oracle skips containment checks that need
+// completeness when a budget tripped.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfence/internal/interp"
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// choice is one scheduler transition.
+type choice struct {
+	tid   int
+	flush bool
+	addr  int64 // flush target (flush=true only)
+}
+
+// EnumOptions bounds one enumeration.
+type EnumOptions struct {
+	// MaxStates bounds the number of distinct decision-point states
+	// expanded (default 60000).
+	MaxStates int
+	// MaxSteps bounds machine steps along any single replay (default
+	// 20000) — a backstop; generated programs terminate long before it.
+	MaxSteps int
+	// LocalRun bounds the local-run collapse (default 128).
+	LocalRun int
+}
+
+func (o *EnumOptions) fill() {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 60000
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 20000
+	}
+	if o.LocalRun <= 0 {
+		o.LocalRun = 128
+	}
+}
+
+// EnumResult is the behavior space of one program under one model.
+type EnumResult struct {
+	Model memmodel.Model
+	// Outcomes is the set of terminal outcome strings (see OutcomeString)
+	// of violation-free executions.
+	Outcomes map[string]bool
+	// Violations is the set of distinct violation descriptions reached.
+	Violations map[string]bool
+	// States is the number of distinct decision-point states expanded;
+	// Paths the number of terminal states reached.
+	States, Paths int
+	// Complete is true when no budget tripped: Outcomes and Violations
+	// are then exactly the reachable sets.
+	Complete bool
+}
+
+// HasViolation reports whether any explored execution violated.
+func (r *EnumResult) HasViolation() bool { return len(r.Violations) > 0 }
+
+// SortedOutcomes returns the outcome set in sorted order (for reports).
+func (r *EnumResult) SortedOutcomes() []string {
+	out := make([]string, 0, len(r.Outcomes))
+	for o := range r.Outcomes {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedViolations returns the violation descriptions sorted.
+func (r *EnumResult) SortedViolations() []string {
+	out := make([]string, 0, len(r.Violations))
+	for v := range r.Violations {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutcomeString canonicalizes a terminal execution: the printed values in
+// order plus the exit code.
+func OutcomeString(output []int64, exitCode int64) string {
+	var b strings.Builder
+	for i, v := range output {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Fprintf(&b, "|exit=%d", exitCode)
+	return b.String()
+}
+
+// violationString canonicalizes a violation for set membership.
+func violationString(v *interp.Violation) string {
+	return fmt.Sprintf("%v@L%d: %s", v.Kind, v.Label, v.Msg)
+}
+
+// enumerator holds the replay machinery for one Enumerate call.
+type enumerator struct {
+	c     *interp.Compiled
+	model memmodel.Model
+	opts  EnumOptions
+	m     interp.Machine
+	key   []byte
+}
+
+// Enumerate explores every schedule of prog under model within the
+// budgets. prog must be linked.
+func Enumerate(prog *ir.Program, model memmodel.Model, opts EnumOptions) *EnumResult {
+	opts.fill()
+	e := &enumerator{c: interp.Compile(prog), model: model, opts: opts}
+	res := &EnumResult{
+		Model:      model,
+		Outcomes:   make(map[string]bool),
+		Violations: make(map[string]bool),
+		Complete:   true,
+	}
+
+	seen := make(map[string]struct{})
+	// DFS over choice prefixes. Each stack entry owns its backing array
+	// (paths are copied on push), so popping cannot alias a sibling.
+	stack := [][]choice{nil}
+	var scratch []choice
+	for len(stack) > 0 {
+		last := len(stack) - 1
+		path := stack[last]
+		stack = stack[:last]
+
+		overBudget := e.replay(path)
+		if overBudget {
+			res.Complete = false
+			continue
+		}
+		e.key = e.m.AppendStateKey(e.key[:0])
+		if _, dup := seen[string(e.key)]; dup {
+			continue
+		}
+		if res.States >= e.opts.MaxStates {
+			res.Complete = false
+			// Keep draining the stack cheaply? No: once the state budget
+			// trips, further expansion cannot restore completeness — stop.
+			break
+		}
+		seen[string(e.key)] = struct{}{}
+		res.States++
+
+		if e.m.Done() {
+			res.Paths++
+			if v := e.m.Violation(); v != nil {
+				res.Violations[violationString(v)] = true
+			} else {
+				res.Outcomes[OutcomeString(e.m.Output(), e.m.ExitCode())] = true
+			}
+			continue
+		}
+
+		scratch = e.choices(scratch[:0])
+		if len(scratch) == 0 {
+			// No transition possible and not Done: a deadlock terminal
+			// (e.g. a join on a thread that can never finish).
+			res.Paths++
+			res.Violations[violationString(&interp.Violation{
+				Kind:  interp.VDeadlock,
+				Label: ir.NoLabel,
+				Msg:   "no thread can make progress",
+			})] = true
+			continue
+		}
+		// Push in reverse so choices explore in their natural order.
+		for i := len(scratch) - 1; i >= 0; i-- {
+			next := make([]choice, len(path)+1)
+			copy(next, path)
+			next[len(path)] = scratch[i]
+			stack = append(stack, next)
+		}
+	}
+	return res
+}
+
+// replay resets the machine and re-applies a choice prefix, reporting
+// whether the step budget tripped.
+func (e *enumerator) replay(path []choice) (overBudget bool) {
+	m := &e.m
+	m.Reset(e.c, e.model, nil)
+	for _, ch := range path {
+		if ch.flush {
+			m.FlushOne(ch.tid, ch.addr)
+		} else {
+			kind := m.StepThread(ch.tid)
+			// Local-run collapse (mirrors sched.Run's POR window): a
+			// thread that only touched registers or thread-local memory
+			// keeps going — interleaving those steps cannot change any
+			// observable outcome.
+			for n := 0; kind == interp.StepLocal && n < e.opts.LocalRun; n++ {
+				if m.Violation() != nil || !m.CanExec(ch.tid) {
+					break
+				}
+				kind = m.StepThread(ch.tid)
+			}
+		}
+		if m.Steps() >= e.opts.MaxSteps {
+			return true
+		}
+	}
+	return false
+}
+
+// choices enumerates the transitions available at the machine's current
+// state in deterministic order: exec per thread id ascending, then flush
+// per (thread id, pending address in canonical buffer order).
+func (e *enumerator) choices(dst []choice) []choice {
+	m := &e.m
+	n := len(m.Threads())
+	for tid := 0; tid < n; tid++ {
+		if m.CanExec(tid) {
+			dst = append(dst, choice{tid: tid})
+		}
+	}
+	for tid := 0; tid < n; tid++ {
+		if !m.CanFlush(tid) {
+			continue
+		}
+		// PendingAddrs copies; the view would be invalidated by nothing
+		// here, but the copy keeps this loop obviously safe.
+		for _, addr := range m.Threads()[tid].Buffers().PendingAddrs() {
+			dst = append(dst, choice{tid: tid, flush: true, addr: addr})
+		}
+	}
+	return dst
+}

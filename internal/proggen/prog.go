@@ -1,0 +1,262 @@
+// Package proggen is the differential fuzzing harness: a seeded,
+// deterministic generator of small concurrent mini-C programs (critical-
+// cycle litmus templates and randomized programs over the lang grammar),
+// a brute-force interleaving+flush enumerator that computes ground-truth
+// outcome sets on those programs, and a differential oracle that cross-
+// checks the enumerator against dynamic fence synthesis (core.Synthesize)
+// and static delay-set analysis (staticanalysis.Analyze). Divergences are
+// auto-shrunk to minimal reproductions.
+//
+// Programs are held in a structured form (Prog/Thread/Stmt) rather than
+// as source text so the shrinker can delete threads and statements while
+// preserving well-formedness by construction; Render turns the structure
+// into mini-C accepted by lang.Compile.
+package proggen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfence/internal/ir"
+	"dfence/internal/lang"
+)
+
+// Global is one shared variable (always a single int).
+type Global struct {
+	Name string
+	Init int64
+}
+
+// Cond is one conjunct of a forbidden outcome: Global == Equals.
+type Cond struct {
+	Global string
+	Equals int64
+}
+
+// Prog is a structured generated program. main is implicit: it forks every
+// thread, joins them all, optionally asserts that the Forbidden conjunction
+// does not hold, prints every Observe global, and returns 0. Keeping main
+// synthetic guarantees two properties the enumerator's soundness argument
+// leans on: all prints happen after every join (outcome tuples are
+// insensitive to print interleaving), and fork/join pairs can never be
+// half-deleted by the shrinker.
+type Prog struct {
+	Name    string
+	Globals []Global
+	Threads []Thread
+	// Observe lists the globals main prints (in order) after all joins;
+	// the printed tuple plus main's exit code is the program's outcome.
+	Observe []string
+	// Forbidden, when non-empty, makes main execute
+	// assert(!(c1 && c2 && ...)) before printing — a violation visible to
+	// dynamic synthesis under the memory-safety criterion.
+	Forbidden []Cond
+	// Template marks a critical-cycle litmus template (TemplateProg).
+	// Template violations are single short cycles the scheduler hits with
+	// high probability, so the synthesis oracle holds templates to a
+	// stricter standard than random programs (see checkSynthesis).
+	Template bool
+}
+
+// Thread is one forked worker's body.
+type Thread struct {
+	Stmts []Stmt
+}
+
+// StmtKind enumerates the statement forms the generator emits.
+type StmtKind uint8
+
+const (
+	// SStoreConst: G = Val
+	SStoreConst StmtKind = iota
+	// SStoreLocal: G = L
+	SStoreLocal
+	// SLoad: L = G
+	SLoad
+	// SCas: cas(&G, Old, New) with the result discarded
+	SCas
+	// SCasTo: L = cas(&G, Old, New)
+	SCasTo
+	// SFence: a memory fence of the given kind
+	SFence
+	// SLocalAdd: L = L + Val (pure register/local arithmetic)
+	SLocalAdd
+	// SIf: if (L CmpOp Val) { Body } else { Else } (Else may be empty)
+	SIf
+	// SLoop: a counted loop running Body exactly Iters times; the counter
+	// is render-managed and invisible to the rest of the program, so the
+	// loop is always bounded and the shrinker can treat it as one node.
+	SLoop
+)
+
+// Stmt is a tagged union over StmtKind; only the fields relevant to the
+// kind are meaningful.
+type Stmt struct {
+	Kind     StmtKind
+	G        string // target global (stores, loads, cas)
+	L        string // local variable (SStoreLocal src, SLoad dst, SCasTo dst, SLocalAdd, SIf cond)
+	Val      int64  // SStoreConst value, SLocalAdd addend, SIf comparison constant
+	Old, New int64  // cas arguments
+	Fence    ir.FenceKind
+	CmpOp    string // SIf comparison: "==", "!=", "<", ">"
+	Iters    int    // SLoop trip count
+	Body     []Stmt // SIf then / SLoop body
+	Else     []Stmt // SIf else
+}
+
+// Clone returns a deep copy (the shrinker mutates candidates in place).
+func (p *Prog) Clone() *Prog {
+	q := &Prog{Name: p.Name, Template: p.Template}
+	q.Globals = append([]Global(nil), p.Globals...)
+	q.Observe = append([]string(nil), p.Observe...)
+	q.Forbidden = append([]Cond(nil), p.Forbidden...)
+	q.Threads = make([]Thread, len(p.Threads))
+	for i := range p.Threads {
+		q.Threads[i] = Thread{Stmts: cloneStmts(p.Threads[i].Stmts)}
+	}
+	return q
+}
+
+func cloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		s.Body = cloneStmts(s.Body)
+		s.Else = cloneStmts(s.Else)
+		out[i] = s
+	}
+	return out
+}
+
+// locals collects the local-variable names a statement list references.
+func locals(ss []Stmt, set map[string]bool) {
+	for i := range ss {
+		s := &ss[i]
+		switch s.Kind {
+		case SStoreLocal, SLoad, SCasTo, SLocalAdd, SIf:
+			if s.L != "" {
+				set[s.L] = true
+			}
+		}
+		locals(s.Body, set)
+		locals(s.Else, set)
+	}
+}
+
+// renderer carries the indentation and the loop-counter allocator.
+type renderer struct {
+	b       strings.Builder
+	counter int
+}
+
+func (r *renderer) line(depth int, format string, args ...any) {
+	for i := 0; i < depth; i++ {
+		r.b.WriteString("  ")
+	}
+	fmt.Fprintf(&r.b, format, args...)
+	r.b.WriteByte('\n')
+}
+
+func (r *renderer) stmts(depth int, ss []Stmt) {
+	for i := range ss {
+		r.stmt(depth, &ss[i])
+	}
+}
+
+func (r *renderer) stmt(depth int, s *Stmt) {
+	switch s.Kind {
+	case SStoreConst:
+		r.line(depth, "%s = %d;", s.G, s.Val)
+	case SStoreLocal:
+		r.line(depth, "%s = %s;", s.G, s.L)
+	case SLoad:
+		r.line(depth, "%s = %s;", s.L, s.G)
+	case SCas:
+		r.line(depth, "cas(&%s, %d, %d);", s.G, s.Old, s.New)
+	case SCasTo:
+		r.line(depth, "%s = cas(&%s, %d, %d);", s.L, s.G, s.Old, s.New)
+	case SFence:
+		switch s.Fence {
+		case ir.FenceStoreStore:
+			r.line(depth, "fence_ss();")
+		case ir.FenceStoreLoad:
+			r.line(depth, "fence_sl();")
+		default:
+			r.line(depth, "fence();")
+		}
+	case SLocalAdd:
+		r.line(depth, "%s = %s + %d;", s.L, s.L, s.Val)
+	case SIf:
+		r.line(depth, "if (%s %s %d) {", s.L, s.CmpOp, s.Val)
+		r.stmts(depth+1, s.Body)
+		if len(s.Else) > 0 {
+			r.line(depth, "} else {")
+			r.stmts(depth+1, s.Else)
+		}
+		r.line(depth, "}")
+	case SLoop:
+		c := fmt.Sprintf("_c%d", r.counter)
+		r.counter++
+		r.line(depth, "int %s = 0;", c)
+		r.line(depth, "while (%s < %d) {", c, s.Iters)
+		r.stmts(depth+1, s.Body)
+		r.line(depth+1, "%s = %s + 1;", c, c)
+		r.line(depth, "}")
+	}
+}
+
+// Render emits the program as mini-C source.
+func (p *Prog) Render() string {
+	var r renderer
+	if p.Name != "" {
+		r.line(0, "// proggen: %s", p.Name)
+	}
+	for _, g := range p.Globals {
+		r.line(0, "int %s = %d;", g.Name, g.Init)
+	}
+	r.line(0, "")
+	for ti := range p.Threads {
+		r.line(0, "void t%d() {", ti)
+		set := map[string]bool{}
+		locals(p.Threads[ti].Stmts, set)
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			r.line(1, "int %s = 0;", n)
+		}
+		r.stmts(1, p.Threads[ti].Stmts)
+		r.line(0, "}")
+		r.line(0, "")
+	}
+	r.line(0, "int main() {")
+	for ti := range p.Threads {
+		r.line(1, "int h%d = fork t%d();", ti, ti)
+	}
+	for ti := range p.Threads {
+		r.line(1, "join h%d;", ti)
+	}
+	if len(p.Forbidden) > 0 {
+		parts := make([]string, len(p.Forbidden))
+		for i, c := range p.Forbidden {
+			parts[i] = fmt.Sprintf("%s == %d", c.Global, c.Equals)
+		}
+		r.line(1, "assert(!(%s));", strings.Join(parts, " && "))
+	}
+	for _, g := range p.Observe {
+		r.line(1, "print(%s);", g)
+	}
+	r.line(1, "return 0;")
+	r.line(0, "}")
+	return r.b.String()
+}
+
+// Compile renders and compiles the program to linked IR.
+func (p *Prog) Compile() (*ir.Program, error) {
+	return lang.Compile(p.Render())
+}

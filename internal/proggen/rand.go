@@ -1,0 +1,132 @@
+package proggen
+
+// Randomized mini-C generation. Programs are memory-safe and deadlock-free
+// by construction: every address is a named scalar global, loops run a
+// fixed trip count over a render-managed counter (no spinning on shared
+// state), and asserts are only ever injected later by the oracle from an
+// enumerated outcome. That confines the interesting behavior to exactly
+// what the harness cross-checks — which outcome tuples the store-buffer
+// semantics admit.
+//
+// Sizes are tuned so the brute-force enumerator stays tractable: 2–3
+// worker threads, a handful of shared accesses each, loops of trip count
+// 2 at most one level deep.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfence/internal/ir"
+)
+
+// splitmix64 derives a well-mixed per-program seed from (base, index), so
+// neighboring corpus indices get uncorrelated streams and the corpus is a
+// pure function of the base seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ProgSeed returns the RNG seed for corpus entry idx under base seed.
+func ProgSeed(base int64, idx int) int64 {
+	return int64(splitmix64(splitmix64(uint64(base)) ^ uint64(idx)))
+}
+
+type randGen struct {
+	rng     *rand.Rand
+	globals []string // shared variables
+	locals  []string // per-thread local names (same names reused per thread)
+}
+
+// RandomProg generates corpus entry idx for the base seed. Same (seed,
+// idx) always yields the identical program.
+func RandomProg(seed int64, idx int) *Prog {
+	g := &randGen{rng: rand.New(rand.NewSource(ProgSeed(seed, idx)))}
+	nShared := 2 + g.rng.Intn(3) // 2..4
+	nThreads := 2                //
+	if g.rng.Intn(4) == 0 {      // 25%: three threads
+		nThreads = 3
+	}
+	nLocals := 1 + g.rng.Intn(2) // 1..2
+
+	p := &Prog{Name: fmt.Sprintf("rand-%d", idx)}
+	for i := 0; i < nShared; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		p.Globals = append(p.Globals, Global{Name: name})
+	}
+	for i := 0; i < nLocals; i++ {
+		g.locals = append(g.locals, fmt.Sprintf("l%d", i))
+	}
+
+	for t := 0; t < nThreads; t++ {
+		n := 2 + g.rng.Intn(4) // 2..5 top-level statements
+		var body []Stmt
+		for i := 0; i < n; i++ {
+			body = append(body, g.stmt(1))
+		}
+		// Publish each local into a dedicated result global so local
+		// computation becomes part of the observable outcome tuple.
+		for li, l := range g.locals {
+			r := fmt.Sprintf("r%d_%d", t, li)
+			p.Globals = append(p.Globals, Global{Name: r})
+			p.Observe = append(p.Observe, r)
+			body = append(body, Stmt{Kind: SStoreLocal, G: r, L: l})
+		}
+		p.Threads = append(p.Threads, Thread{Stmts: body})
+	}
+	for _, name := range g.globals {
+		p.Observe = append(p.Observe, name)
+	}
+	return p
+}
+
+// stmt draws one statement; depth limits nesting (if/loop bodies only
+// contain flat statements).
+func (g *randGen) stmt(depth int) Stmt {
+	lim := 100
+	if depth > 1 {
+		lim = 72 // flat kinds only
+	}
+	switch n := g.rng.Intn(lim); {
+	case n < 22: // store constant
+		return Stmt{Kind: SStoreConst, G: g.global(), Val: int64(1 + g.rng.Intn(3))}
+	case n < 30: // store local
+		return Stmt{Kind: SStoreLocal, G: g.global(), L: g.local()}
+	case n < 52: // load
+		return Stmt{Kind: SLoad, L: g.local(), G: g.global()}
+	case n < 58: // cas, result discarded
+		return Stmt{Kind: SCas, G: g.global(), Old: int64(g.rng.Intn(2)), New: int64(1 + g.rng.Intn(3))}
+	case n < 62: // cas into local
+		return Stmt{Kind: SCasTo, L: g.local(), G: g.global(), Old: int64(g.rng.Intn(2)), New: int64(1 + g.rng.Intn(3))}
+	case n < 66: // fence (any kind; the interpreter drains fully for all)
+		kinds := []ir.FenceKind{ir.FenceFull, ir.FenceStoreStore, ir.FenceStoreLoad}
+		return Stmt{Kind: SFence, Fence: kinds[g.rng.Intn(len(kinds))]}
+	case n < 72: // local arithmetic
+		return Stmt{Kind: SLocalAdd, L: g.local(), Val: int64(1 + g.rng.Intn(2))}
+	case n < 88: // branch on a local
+		ops := []string{"==", "!=", "<", ">"}
+		s := Stmt{
+			Kind:  SIf,
+			L:     g.local(),
+			CmpOp: ops[g.rng.Intn(len(ops))],
+			Val:   int64(g.rng.Intn(2)),
+			Body:  []Stmt{g.stmt(depth + 1)},
+		}
+		if g.rng.Intn(2) == 0 {
+			s.Else = []Stmt{g.stmt(depth + 1)}
+		}
+		return s
+	default: // bounded loop
+		body := []Stmt{g.stmt(depth + 1)}
+		if g.rng.Intn(2) == 0 {
+			body = append(body, g.stmt(depth+1))
+		}
+		return Stmt{Kind: SLoop, Iters: 2, Body: body}
+	}
+}
+
+func (g *randGen) global() string { return g.globals[g.rng.Intn(len(g.globals))] }
+func (g *randGen) local() string  { return g.locals[g.rng.Intn(len(g.locals))] }

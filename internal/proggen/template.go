@@ -1,0 +1,98 @@
+package proggen
+
+// Litmus-template instantiation: turn an abstract critical-cycle shape
+// (staticanalysis.CriticalCycleShapes) into a concrete program with a
+// known-forbidden outcome. Thread i of an n-thread shape performs
+//
+//	A_i: x_i = 1
+//	B_i: load  x_{(i+1)%n}  (EdgeStoreLoad; result published via r_i)
+//	     store x_{(i+1)%n} = 2 (EdgeStoreStore)
+//
+// and the forbidden outcome is the conjunction of the conflict-edge
+// witnesses: r_i == 0 for a load edge (B_i read x_{i+1}'s initial value,
+// so it executed before A_{i+1} committed — an fr edge) and x_{i+1} == 1
+// for a store edge (A_{i+1}'s value survived, so B_i's store committed
+// first — a co edge). If every thread's A_i commits before its B_i takes
+// effect the witnesses chain into a cycle A_0 < B_0 ≤ A_1 < B_1 ≤ … < A_0,
+// a contradiction: the outcome is unreachable under SC. Conversely, as
+// soon as the model relaxes even one thread's po edge the chain breaks
+// and the store-buffer semantics reach the outcome (delay that one A in
+// its buffer, run everything else SC) — which is also why repairing a
+// template requires a fence in *every* thread whose edge the model
+// relaxes. main asserts the negation, so the outcome is a memory-safety
+// violation dynamic synthesis can chase.
+
+import (
+	"fmt"
+
+	"dfence/internal/ir"
+	"dfence/internal/staticanalysis"
+)
+
+// TemplateVariant selects how much of the cycle is fenced.
+type TemplateVariant uint8
+
+const (
+	// VariantBare has no fences: every edge of the shape can relax.
+	VariantBare TemplateVariant = iota
+	// VariantFenced places a full fence between every thread's A and B:
+	// the program is robust and the forbidden outcome is unreachable
+	// under every model.
+	VariantFenced
+	// VariantPartial fences only thread 0 — a half-repaired program. With
+	// ≥2 threads and any other edge relaxed, the forbidden outcome stays
+	// reachable (one delayed thread suffices, see the package comment), so
+	// synthesis must finish the job by fencing exactly the remaining
+	// relaxed edges.
+	VariantPartial
+)
+
+func (v TemplateVariant) String() string {
+	switch v {
+	case VariantBare:
+		return "bare"
+	case VariantFenced:
+		return "fenced"
+	case VariantPartial:
+		return "partial"
+	}
+	return fmt.Sprintf("variant(%d)", uint8(v))
+}
+
+// TemplateVariants lists every variant, bare first.
+func TemplateVariants() []TemplateVariant {
+	return []TemplateVariant{VariantBare, VariantFenced, VariantPartial}
+}
+
+// TemplateProg instantiates a cycle shape as a structured program.
+func TemplateProg(shape staticanalysis.CycleShape, variant TemplateVariant) *Prog {
+	n := shape.Threads()
+	p := &Prog{Name: fmt.Sprintf("%s-%s", shape.Name(), variant), Template: true}
+	for i := 0; i < n; i++ {
+		p.Globals = append(p.Globals, Global{Name: fmt.Sprintf("x%d", i)})
+	}
+	for i, e := range shape.Edges {
+		next := fmt.Sprintf("x%d", (i+1)%n)
+		t := Thread{}
+		t.Stmts = append(t.Stmts, Stmt{Kind: SStoreConst, G: fmt.Sprintf("x%d", i), Val: 1}) // A_i
+		if variant == VariantFenced || (variant == VariantPartial && i == 0) {
+			t.Stmts = append(t.Stmts, Stmt{Kind: SFence, Fence: ir.FenceFull})
+		}
+		switch e {
+		case staticanalysis.EdgeStoreLoad:
+			r := fmt.Sprintf("r%d", i)
+			p.Globals = append(p.Globals, Global{Name: r})
+			t.Stmts = append(t.Stmts,
+				Stmt{Kind: SLoad, L: "v", G: next},    // B_i
+				Stmt{Kind: SStoreLocal, G: r, L: "v"}) // publish the observation
+			p.Forbidden = append(p.Forbidden, Cond{Global: r, Equals: 0})
+			p.Observe = append(p.Observe, r)
+		case staticanalysis.EdgeStoreStore:
+			t.Stmts = append(t.Stmts, Stmt{Kind: SStoreConst, G: next, Val: 2}) // B_i
+			p.Forbidden = append(p.Forbidden, Cond{Global: next, Equals: 1})
+			p.Observe = append(p.Observe, next)
+		}
+		p.Threads = append(p.Threads, t)
+	}
+	return p
+}

@@ -69,6 +69,18 @@ type Options struct {
 	// PORWindow bounds consecutive local-only steps a thread may take
 	// without a scheduling decision. 0 disables partial-order reduction.
 	PORWindow int
+	// Starve enables the starvation discipline: the first buffered store
+	// the scheduler is asked to flush names a per-execution victim
+	// (thread, variable) whose buffer entries are never flushed
+	// voluntarily afterwards — only a fence, a CAS, or global lack of
+	// progress forces them out. Under the plain coin a store survives k
+	// flush opportunities with probability (1-FlushProb)^k, so witnesses
+	// that need one store to land very late (2+2W-style write cycles,
+	// where a finished thread's buffered store must outlive another
+	// thread's whole run) are exponentially unlikely; the vow makes the
+	// maximal delay of one store a certainty per execution. Victim choice
+	// is seed-deterministic.
+	Starve bool
 	// Timeout bounds the execution's wall-clock time (0 = none). A run
 	// that exceeds it stops at the next budget check and is reported with
 	// TimedOut set — inconclusive, like a step-limit hit. Unlike MaxSteps
@@ -130,6 +142,14 @@ type worker struct {
 	rng        *rand.Rand
 	actable    []int
 	priorities []float64
+	// Starvation vow of the current execution (Options.Starve): once
+	// stChosen, thread stTid's buffer entries for stAddr are only flushed
+	// under duress, until starveVowSteps machine steps after stSteps.
+	// Reset per run.
+	stChosen bool
+	stTid    int
+	stAddr   int64
+	stSteps  int
 }
 
 // Run executes prog once under the given memory model and scheduling
@@ -178,6 +198,7 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		w.rng.Seed(opts.Seed)
 	}
 	rng := w.rng
+	w.stChosen = false
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 200000
@@ -207,10 +228,14 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			return m.Result(false)
 		}
 		actable = actable[:0]
+		anyExec := false
 		n := len(m.Threads())
 		for tid := 0; tid < n; tid++ {
 			if m.Actable(tid) {
 				actable = append(actable, tid)
+				if m.CanExec(tid) {
+					anyExec = true
+				}
 			}
 		}
 		if len(actable) == 0 {
@@ -245,13 +270,32 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 
 		if !m.CanExec(tid) {
 			// Finished or join-blocked thread with pending stores: its only
-			// action is a flush.
-			flushOne(m, t, tid, rng, tr)
+			// action is a flush — but the flush-delaying coin applies here
+			// too. Flushing unconditionally would commit a dead thread's
+			// stores within ~2 picks, making witnesses that need such a
+			// store to land late (2+2W-style write cycles) exponentially
+			// unlikely. Defer while some other thread can make real
+			// progress; when flushing is the only possible action the flush
+			// is forced, which keeps every schedule live.
+			if !anyExec {
+				w.tryFlush(t, tid, opts.Starve, true, tr)
+				continue
+			}
+			if !(rng.Float64() < opts.FlushProb) || !w.tryFlush(t, tid, opts.Starve, false, tr) {
+				if opts.Strategy == Priority {
+					// Deferral must demote, or the highest-priority thread
+					// would be re-picked to defer forever.
+					priorities[tid] = rng.Float64() * priorities[lowest(priorities)]
+				}
+			}
 			continue
 		}
 		if !t.Buffers().Empty() && rng.Float64() < opts.FlushProb {
-			flushOne(m, t, tid, rng, tr)
-			continue
+			if w.tryFlush(t, tid, opts.Starve, false, tr) {
+				continue
+			}
+			// Only the starvation victim is pending: execute instead of
+			// breaking the vow.
 		}
 		kind := m.StepThread(tid)
 		if tr != nil {
@@ -284,19 +328,76 @@ func lowest(ps []float64) int {
 	return best
 }
 
-// flushOne commits one pending store of thread t, choosing the flushed
+// starveVowSteps bounds the starvation vow's lifetime in machine steps.
+// The witnesses the vow exists for (a store outliving the other threads'
+// entire runs) play out within tens of steps on the programs synthesis
+// samples, so a generous fixed budget loses nothing — while an unbounded
+// vow livelocks programs where another thread spin-waits on the victim's
+// variable: the spinner can always execute, so the forced-flush escape
+// never triggers and the run burns its whole MaxSteps budget.
+const starveVowSteps = 4096
+
+// tryFlush commits one pending store of thread t, choosing the flushed
 // variable uniformly among those with pending entries (under PSO the
-// scheduler "can choose to flush only values for a particular variable").
-// It reads the pending-address view in place (no copy): the slice is
-// consumed before the FlushOne mutation invalidates it.
-func flushOne(m *interp.Machine, t *interp.Thread, tid int, rng *rand.Rand, tr *Trace) {
+// scheduler "can choose to flush only values for a particular variable"),
+// and reports whether a store was committed. With starve, the first store
+// ever offered for flushing becomes the execution's victim and tryFlush
+// thereafter refuses to flush it unless forced (no thread can execute, or
+// nothing else is pending on a forced call) — until the vow expires
+// starveVowSteps machine steps after it was sworn. It reads the
+// pending-address view in place (no copy): the slice is consumed before
+// the FlushOne mutation invalidates it.
+func (w *worker) tryFlush(t *interp.Thread, tid int, starve, forced bool, tr *Trace) bool {
+	m := &w.m
 	pend := t.Buffers().PendingAddrsView()
 	if len(pend) == 0 {
-		return
+		return false
 	}
-	addr := pend[rng.Intn(len(pend))]
+	if starve && w.stChosen && m.Steps()-w.stSteps >= starveVowSteps {
+		starve = false // vow expired
+	}
+	if starve {
+		if !w.stChosen {
+			w.stChosen, w.stTid, w.stAddr = true, tid, pend[w.rng.Intn(len(pend))]
+			w.stSteps = m.Steps()
+			if !forced {
+				return false // the vow starts by skipping this very flush
+			}
+		}
+		if tid == w.stTid {
+			n := 0
+			for _, a := range pend {
+				if a != w.stAddr {
+					n++
+				}
+			}
+			if n == 0 {
+				if !forced {
+					return false
+				}
+				// Forced with only the victim pending: liveness wins.
+			} else {
+				k := w.rng.Intn(n)
+				for _, a := range pend {
+					if a == w.stAddr {
+						continue
+					}
+					if k == 0 {
+						m.FlushOne(tid, a)
+						if tr != nil {
+							tr.record(tid, true, a)
+						}
+						return true
+					}
+					k--
+				}
+			}
+		}
+	}
+	addr := pend[w.rng.Intn(len(pend))]
 	m.FlushOne(tid, addr)
 	if tr != nil {
 		tr.record(tid, true, addr)
 	}
+	return true
 }

@@ -1,0 +1,30 @@
+package spec
+
+import "testing"
+
+// TestParseCriterionRoundTrip pins ParseCriterion(c.String()) == c for
+// every defined criterion: String() produces the long names
+// ("memory-safety", ...) and ParseCriterion must keep accepting them, or
+// journals written by one version become unreadable by the next.
+func TestParseCriterionRoundTrip(t *testing.T) {
+	for _, c := range []Criterion{MemorySafety, SeqConsistency, Linearizability} {
+		got, ok := ParseCriterion(c.String())
+		if !ok {
+			t.Fatalf("ParseCriterion(%q) rejected a defined criterion", c.String())
+		}
+		if got != c {
+			t.Errorf("ParseCriterion(%v.String()) = %v, want %v", c, got, c)
+		}
+	}
+	if _, ok := ParseCriterion("serializability"); ok {
+		t.Error("ParseCriterion accepted an undefined criterion")
+	}
+}
+
+func TestParseCriterionCaseInsensitive(t *testing.T) {
+	for _, in := range []string{"SC", "Sc", "LIN", "Safety", "Memory-Safety"} {
+		if _, ok := ParseCriterion(in); !ok {
+			t.Errorf("ParseCriterion(%q) = !ok, want case-insensitive accept", in)
+		}
+	}
+}

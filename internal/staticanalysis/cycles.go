@@ -1,0 +1,110 @@
+package staticanalysis
+
+// Constructive critical cycles. delayset.go *detects* critical cycles in
+// an arbitrary program; this file runs the same theory in the generative
+// direction, enumerating the abstract cycle shapes a memory model admits
+// so a test generator (internal/proggen) can instantiate each one as a
+// litmus program with a known-forbidden outcome. A shape is a Shasha–Snir
+// critical cycle in which *every* program-order edge is relaxed by the
+// model: thread i performs A_i (a store to location i) followed by B_i (an
+// access of location i+1 mod n), and the conflict edges B_i → A_{i+1}
+// close the cycle. With all po edges intact (SC, or any model once fences
+// are inserted) the conjunction of the conflict-edge witnesses is
+// unsatisfiable; with every edge relaxed the store-buffer semantics
+// exhibit it.
+
+import (
+	"fmt"
+	"strings"
+
+	"dfence/internal/memmodel"
+)
+
+// EdgeKind classifies one thread's relaxed program-order edge in a cycle
+// shape: the kind of the B access that the pending A store is delayed
+// past.
+type EdgeKind uint8
+
+const (
+	// EdgeStoreLoad is A: store loc[i]; B: load loc[i+1]. Relaxed by TSO
+	// and PSO; the fr-edge witness is "the load saw the initial value".
+	EdgeStoreLoad EdgeKind = iota
+	// EdgeStoreStore is A: store loc[i]; B: store loc[i+1]. Relaxed only
+	// by PSO; the co-edge witness is "location i+1 ended with A_{i+1}'s
+	// value, so B_i committed first".
+	EdgeStoreStore
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStoreLoad:
+		return "st-ld"
+	case EdgeStoreStore:
+		return "st-st"
+	}
+	return fmt.Sprintf("edgekind(%d)", uint8(k))
+}
+
+// RelaxedEdgeKinds returns the edge kinds the model can reorder, in
+// declaration order. It is driven by the same capability predicates the
+// delay-set analysis uses (relaxedKind), so the generative and detecting
+// directions can never disagree about which shapes a model admits.
+func RelaxedEdgeKinds(model memmodel.Model) []EdgeKind {
+	var out []EdgeKind
+	if model.RelaxesStoreLoad() {
+		out = append(out, EdgeStoreLoad)
+	}
+	if model.RelaxesStoreStore() {
+		out = append(out, EdgeStoreStore)
+	}
+	return out
+}
+
+// CycleShape is one abstract critical cycle: Edges[i] is thread i's
+// relaxed po edge. Under Model, every edge is a delay pair, so a program
+// instantiating the shape is maximally non-robust: synthesis must fence
+// every thread to forbid the cycle's outcome.
+type CycleShape struct {
+	Model memmodel.Model
+	Edges []EdgeKind
+}
+
+// Threads returns the number of threads (= locations = edges).
+func (s CycleShape) Threads() int { return len(s.Edges) }
+
+// Name returns a stable identifier, e.g. "pso3-st.ld_st.st_st.ld".
+func (s CycleShape) Name() string {
+	parts := make([]string, len(s.Edges))
+	for i, e := range s.Edges {
+		parts[i] = strings.ReplaceAll(e.String(), "-", ".")
+	}
+	return fmt.Sprintf("%s%d-%s", strings.ToLower(s.Model.String()), len(s.Edges), strings.Join(parts, "_"))
+}
+
+// CriticalCycleShapes enumerates every cycle shape of the given size whose
+// edges are all relaxed by the model, in a deterministic order (the
+// mixed-radix counting order over RelaxedEdgeKinds). SC relaxes nothing
+// and admits no shapes; TSO admits exactly the all-store-load cycle; PSO
+// admits all 2^threads combinations. threads must be ≥ 2 for a cycle to
+// involve a conflict between distinct threads.
+func CriticalCycleShapes(model memmodel.Model, threads int) []CycleShape {
+	kinds := RelaxedEdgeKinds(model)
+	if len(kinds) == 0 || threads < 2 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < threads; i++ {
+		total *= len(kinds)
+	}
+	out := make([]CycleShape, 0, total)
+	for idx := 0; idx < total; idx++ {
+		edges := make([]EdgeKind, threads)
+		v := idx
+		for i := 0; i < threads; i++ {
+			edges[i] = kinds[v%len(kinds)]
+			v /= len(kinds)
+		}
+		out = append(out, CycleShape{Model: model, Edges: edges})
+	}
+	return out
+}
