@@ -18,6 +18,13 @@
 #                       `dfence explain` — fails if the journal schema
 #                       drifted (the strict reader rejects it) or the
 #                       witness no longer renders
+#   make serve-smoke    dfenced crash-recovery gate: start the service,
+#                       submit examples/mailbox.mc, SIGKILL the daemon
+#                       once a checkpoint is journaled, restart it on the
+#                       same spool, and assert the job resumes to the
+#                       expected fence, the memo answers a resubmission,
+#                       and SIGTERM drains cleanly (artifacts under
+#                       SMOKE_DIR)
 #   make fuzz-smoke     differential fuzzing campaign at a fixed seed:
 #                       200 generated programs cross-checked between
 #                       exhaustive enumeration, static analysis, and
@@ -31,6 +38,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON ?= BENCH_pr5.json
 JOURNAL ?= /tmp/dfence_journal_smoke.jsonl
+SMOKE_DIR ?= /tmp/dfence_serve_smoke
 FUZZ_SEED ?= 1
 FUZZ_N ?= 200
 FUZZ_OUT ?= /tmp/dfence_fuzz_smoke
@@ -40,7 +48,7 @@ ENGINE_BENCH = BenchmarkSynthesizeWorkers|BenchmarkExecutionEngine|BenchmarkSynt
 OLD ?= bench_old.txt
 NEW ?= bench_new.txt
 
-.PHONY: build test race vet lint bench bench-json bench-compare journal-smoke fuzz-smoke ci
+.PHONY: build test race vet lint bench bench-json bench-compare journal-smoke serve-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -80,6 +88,12 @@ journal-smoke:
 	$(GO) run ./cmd/dfence explain $(JOURNAL) >/dev/null
 	@echo "journal-smoke: ok ($(JOURNAL) replayed cleanly)"
 
+# dfenced crash-recovery smoke: kill -9 mid-run, restart, assert the job
+# resumes from its journal checkpoint to the expected result. See
+# scripts/serve_smoke.sh for the full sequence.
+serve-smoke:
+	GO="$(GO)" SMOKE_DIR="$(SMOKE_DIR)" sh scripts/serve_smoke.sh
+
 # Differential fuzzing smoke: a fixed-seed campaign over FUZZ_N programs
 # (critical-cycle litmus templates + seeded random mini-C programs),
 # each cross-checked between exhaustive interleaving+flush enumeration,
@@ -90,4 +104,4 @@ journal-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/dfence fuzz -seed $(FUZZ_SEED) -n $(FUZZ_N) -out $(FUZZ_OUT)
 
-ci: build vet test race journal-smoke fuzz-smoke
+ci: build vet test race journal-smoke serve-smoke fuzz-smoke

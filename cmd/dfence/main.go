@@ -26,6 +26,14 @@
 //	-static  consult the static delay-set analysis: converge with zero
 //	         executions when the delay set is empty, and prune proposed
 //	         predicates to the static critical cycles
+//	-resume  continue an interrupted run from its journal; the program and
+//	         all determinism-relevant configuration are taken from the
+//	         journal's RunStart record, only -j may differ
+//
+// SIGINT stops the run gracefully at the next round boundary: the journal
+// (if any) ends in a checkpoint covering every completed round, and the
+// command prints the `dfence -resume run.jsonl` invocation that continues
+// it with zero re-executed work. A second SIGINT aborts immediately.
 //
 // Telemetry flags (see DESIGN.md, Telemetry):
 //
@@ -81,6 +89,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 
@@ -132,6 +141,7 @@ func main() {
 		explainW = flag.Bool("explain", false, "render the violation witness as an interleaving report")
 		redund   = flag.Bool("redundant", false, "discover redundant fences in an already-fenced program (§6.3.1) instead of synthesizing")
 		static   = flag.Bool("static", false, "consult the static delay-set analysis: skip dynamic rounds when the program is provably robust, and prune proposed predicates to the static critical cycles")
+		resumeF  = flag.String("resume", "", "resume an interrupted run from this journal (program and config come from the journal; only -j applies)")
 		journalF = flag.String("journal", "", "write a JSONL run journal to this file")
 		listenF  = flag.String("listen", "", "serve /metrics, /runz, and /debug/pprof on this address (e.g. :6060)")
 		metOut   = flag.String("metrics-out", "", "write an OpenMetrics snapshot to this file at exit")
@@ -152,61 +162,96 @@ func main() {
 		os.Exit(code)
 	}
 
-	prog, src, benchmark, err := loadProgram(*builtin, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfence:", err)
-		exit(1)
-	}
-	if *optimize {
-		removed := ir.Optimize(prog)
-		fmt.Fprintf(os.Stderr, "optimizer removed %d instructions\n", removed)
-	}
-	if *disasm {
-		fmt.Print(prog.Disasm())
-		return
-	}
-
-	model, err := memmodel.ParseModel(*modelF)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfence:", err)
-		exit(1)
-	}
-	crit, ok := spec.ParseCriterion(*specF)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "dfence: unknown criterion %q (want safety, sc, lin)\n", *specF)
-		exit(1)
-	}
-
-	cfg := core.Config{
-		Model:          model,
-		Criterion:      crit,
-		ExecsPerRound:  *execs,
-		MaxRounds:      *rounds,
-		FlushProb:      *flushP,
-		Seed:           *seed,
-		Workers:        *jobs,
-		ValidateFences: *validate,
-		EnforceWithCAS: *withCAS,
-		ExecTimeout:    *execTO,
-		Deadline:       *deadline,
-		MinConclusive:  *minConc,
-		MaxModels:      *maxMod,
-		StaticPrune:    *static,
-	}
-	seqName := ""
-	if benchmark != nil {
-		cfg.NewSpec = benchmark.NewSpec()
-		cfg.CheckGarbage = benchmark.CheckGarbage
-		cfg.RelaxStealAborts = benchmark.RelaxStealAborts
-		seqName = benchmark.SpecName
-	} else if crit != spec.MemorySafety {
-		newSpec, err := spec.ByName(*seqF)
+	var (
+		prog    *ir.Program
+		src     string
+		model   memmodel.Model
+		crit    spec.Criterion
+		cfg     core.Config
+		seqName string
+		journal *telemetry.Journal
+	)
+	resuming := *resumeF != ""
+	if resuming {
+		if *disasm || *redund {
+			fmt.Fprintln(os.Stderr, "dfence: -resume cannot be combined with -disasm or -redundant")
+			exit(1)
+		}
+		var rr resumedRun
+		rr, err = openResume(*resumeF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfence:", err)
 			exit(1)
 		}
-		cfg.NewSpec = newSpec
-		seqName = *seqF
+		prog, src = rr.prog, rr.start.Source
+		model, crit, cfg = rr.model, rr.crit, rr.cfg
+		seqName, journal = rr.start.SeqSpec, rr.journal
+		cfg.Workers = *jobs
+		cfg.ExecTimeout, cfg.Deadline = *execTO, *deadline
+		if rr.state != nil {
+			fmt.Fprintf(os.Stderr, "resuming after round %d (%d executions journaled)\n",
+				rr.state.Round, rr.state.TotalExecutions)
+		} else {
+			fmt.Fprintln(os.Stderr, "journal has no checkpoint; starting over from round 1")
+		}
+	} else {
+		var benchmark *progs.Benchmark
+		prog, src, benchmark, err = loadProgram(*builtin, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			exit(1)
+		}
+		if *optimize {
+			removed := ir.Optimize(prog)
+			fmt.Fprintf(os.Stderr, "optimizer removed %d instructions\n", removed)
+		}
+		if *disasm {
+			fmt.Print(prog.Disasm())
+			return
+		}
+
+		model, err = memmodel.ParseModel(*modelF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfence:", err)
+			exit(1)
+		}
+		var ok bool
+		crit, ok = spec.ParseCriterion(*specF)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfence: unknown criterion %q (want safety, sc, lin)\n", *specF)
+			exit(1)
+		}
+
+		cfg = core.Config{
+			Model:          model,
+			Criterion:      crit,
+			ExecsPerRound:  *execs,
+			MaxRounds:      *rounds,
+			FlushProb:      *flushP,
+			Seed:           *seed,
+			Workers:        *jobs,
+			ValidateFences: *validate,
+			EnforceWithCAS: *withCAS,
+			ExecTimeout:    *execTO,
+			Deadline:       *deadline,
+			MinConclusive:  *minConc,
+			MaxModels:      *maxMod,
+			StaticPrune:    *static,
+		}
+		if benchmark != nil {
+			cfg.NewSpec = benchmark.NewSpec()
+			cfg.CheckGarbage = benchmark.CheckGarbage
+			cfg.RelaxStealAborts = benchmark.RelaxStealAborts
+			seqName = benchmark.SpecName
+		} else if crit != spec.MemorySafety {
+			newSpec, err := spec.ByName(*seqF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dfence:", err)
+				exit(1)
+			}
+			cfg.NewSpec = newSpec
+			seqName = *seqF
+		}
 	}
 
 	// Telemetry setup. The witness capture sink always runs (it is two
@@ -218,13 +263,17 @@ func main() {
 	}
 	wc := &witnessCapture{}
 	sinks := []telemetry.Sink{wc}
-	var journal *telemetry.Journal
-	if *journalF != "" {
+	if !resuming && *journalF != "" {
 		journal, err = telemetry.CreateJournal(*journalF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfence:", err)
 			exit(1)
 		}
+	}
+	if journal != nil {
+		// Fsync at checkpoints and convergence, so even kill -9 leaves a
+		// resumable journal.
+		journal.SyncOnCheckpoint(true)
 		sinks = append(sinks, journal)
 	}
 	var reg *telemetry.Registry
@@ -282,25 +331,62 @@ func main() {
 		return
 	}
 
-	telemetry.Emit(cfg.Sink, telemetry.RunStart{
-		Model:     model.String(),
-		Criterion: crit.String(),
-		SeqSpec:   seqName,
-		Seed:      *seed,
-		Execs:     *execs,
-		MaxRounds: *rounds,
-		FlushProb: effectiveFlushProb(*flushP, model),
-		Workers:   workers,
-		Source:    src,
-		Builtin:   *builtin,
-	})
+	if !resuming {
+		telemetry.Emit(cfg.Sink, telemetry.RunStart{
+			Model:         model.String(),
+			Criterion:     crit.String(),
+			SeqSpec:       seqName,
+			Seed:          *seed,
+			Execs:         *execs,
+			MaxRounds:     *rounds,
+			FlushProb:     effectiveFlushProb(*flushP, model),
+			Workers:       workers,
+			Source:        src,
+			Builtin:       *builtin,
+			Validate:      *validate,
+			Static:        *static,
+			CAS:           *withCAS,
+			MinConclusive: *minConc,
+			MaxModels:     *maxMod,
+		})
+	}
+
+	// First SIGINT: stop at the next round boundary (the journal then ends
+	// in a checkpoint and the run is resumable with zero lost work). Second
+	// SIGINT: abort immediately.
+	interrupt := make(chan struct{})
+	cfg.Interrupt = interrupt
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "dfence: interrupt — stopping at the next round boundary (^C again to abort)")
+		close(interrupt)
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "dfence: aborted")
+		stopProf()
+		os.Exit(130)
+	}()
+
 	res, err := core.Synthesize(prog, cfg)
+	signal.Stop(sigCh)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfence:", err)
 		finishTelemetry()
 		exit(1)
 	}
 	report(res, model, crit)
+	if res.Interrupted {
+		jpath := *journalF
+		if resuming {
+			jpath = *resumeF
+		}
+		if jpath != "" {
+			fmt.Fprintf(os.Stderr, "dfence: interrupted at a round boundary; continue with:\n  dfence -resume %s\n", jpath)
+		} else {
+			fmt.Fprintln(os.Stderr, "dfence: interrupted at a round boundary; no -journal was given, so the partial run cannot be resumed")
+		}
+	}
 	if *witness && res.Witness != nil {
 		fmt.Printf("witness schedule: %s\n", res.Witness)
 	}
@@ -323,6 +409,123 @@ func main() {
 	if res.Unfixable {
 		exit(3)
 	}
+	if res.Interrupted {
+		exit(130)
+	}
+}
+
+// resumedRun is everything openResume reconstructs from a journal.
+type resumedRun struct {
+	prog    *ir.Program
+	start   *telemetry.RunStart
+	model   memmodel.Model
+	crit    spec.Criterion
+	cfg     core.Config
+	state   *core.ResumeState
+	journal *telemetry.Journal
+}
+
+// openResume rebuilds an interrupted run from its journal: the program
+// from the embedded source or builtin name, the determinism-relevant
+// configuration from the RunStart record, and the synthesis position from
+// the last checkpoint. The journal is truncated past that checkpoint
+// (dropping any torn tail a crash left) and reopened for appending, so
+// the resumed run continues the same file.
+func openResume(path string) (resumedRun, error) {
+	var rr resumedRun
+
+	// Lenient pre-read to reject journals that already record a finished
+	// run — ResumeJournal would otherwise truncate a completed journal
+	// back to its last checkpoint and re-run the tail.
+	f, err := os.Open(path)
+	if err != nil {
+		return rr, err
+	}
+	events, _, err := telemetry.ReadJournalOptions(f, telemetry.ReadOptions{AllowTornTail: true})
+	f.Close()
+	if err != nil {
+		return rr, err
+	}
+	jr := telemetry.SummarizeJournal(events)
+	if jr.Start == nil {
+		return rr, fmt.Errorf("%s: journal has no RunStart event; nothing to resume", path)
+	}
+	if jr.Converged != nil && jr.Converged.Outcome != core.OutcomeAborted.String() {
+		return rr, fmt.Errorf("%s: journal records a completed run (outcome %s); nothing to resume", path, jr.Converged.Outcome)
+	}
+	rr.start = jr.Start
+
+	rr.model, err = memmodel.ParseModel(jr.Start.Model)
+	if err != nil {
+		return rr, err
+	}
+	var ok bool
+	rr.crit, ok = spec.ParseCriterion(jr.Start.Criterion)
+	if !ok {
+		return rr, fmt.Errorf("%s: journal has unknown criterion %q", path, jr.Start.Criterion)
+	}
+	var benchmark *progs.Benchmark
+	switch {
+	case jr.Start.Source != "":
+		rr.prog, err = lang.Compile(jr.Start.Source)
+		if err != nil {
+			return rr, fmt.Errorf("recompiling journaled source: %w", err)
+		}
+	case jr.Start.Builtin != "":
+		benchmark, err = progs.ByName(jr.Start.Builtin)
+		if err != nil {
+			return rr, err
+		}
+		rr.prog = benchmark.Program()
+	default:
+		return rr, fmt.Errorf("%s: journal carries neither source nor builtin name; cannot rebuild the program", path)
+	}
+
+	// RunStart.FlushProb is the probability the run actually used
+	// (effectiveFlushProb), so 0 can only mean "never flush early" — the
+	// config spells that with a negative sentinel.
+	flush := jr.Start.FlushProb
+	if flush == 0 {
+		flush = -1
+	}
+	rr.cfg = core.Config{
+		Model:           rr.model,
+		Criterion:       rr.crit,
+		ExecsPerRound:   jr.Start.Execs,
+		MaxRounds:       jr.Start.MaxRounds,
+		FlushProb:       flush,
+		Seed:            jr.Start.Seed,
+		ValidateFences:  jr.Start.Validate,
+		StaticPrune:     jr.Start.Static,
+		EnforceWithCAS:  jr.Start.CAS,
+		MinConclusive:   jr.Start.MinConclusive,
+		MaxModels:       jr.Start.MaxModels,
+		MaxStepsPerExec: jr.Start.MaxSteps,
+	}
+	if benchmark != nil {
+		rr.cfg.NewSpec = benchmark.NewSpec()
+		rr.cfg.CheckGarbage = benchmark.CheckGarbage
+		rr.cfg.RelaxStealAborts = benchmark.RelaxStealAborts
+	} else if rr.crit != spec.MemorySafety {
+		newSpec, err := spec.ByName(jr.Start.SeqSpec)
+		if err != nil {
+			return rr, err
+		}
+		rr.cfg.NewSpec = newSpec
+	}
+
+	journal, kept, err := telemetry.ResumeJournal(path)
+	if err != nil {
+		return rr, err
+	}
+	rr.state, err = core.ResumeFromEvents(kept)
+	if err != nil {
+		journal.Close()
+		return rr, err
+	}
+	rr.cfg.Resume = rr.state
+	rr.journal = journal
+	return rr, nil
 }
 
 // effectiveFlushProb resolves the -flush flag the way core.Config.fill

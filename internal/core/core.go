@@ -154,12 +154,30 @@ type Config struct {
 	Metrics *telemetry.Metrics
 	// Sink, when non-nil, receives the run's typed journal events
 	// (RoundStart, Violation, SolverResult, FenceChange, RoundEnd,
-	// Converged) — the structured story a JSONL journal or the /runz view
-	// is built from. The loop does not emit RunStart: only the caller
-	// knows the program's source form, so CLI/eval emit it before
+	// Checkpoint, Converged) — the structured story a JSONL journal or the
+	// /runz view is built from. The loop does not emit RunStart: only the
+	// caller knows the program's source form, so CLI/eval emit it before
 	// Synthesize. Emission happens on the coordinating goroutine only
 	// (never inside worker executions), so a Sink adds no hot-path cost.
 	Sink telemetry.Sink
+	// Interrupt, when non-nil, requests a graceful stop: the loop polls it
+	// (non-blocking) at each round boundary, right after journaling the
+	// boundary's Checkpoint, and if it is closed the run ends with
+	// OutcomeAborted and Result.Interrupted set. Because the stop lands
+	// only on checkpointed boundaries, a journal cut this way resumes with
+	// zero re-execution — this is how `dfence` answers SIGINT and how
+	// dfenced drains in-flight jobs.
+	Interrupt <-chan struct{}
+	// Resume, when non-nil, restarts the loop from a journal checkpoint
+	// (ResumeFromEvents): the checkpointed fences are re-applied to the
+	// working clone, the completed rounds' statistics and counters are
+	// restored, and execution begins at round Resume.Round+1 with the same
+	// positional seeds the uninterrupted run would have used there. prog
+	// must be the same original (un-fenced) program the journaled run
+	// started from, and the determinism-relevant Config fields must match
+	// the journal's RunStart; under those conditions the resumed Result is
+	// bit-identical to the uninterrupted run's.
+	Resume *ResumeState
 
 	// mv is the nil-safe metrics view fill() caches so hot paths record
 	// unconditionally through no-op handles when Metrics is nil.
@@ -383,6 +401,11 @@ type Result struct {
 	// off.
 	CacheHits   int
 	CacheMisses int
+	// Interrupted reports that the run stopped because Config.Interrupt
+	// fired at a round boundary (Outcome is OutcomeAborted). The journal's
+	// last Checkpoint covers every completed round, so resuming from it
+	// loses nothing.
+	Interrupted bool
 	// Witness is the schedule of the first violating execution observed
 	// (against the program as it was in that round): a reproducible
 	// counterexample the user can sched.Replay. Nil if no violation or
@@ -534,6 +557,49 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	aborted := false
 	jcs := newJudgeCaches(&cfg)
 
+	// Resume, if requested, is applied after the static robustness check
+	// above: that check ran on the original program in the journaled run
+	// too (a checkpoint exists only if the program was not statically
+	// robust), while the fences below must land on the working clone so
+	// the loop's per-round analysis and execution see the checkpointed
+	// program state.
+	startRound := 0
+	witnessDone := false
+	if cfg.Resume != nil {
+		if err := applyResume(work, &cfg, result); err != nil {
+			return nil, err
+		}
+		startRound = cfg.Resume.Round
+		witnessDone = cfg.Resume.WitnessCaptured
+	}
+
+	// checkpoint journals a round boundary the loop is about to cross —
+	// the durable commit record resume trusts — and then polls Interrupt:
+	// a graceful stop lands exactly on the boundary just checkpointed, so
+	// the interrupted run's journal resumes with zero lost work. Terminal
+	// rounds are never checkpointed (their journals end in Converged
+	// instead), which guarantees a resumed loop only re-enters rounds the
+	// uninterrupted run also executed.
+	checkpoint := func(completed int) (stop bool) {
+		telemetry.Emit(cfg.Sink, telemetry.Checkpoint{
+			Round:             completed,
+			Fences:            telemetry.FencesOf(result.Fences),
+			TotalExecutions:   result.TotalExecutions,
+			TotalInconclusive: result.TotalInconclusive,
+			EmptyRepairs:      result.EmptyRepairs,
+			UnfixableExample:  result.UnfixableExample,
+			PrunedPredicates:  result.PrunedPredicates,
+			SolverTruncated:   result.SolverTruncated,
+			WitnessCaptured:   result.Witness != nil || witnessDone,
+		})
+		select {
+		case <-cfg.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
 	// endRound is the single exit path of a round's bookkeeping: it
 	// appends the statistics, feeds the round-level metrics, and emits the
 	// RoundEnd journal event — so every break/continue below reports
@@ -561,7 +627,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		})
 	}
 
-	for round := 0; round < cfg.MaxRounds; round++ {
+	for round := startRound; round < cfg.MaxRounds; round++ {
 		formula := synth.NewFormula() // φ := true at the start of each round
 		stats := Round{}
 		var delaySet map[staticanalysis.Pair]bool
@@ -688,7 +754,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		stats.Predicates = formula.NumPredicates()
 		stats.Wall = time.Since(started)
 		stats.ExecsPerSec = execRate(stats.Executions, stats.Wall)
-		if witnessIdx >= 0 && result.Witness == nil && !cfg.NoWitness {
+		if witnessIdx >= 0 && result.Witness == nil && !witnessDone && !cfg.NoWitness {
 			// Re-run the lowest violating seed traced to capture a
 			// reproducible counterexample schedule (the same execution the
 			// serial loop would have traced first).
@@ -727,6 +793,13 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			// Vacuous round: no violations, but too few executions produced
 			// a verdict for "no violations" to mean anything. Keep going
 			// with fresh seeds rather than declaring convergence.
+			if round+1 < cfg.MaxRounds {
+				if checkpoint(round + 1) {
+					aborted = true
+					result.Interrupted = true
+					break
+				}
+			}
 			continue
 		}
 		if formula.Empty() {
@@ -795,6 +868,13 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			// No progress possible (all fences already present yet
 			// violations persist): stop rather than loop.
 			break
+		}
+		if round+1 < cfg.MaxRounds {
+			if checkpoint(round + 1) {
+				aborted = true
+				result.Interrupted = true
+				break
+			}
 		}
 	}
 

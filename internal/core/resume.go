@@ -1,0 +1,163 @@
+// Journal-based checkpoint/resume for the synthesis loop.
+//
+// The loop emits a telemetry.Checkpoint after every round it intends to
+// follow with another round; the event carries the cumulative fence set
+// and Result counters as of that boundary. Because the whole run is a
+// pure function of (program, Config) — seeds are Seed + round*K + i, the
+// per-round repair formula starts empty, and the working program at round
+// r is exactly the original plus the fences of rounds < r — a run killed
+// anywhere can restart from its last checkpoint and produce a Result
+// bit-identical to the uninterrupted run (wall-clock fields and cache
+// counters aside, which no determinism contract covers). The partially
+// completed round after the checkpoint is simply re-executed: its seeds,
+// and therefore its violations, repairs, and fences, are the same ones
+// the dead process was computing.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dfence/internal/ir"
+	"dfence/internal/synth"
+	"dfence/internal/telemetry"
+)
+
+// ResumeState is the decoded form of a round-boundary checkpoint: what
+// Synthesize needs to skip rounds 1..Round and still return the same
+// Result. Build one with ResumeFromEvents and install it as
+// Config.Resume.
+type ResumeState struct {
+	// Round is the number of completed rounds; the loop restarts at
+	// round Round+1 (index Round).
+	Round int
+	// Fences is the cumulative fence set in insertion order, re-applied to
+	// the working clone before the loop starts.
+	Fences []synth.InsertedFence
+	// Rounds holds the completed rounds' statistics, rebuilt from the
+	// journaled RoundStart/RoundEnd/FenceChange events.
+	Rounds []Round
+	// Cumulative Result counters as of the checkpoint.
+	TotalExecutions   int
+	TotalInconclusive int
+	EmptyRepairs      int
+	UnfixableExample  string
+	PrunedPredicates  int
+	SolverTruncated   bool
+	// WitnessCaptured suppresses witness re-capture: the uninterrupted run
+	// captured its counterexample in an earlier round, and that trace lives
+	// on the journaled Violation event, not in the resumed Result.
+	WitnessCaptured bool
+}
+
+// ResumeFromEvents folds a decoded journal (telemetry.ReadJournal /
+// ReadJournalOptions with AllowTornTail, typically) into the resume state
+// of its last checkpoint. A journal with no Checkpoint event returns
+// (nil, nil): there is no completed round to resume from, and the caller
+// starts the run fresh. Events after the last checkpoint belong to the
+// round that died and are ignored.
+func ResumeFromEvents(events []telemetry.Event) (*ResumeState, error) {
+	cpIdx := -1
+	var cp telemetry.Checkpoint
+	for i, e := range events {
+		if c, ok := e.(telemetry.Checkpoint); ok {
+			cpIdx, cp = i, c
+		}
+	}
+	if cpIdx < 0 {
+		return nil, nil
+	}
+	fences, err := telemetry.InsertedFences(cp.Fences)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	rs := &ResumeState{
+		Round:             cp.Round,
+		Fences:            fences,
+		TotalExecutions:   cp.TotalExecutions,
+		TotalInconclusive: cp.TotalInconclusive,
+		EmptyRepairs:      cp.EmptyRepairs,
+		UnfixableExample:  cp.UnfixableExample,
+		PrunedPredicates:  cp.PrunedPredicates,
+		SolverTruncated:   cp.SolverTruncated,
+		WitnessCaptured:   cp.WitnessCaptured,
+	}
+	// Rebuild the per-round statistics from the events before the
+	// checkpoint. RoundEnd carries the counters, FenceChange(insert) the
+	// round's fences, RoundStart the static delay-set size.
+	delayPairs := map[int]int{}
+	inserted := map[int][]synth.InsertedFence{}
+	for _, e := range events[:cpIdx] {
+		switch ev := e.(type) {
+		case telemetry.RoundStart:
+			delayPairs[ev.Round] = ev.DelayPairs
+		case telemetry.FenceChange:
+			if ev.Action == "insert" && ev.Round > 0 {
+				ins, err := telemetry.InsertedFences(ev.Fences)
+				if err != nil {
+					return nil, fmt.Errorf("core: resume: round %d: %w", ev.Round, err)
+				}
+				inserted[ev.Round] = append(inserted[ev.Round], ins...)
+			}
+		case telemetry.RoundEnd:
+			rs.Rounds = append(rs.Rounds, Round{
+				Executions:       ev.Executions,
+				Violations:       ev.Violations,
+				Inconclusive:     ev.Inconclusive,
+				Errors:           ev.Errors,
+				Skipped:          ev.Skipped,
+				DistinctClauses:  ev.DistinctClauses,
+				Predicates:       ev.Predicates,
+				Wall:             time.Duration(ev.WallUS) * time.Microsecond,
+				ExecsPerSec:      ev.ExecsPerSec,
+				StaticDelayPairs: delayPairs[ev.Round],
+				Inserted:         inserted[ev.Round],
+				PrunedPredicates: ev.PrunedPreds,
+				PruneFallbacks:   ev.PruneFallbacks,
+			})
+		}
+	}
+	// The fences of round r are journaled before r's RoundEnd, so the map
+	// lookup above misses them only when the journal is out of order —
+	// reattach by round number for robustness.
+	for i := range rs.Rounds {
+		if rs.Rounds[i].Inserted == nil {
+			rs.Rounds[i].Inserted = inserted[i+1]
+		}
+	}
+	if len(rs.Rounds) != rs.Round {
+		return nil, fmt.Errorf("core: resume: checkpoint says %d completed rounds but journal holds %d RoundEnd events before it",
+			rs.Round, len(rs.Rounds))
+	}
+	return rs, nil
+}
+
+// applyResume installs a checkpoint's state into a fresh Synthesize call:
+// the cumulative fences are re-inserted into the working clone (the same
+// synth.InsertFences path `dfence explain` uses to rebuild a round's
+// program, so labels come out identical to the original Enforce calls)
+// and the completed rounds' statistics and counters are restored.
+func applyResume(work *ir.Program, cfg *Config, result *Result) error {
+	rs := cfg.Resume
+	if rs.Round < 0 {
+		return fmt.Errorf("core: resume: negative round %d", rs.Round)
+	}
+	if rs.Round > cfg.MaxRounds {
+		return fmt.Errorf("core: resume: checkpoint round %d exceeds MaxRounds %d", rs.Round, cfg.MaxRounds)
+	}
+	if len(rs.Fences) > 0 {
+		ins, err := synth.InsertFences(work, rs.Fences)
+		if err != nil {
+			return fmt.Errorf("core: resume: re-inserting checkpointed fences: %w", err)
+		}
+		result.Fences = ins
+	}
+	result.Rounds = append(result.Rounds, rs.Rounds...)
+	result.TotalExecutions = rs.TotalExecutions
+	result.TotalInconclusive = rs.TotalInconclusive
+	result.EmptyRepairs = rs.EmptyRepairs
+	result.UnfixableExample = rs.UnfixableExample
+	result.PrunedPredicates = rs.PrunedPredicates
+	result.SolverTruncated = rs.SolverTruncated
+	return nil
+}

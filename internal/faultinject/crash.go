@@ -1,0 +1,90 @@
+// Crash-restart harness: the process-death analogue of the package's
+// per-execution faults. RunKilledAt simulates a SIGKILL landing right
+// after a chosen round's checkpoint — the journal ends at that Checkpoint
+// event, everything after it (including the terminal Converged) is lost —
+// and Resume restarts synthesis from those journal bytes the way `dfence
+// -resume` and dfenced do. The crash tests assert the resumed Result is
+// bit-identical to an uninterrupted run's.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+
+	"dfence/internal/core"
+	"dfence/internal/ir"
+	"dfence/internal/telemetry"
+)
+
+// killSink wraps a journal and simulates process death at a round
+// boundary: once it sees the Checkpoint for afterRound (or a later one),
+// it closes kill — stopping the loop via Config.Interrupt — and drops
+// every subsequent event. The drop matters as much as the stop:
+// Synthesize journals a terminal Converged even for aborted runs, and a
+// real SIGKILL-ed process would never have written it, so forwarding it
+// would hand the resume path a journal no crash can produce.
+type killSink struct {
+	inner      telemetry.Sink
+	afterRound int
+	kill       chan struct{}
+	dead       bool
+}
+
+func (k *killSink) Emit(e telemetry.Event) {
+	if k.dead {
+		return
+	}
+	k.inner.Emit(e)
+	if cp, ok := e.(telemetry.Checkpoint); ok && cp.Round >= k.afterRound {
+		k.dead = true
+		close(k.kill)
+	}
+}
+
+// RunKilledAt runs Synthesize on prog and kills it at the first round
+// boundary with Round >= afterRound: the returned journal bytes end at
+// that Checkpoint event, exactly what a crash-torn spool journal decodes
+// to after ReadJournalOptions strips its torn tail. cfg.Sink and
+// cfg.Interrupt are overridden. If the run finishes before ever reaching
+// such a boundary (converged or exhausted MaxRounds first), killed is
+// false and the journal holds the complete run.
+func RunKilledAt(prog *ir.Program, cfg core.Config, afterRound int) (journal []byte, killed bool, err error) {
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	ks := &killSink{inner: j, afterRound: afterRound, kill: make(chan struct{})}
+	cfg.Sink = ks
+	cfg.Interrupt = ks.kill
+	res, err := core.Synthesize(prog, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := j.Flush(); err != nil {
+		return nil, false, err
+	}
+	if ks.dead && !res.Interrupted {
+		return nil, false, fmt.Errorf("faultinject: kill fired at round %d but the run did not stop", afterRound)
+	}
+	return buf.Bytes(), ks.dead, nil
+}
+
+// Resume restarts a killed run from its journal bytes: decode tolerating
+// a torn tail, fold the last checkpoint into a core.ResumeState, and run
+// Synthesize on the same original program with the same config. This is
+// the in-process twin of the `dfence -resume` / dfenced restart path.
+func Resume(prog *ir.Program, cfg core.Config, journal []byte) (*core.Result, error) {
+	events, _, err := telemetry.ReadJournalOptions(bytes.NewReader(journal), telemetry.ReadOptions{AllowTornTail: true})
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: resume: %w", err)
+	}
+	rs, err := core.ResumeFromEvents(events)
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		return nil, fmt.Errorf("faultinject: resume: journal holds no checkpoint")
+	}
+	cfg.Sink = nil
+	cfg.Interrupt = nil
+	cfg.Resume = rs
+	return core.Synthesize(prog, cfg)
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"dfence/internal/core"
+	"dfence/internal/ir"
+	"dfence/internal/litmus"
+	"dfence/internal/memmodel"
+	"dfence/internal/progs"
+	"dfence/internal/spec"
+)
+
+// crashKey summarizes a synthesis result's observable outcome, mirroring
+// the determinism tests in internal/core: everything except wall-clock
+// timings, cache counters, and the witness trace (which a resumed run
+// deliberately does not re-capture — the journaled Violation event owns
+// it).
+func crashKey(res *core.Result) string {
+	s := fmt.Sprintf("outcome=%v fences=%v synth=%d redundant=%d empty=%d execs=%d inconc=%d pruned=%d",
+		res.Outcome, res.Fences, res.SynthesizedFences, res.Redundant,
+		res.EmptyRepairs, res.TotalExecutions, res.TotalInconclusive, res.PrunedPredicates)
+	for _, r := range res.Rounds {
+		s += fmt.Sprintf(" [execs=%d viol=%d inc=%d clauses=%d preds=%d ins=%v]",
+			r.Executions, r.Violations, r.Inconclusive, r.DistinctClauses, r.Predicates, r.Inserted)
+	}
+	return s
+}
+
+// crashSubject is one corpus entry of the crash-restart sweep.
+type crashSubject struct {
+	name string
+	prog *ir.Program
+	cfg  core.Config
+}
+
+// crashCorpus assembles every litmus test and benchmark under both memory
+// models, with the same determinism-friendly budgets the core corpus
+// tests use.
+func crashCorpus(t *testing.T) []crashSubject {
+	t.Helper()
+	var out []crashSubject
+	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		for _, lt := range litmus.All() {
+			out = append(out, crashSubject{
+				name: fmt.Sprintf("litmus/%s/%v", lt.Name, model),
+				prog: lt.Program(),
+				cfg: core.Config{
+					Model:          model,
+					Criterion:      spec.MemorySafety,
+					ExecsPerRound:  60,
+					MaxRounds:      4,
+					Seed:           7,
+					Workers:        4,
+					ValidateFences: true,
+				},
+			})
+		}
+		for _, b := range progs.All() {
+			crit := spec.SeqConsistency
+			if b.SkipSeqCheck {
+				crit = spec.MemorySafety
+			}
+			out = append(out, crashSubject{
+				name: fmt.Sprintf("bench/%s/%v", b.Name, model),
+				prog: b.Program(),
+				cfg: core.Config{
+					Model:            model,
+					Criterion:        crit,
+					NewSpec:          b.NewSpec(),
+					CheckGarbage:     b.CheckGarbage,
+					RelaxStealAborts: b.RelaxStealAborts,
+					ExecsPerRound:    120,
+					MaxRounds:        4,
+					Seed:             7,
+					Workers:          4,
+					ValidateFences:   true,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// TestCrashRestartCorpus: for every corpus program, both models, and every
+// checkpointed round boundary k, a run SIGKILL-ed at k and resumed from
+// its journal bytes produces a Result bit-identical to the uninterrupted
+// run — including the post-convergence fence validation. The resume also
+// survives a torn tail appended after the checkpoint (the partial line a
+// real crash leaves mid-write).
+func TestCrashRestartCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep skipped in -short mode")
+	}
+	var kills atomic.Int64
+	t.Run("sweep", func(t *testing.T) {
+		for _, s := range crashCorpus(t) {
+			s := s
+			t.Run(s.name, func(t *testing.T) {
+				t.Parallel()
+				base, err := core.Synthesize(s.prog, s.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseKey := crashKey(base)
+				// Checkpoints exist at every boundary the loop crossed:
+				// k = 1 .. rounds-1.
+				for k := 1; k < len(base.Rounds); k++ {
+					journal, killed, err := RunKilledAt(s.prog, s.cfg, k)
+					if err != nil {
+						t.Fatalf("kill at round %d: %v", k, err)
+					}
+					if !killed {
+						t.Fatalf("kill at round %d never fired despite %d baseline rounds", k, len(base.Rounds))
+					}
+					kills.Add(1)
+					for tornTail, tail := range map[string][]byte{
+						"clean": nil,
+						// A crash mid-write of the next event leaves a torn
+						// final line; resume must shrug it off.
+						"torn": []byte(`{"schema":1,"ev":"RoundSt`),
+					} {
+						res, err := Resume(s.prog, s.cfg, append(append([]byte(nil), journal...), tail...))
+						if err != nil {
+							t.Fatalf("resume from round %d (%s): %v", k, tornTail, err)
+						}
+						if got := crashKey(res); got != baseKey {
+							t.Fatalf("resume from round %d (%s) diverged\nbase:    %s\nresumed: %s",
+								k, tornTail, baseKey, got)
+						}
+					}
+				}
+			})
+		}
+	})
+	// The sweep is only meaningful if some runs actually spanned multiple
+	// rounds; a corpus that converges everywhere in one round would pass
+	// vacuously.
+	if kills.Load() == 0 {
+		t.Fatal("no corpus run ever reached a checkpointed boundary — the crash sweep tested nothing")
+	}
+	t.Logf("crash-restart sweep exercised %d kill points", kills.Load())
+}

@@ -1,0 +1,132 @@
+// The on-disk spool: dfenced's only durable state.
+//
+//	<dir>/jobs/<id>.json       one Job record per submission
+//	<dir>/journals/<id>.jsonl  the job's run journal (checkpointed)
+//	<dir>/memo/<key>.json      memoized JobResult per result-identity key
+//
+// Job records are written atomically (temp file + rename in the same
+// directory), so a crash mid-write leaves either the old record or the
+// new one, never a torn file. Journals are the one append-only exception;
+// their crash story is the checkpoint/torn-tail machinery in
+// internal/telemetry, not atomic replacement.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type spool struct {
+	dir string
+}
+
+func openSpool(dir string) (*spool, error) {
+	for _, sub := range []string{"jobs", "journals", "memo"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &spool{dir: dir}, nil
+}
+
+func (sp *spool) jobPath(id string) string     { return filepath.Join(sp.dir, "jobs", id+".json") }
+func (sp *spool) journalPath(id string) string { return filepath.Join(sp.dir, "journals", id+".jsonl") }
+func (sp *spool) memoPath(key string) string   { return filepath.Join(sp.dir, "memo", key+".json") }
+
+// writeFileAtomic replaces path with data via a same-directory temp file
+// and rename, fsyncing before the rename so the new content is durable
+// when the new name appears.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// saveJob persists a job record.
+func (sp *spool) saveJob(j *Job) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(sp.jobPath(j.ID), data)
+}
+
+// loadJobs reads every job record in the spool, sorted by ID for
+// deterministic requeue order. Unreadable records are returned as errors
+// rather than skipped — a corrupt spool should fail loudly at startup,
+// not silently lose jobs. (Leftover .tmp files from a crashed atomic
+// write are ignored; the rename never happened, so the old record — if
+// any — is the truth.)
+func (sp *spool) loadJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(sp.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(sp.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("spool job %s: %w", name, err)
+		}
+		if j.ID == "" {
+			return nil, fmt.Errorf("spool job %s: record has no id", name)
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}
+
+// loadMemo fetches a memoized result, reporting ok=false when the key has
+// never been stored. A corrupt memo entry is treated as absent — the memo
+// is a pure cache, so re-running the job is always a safe answer.
+func (sp *spool) loadMemo(key string) (*JobResult, bool) {
+	data, err := os.ReadFile(sp.memoPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var r JobResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, false
+	}
+	return &r, true
+}
+
+// saveMemo stores a result under its identity key.
+func (sp *spool) saveMemo(key string, r *JobResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(sp.memoPath(key), data)
+}

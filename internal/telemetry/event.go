@@ -22,7 +22,10 @@ import (
 // SchemaVersion identifies the journal event schema. Bump it when an
 // event type changes incompatibly; ReadJournal rejects mismatches, which
 // is what `make journal-smoke` trips on when the schema drifts without a
-// version bump and reader update.
+// version bump and reader update. Adding a new event kind or a new
+// optional field is backward compatible (old journals still decode) and
+// does not bump the version; only changing the meaning or type of an
+// existing field does.
 const SchemaVersion = 1
 
 // Sink receives journal events. Implementations must be safe for
@@ -152,6 +155,16 @@ type RunStart struct {
 	Workers   int     `json:"workers"`
 	Source    string  `json:"source,omitempty"`
 	Builtin   string  `json:"builtin,omitempty"`
+	// The remaining fields record the determinism-relevant configuration a
+	// resumed run must reproduce exactly (`dfence -resume`, dfenced).
+	// Workers above is deliberately not among them: results are
+	// bit-identical for every worker count.
+	MaxSteps      int     `json:"max_steps,omitempty"`
+	Validate      bool    `json:"validate"`
+	Static        bool    `json:"static,omitempty"`
+	CAS           bool    `json:"cas,omitempty"`
+	MinConclusive float64 `json:"min_conclusive,omitempty"`
+	MaxModels     int     `json:"max_models,omitempty"`
 }
 
 func (RunStart) Kind() string { return "RunStart" }
@@ -229,6 +242,37 @@ type RoundEnd struct {
 }
 
 func (RoundEnd) Kind() string { return "RoundEnd" }
+
+// Checkpoint marks a durable round boundary: the cumulative state a
+// resumed run needs to restart after round Round without re-running
+// rounds 1..Round. The synthesis loop emits it only when it is about to
+// run another round — a terminal round is followed by Converged instead —
+// so resuming from the last Checkpoint always re-enters the loop at a
+// round the uninterrupted run would also have executed. The Journal sink
+// flushes (and optionally fsyncs) on Checkpoint, making the boundary
+// crash-durable; anything after the last Checkpoint in a torn journal
+// belongs to the round that died and is re-run deterministically.
+type Checkpoint struct {
+	// Round is the number of fully completed rounds (1-based count); the
+	// resumed loop starts at round Round+1.
+	Round int `json:"round"`
+	// Fences is the cumulative fence set in insertion order — what
+	// synth.InsertFences re-applies to the original program on resume.
+	Fences []Fence `json:"fences,omitempty"`
+	// Cumulative Result counters as of this boundary.
+	TotalExecutions   int    `json:"total_executions"`
+	TotalInconclusive int    `json:"total_inconclusive,omitempty"`
+	EmptyRepairs      int    `json:"empty_repairs,omitempty"`
+	UnfixableExample  string `json:"unfixable_example,omitempty"`
+	PrunedPredicates  int    `json:"pruned_predicates,omitempty"`
+	SolverTruncated   bool   `json:"solver_truncated,omitempty"`
+	// WitnessCaptured reports that an earlier round already captured the
+	// run's counterexample trace, so the resumed run must not capture a
+	// second one (the trace itself lives on the journaled Violation).
+	WitnessCaptured bool `json:"witness_captured,omitempty"`
+}
+
+func (Checkpoint) Kind() string { return "Checkpoint" }
 
 // Converged is the terminal event of every journal (despite the name it
 // is emitted for every outcome — the Outcome field says which).

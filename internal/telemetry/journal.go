@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -26,11 +27,18 @@ type envelope struct {
 }
 
 // Journal is a Sink that appends events to an io.Writer as JSONL.
+//
+// Durability: Checkpoint and Converged events force the buffered lines to
+// the underlying writer (and, with SyncOnCheckpoint, fsync the file), so
+// a crash loses at most the partially completed round after the last
+// checkpoint — exactly the tail a resumed run re-executes anyway.
 type Journal struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer // nil when the caller owns the underlying writer
-	err error
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer // nil when the caller owns the underlying writer
+	f    *os.File  // non-nil when the journal owns a file (for fsync)
+	sync bool      // fsync on checkpoint/terminal events
+	err  error
 }
 
 // NewJournal wraps w. The caller keeps ownership of w; call Flush (or
@@ -45,7 +53,17 @@ func CreateJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{w: bufio.NewWriter(f), c: f}, nil
+	return &Journal{w: bufio.NewWriter(f), c: f, f: f}, nil
+}
+
+// SyncOnCheckpoint makes every Checkpoint and Converged event fsync the
+// journal's file (no-op for writer-backed journals). The synthesis hot
+// path never checkpoints more than once per round, so the cost is one
+// fsync per round — what dfenced pays for crash-durable spool journals.
+func (j *Journal) SyncOnCheckpoint(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sync = on
 }
 
 // Emit implements Sink. Marshal or write failures are recorded in Err
@@ -68,6 +86,21 @@ func (j *Journal) Emit(e Event) {
 	}
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
 		j.err = err
+		return
+	}
+	// Round boundaries (and the terminal event) become durable immediately:
+	// this is the commit record the resume path trusts.
+	switch e.(type) {
+	case Checkpoint, Converged:
+		if err := j.w.Flush(); err != nil {
+			j.err = err
+			return
+		}
+		if j.sync && j.f != nil {
+			if err := j.f.Sync(); err != nil {
+				j.err = err
+			}
+		}
 	}
 }
 
@@ -112,6 +145,7 @@ var decoders = map[string]func(json.RawMessage) (Event, error){
 	"SolverResult": decodeAs[SolverResult],
 	"FenceChange":  decodeAs[FenceChange],
 	"RoundEnd":     decodeAs[RoundEnd],
+	"Checkpoint":   decodeAs[Checkpoint],
 	"Converged":    decodeAs[Converged],
 }
 
@@ -125,42 +159,91 @@ func decodeAs[T Event](data json.RawMessage) (Event, error) {
 	return v, nil
 }
 
+// ReadOptions controls ReadJournalOptions' tolerance.
+type ReadOptions struct {
+	// AllowTornTail tolerates a final line that does not parse as JSON —
+	// the signature of a crash-torn journal, where the process died while
+	// the last line was being written. Only a JSON *syntax* failure on the
+	// very last non-empty line is forgiven (a truncated line is a strict
+	// prefix of a complete one and can never re-balance its braces, so it
+	// always fails the parser); a well-formed line with a wrong schema
+	// version, unknown event kind, or unknown field is drift, not a tear,
+	// and stays an error. Strict mode (the default everywhere) rejects
+	// torn tails too.
+	AllowTornTail bool
+}
+
 // ReadJournal decodes a full journal, strictly: any schema-version
-// mismatch, unknown event kind, or unknown field is an error.
+// mismatch, unknown event kind, unknown field, or torn final line is an
+// error.
 func ReadJournal(r io.Reader) ([]Event, error) {
-	var out []Event
+	events, _, err := ReadJournalOptions(r, ReadOptions{})
+	return events, err
+}
+
+// decodeLine decodes one journal line. syntax reports whether the failure
+// was a JSON parse failure (the torn-tail signature) rather than schema
+// drift.
+func decodeLine(raw []byte, line int) (ev Event, syntax bool, err error) {
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if derr := dec.Decode(&env); derr != nil {
+		return nil, isSyntaxErr(derr), fmt.Errorf("journal line %d: %w", line, derr)
+	}
+	if env.Schema != SchemaVersion {
+		return nil, false, fmt.Errorf("journal line %d: schema version %d, want %d", line, env.Schema, SchemaVersion)
+	}
+	decode, ok := decoders[env.Ev]
+	if !ok {
+		return nil, false, fmt.Errorf("journal line %d: unknown event kind %q", line, env.Ev)
+	}
+	ev, derr := decode(env.Data)
+	if derr != nil {
+		return nil, isSyntaxErr(derr), fmt.Errorf("journal line %d: %s: %w", line, env.Ev, derr)
+	}
+	return ev, false, nil
+}
+
+// isSyntaxErr classifies a decode failure as JSON-truncation-shaped.
+func isSyntaxErr(err error) bool {
+	var se *json.SyntaxError
+	return errors.As(err, &se) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// ReadJournalOptions decodes a journal under the given tolerance. With
+// AllowTornTail, a final line that fails to parse is dropped and torn is
+// true; every decoded event before it is returned. Any failure on a
+// non-final line remains an error in both modes.
+func ReadJournalOptions(r io.Reader, o ReadOptions) (events []Event, torn bool, err error) {
+	// Collect the raw lines first: torn-tail classification needs to know
+	// whether a bad line is the file's last, which a streaming scan cannot
+	// see. Journals are bounded (they grow with φ, not with K), so holding
+	// the lines is cheap.
+	var lines [][]byte
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // traces can be long
-	line := 0
 	for sc.Scan() {
-		line++
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
-		var env envelope
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&env); err != nil {
-			return nil, fmt.Errorf("journal line %d: %w", line, err)
-		}
-		if env.Schema != SchemaVersion {
-			return nil, fmt.Errorf("journal line %d: schema version %d, want %d", line, env.Schema, SchemaVersion)
-		}
-		decode, ok := decoders[env.Ev]
-		if !ok {
-			return nil, fmt.Errorf("journal line %d: unknown event kind %q", line, env.Ev)
-		}
-		ev, err := decode(env.Data)
-		if err != nil {
-			return nil, fmt.Errorf("journal line %d: %s: %w", line, env.Ev, err)
-		}
-		out = append(out, ev)
+		lines = append(lines, append([]byte(nil), raw...))
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if serr := sc.Err(); serr != nil {
+		return nil, false, serr
 	}
-	return out, nil
+	for i, raw := range lines {
+		ev, syntax, derr := decodeLine(raw, i+1)
+		if derr != nil {
+			if o.AllowTornTail && syntax && i == len(lines)-1 {
+				return events, true, nil
+			}
+			return nil, false, derr
+		}
+		events = append(events, ev)
+	}
+	return events, false, nil
 }
 
 // ReadJournalFile is ReadJournal over a file path.
@@ -171,4 +254,68 @@ func ReadJournalFile(path string) ([]Event, error) {
 	}
 	defer f.Close()
 	return ReadJournal(f)
+}
+
+// ResumeJournal prepares path's journal for a resumed run. It reads the
+// existing events tolerating a crash-torn tail, truncates the stream back
+// to its last durable cut — the final Checkpoint event, or the RunStart
+// if no round ever checkpointed — and rewrites the file to exactly that
+// prefix (temp file + rename, so a crash during preparation never
+// corrupts the original). The returned Journal appends to the rewritten
+// file; kept holds the retained events, from which the caller derives the
+// run configuration (RunStart) and the core resume state (Checkpoint).
+//
+// Events after the last checkpoint are discarded deliberately: they
+// belong to the round that died, which the resumed loop re-executes
+// deterministically — keeping them would duplicate every one of its
+// journal entries.
+func ResumeJournal(path string) (j *Journal, kept []Event, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	events, _, err := ReadJournalOptions(f, ReadOptions{AllowTornTail: true})
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	cut := 0 // number of events to keep
+	for i, e := range events {
+		switch e.(type) {
+		case Checkpoint:
+			cut = i + 1
+		case RunStart:
+			if cut == 0 {
+				cut = i + 1
+			}
+		}
+	}
+	kept = events[:cut]
+	tmp := path + ".resume.tmp"
+	nf, err := os.Create(tmp)
+	if err != nil {
+		return nil, nil, err
+	}
+	j = &Journal{w: bufio.NewWriter(nf), c: nf, f: nf}
+	for _, e := range kept {
+		j.Emit(e)
+	}
+	if err := j.Flush(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return nil, nil, err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return nil, nil, err
+	}
+	// The open handle survives the rename (same inode, now named path), so
+	// subsequent Emits append to the rewritten journal.
+	return j, kept, nil
 }

@@ -16,6 +16,8 @@ func allEvents() []Event {
 			Model: "PSO", Criterion: "memory-safety", SeqSpec: "deque", Seed: 7,
 			Execs: 500, MaxRounds: 10, FlushProb: 0.5, Workers: 4,
 			Source: "int x = 0;", Builtin: "",
+			MaxSteps: 100000, Validate: true, Static: true, CAS: true,
+			MinConclusive: 0.5, MaxModels: 4096,
 		},
 		RoundStart{Round: 1, DelayPairs: 3},
 		Violation{
@@ -35,6 +37,13 @@ func allEvents() []Event {
 			Round: 1, Executions: 500, Violations: 22, Inconclusive: 3, Errors: 1,
 			Skipped: 2, DistinctClauses: 2, Predicates: 3, WallUS: 4000,
 			ExecsPerSec: 125000, PrunedPreds: 1, PruneFallbacks: 1,
+		},
+		Checkpoint{
+			Round:  1,
+			Fences: []Fence{{After: 2, Label: 90, Kind: "fence(st-st)", Func: "producer"}},
+			TotalExecutions: 500, TotalInconclusive: 5, EmptyRepairs: 1,
+			UnfixableExample: "assertion violation", PrunedPredicates: 2,
+			SolverTruncated: true, WitnessCaptured: true,
 		},
 		Converged{
 			Outcome: "converged", Rounds: 2, TotalExecutions: 1000, Fences: 1,

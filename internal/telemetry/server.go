@@ -1,8 +1,11 @@
-// The optional introspection HTTP server behind `dfence -listen` (and
-// `experiments -listen`): a plain net/http mux exposing
+// The optional introspection HTTP server behind `dfence -listen`,
+// `experiments -listen`, and the dfenced service: a plain net/http mux
+// exposing
 //
 //	/metrics       the metrics registry in OpenMetrics text format
 //	/runz          the live run status + merged metrics snapshot as JSON
+//	/healthz       process liveness (200 while the server runs)
+//	/readyz        readiness (503 while draining or not yet ready)
 //	/debug/pprof/  the standard runtime profiles
 //
 // The server only reads — the registry merges shards on demand and the
@@ -11,19 +14,24 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// Server exposes a Registry and a Status over HTTP. Both fields are
+// Server exposes a Registry and a Status over HTTP. All fields are
 // optional: a nil Registry serves an empty /metrics, a nil Status an
-// empty run section in /runz.
+// empty run section in /runz, and a nil Ready makes /readyz always 200.
 type Server struct {
 	Registry *Registry
 	Status   *Status
+	// Ready, when non-nil, gates /readyz: a non-nil error serves 503 with
+	// the error text — how dfenced reports "draining" to load balancers.
+	Ready func() error
 }
 
 // runzPayload is the /runz response body.
@@ -38,6 +46,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/runz", s.serveRunz)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/readyz", s.serveReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -71,20 +81,45 @@ func (s *Server) serveRunz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(p)
 }
 
+// serveHealthz is pure liveness: if this handler runs at all, the process
+// is alive. Readiness is /readyz's job.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Ready != nil {
+		if err := s.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}
+
 func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "dfence introspection\n\n  /metrics        OpenMetrics exposition\n  /runz           run status + metrics snapshot (JSON)\n  /debug/pprof/   runtime profiles\n")
+	fmt.Fprint(w, "dfence introspection\n\n  /metrics        OpenMetrics exposition\n  /runz           run status + metrics snapshot (JSON)\n  /healthz        liveness\n  /readyz         readiness\n  /debug/pprof/   runtime profiles\n")
 }
+
+// ShutdownGrace bounds how long Start's shutdown function waits for
+// in-flight introspection requests before closing their connections.
+const ShutdownGrace = 3 * time.Second
 
 // Start listens on addr (":0" picks a free port) and serves in a
 // background goroutine. It returns the bound address — what to print for
-// the user, and what tests dial — and a shutdown function. Errors from
-// the serving goroutine after a successful Listen are dropped: the server
-// is advisory and must never take the run down with it.
+// the user, and what tests dial — and a shutdown function that drains
+// gracefully: http.Server.Shutdown with a ShutdownGrace deadline (new
+// connections refused, in-flight requests finished), then a hard Close
+// for whatever remains (pprof streams can outlive any deadline). Errors
+// from the serving goroutine after a successful Listen are dropped: the
+// server is advisory and must never take the run down with it.
 func (s *Server) Start(addr string) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -92,5 +127,11 @@ func (s *Server) Start(addr string) (bound string, shutdown func(), err error) {
 	}
 	srv := &http.Server{Handler: s.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}, nil
 }

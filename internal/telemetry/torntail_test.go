@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tornFixture builds a journal of well-formed events and returns its
+// serialized bytes plus the event count.
+func tornFixture(t *testing.T) (string, int) {
+	t.Helper()
+	var b strings.Builder
+	j := NewJournal(&b)
+	events := allEvents()
+	for _, e := range events {
+		j.Emit(e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), len(events)
+}
+
+// TestTornTailEveryOffset: byte-truncate the journal at every offset of
+// the final event's line. Strict mode must reject every torn prefix;
+// AllowTornTail must return every complete event before the tear and flag
+// it — except at the full line length, where nothing is torn. This is the
+// regression net for the crash-torn journals dfenced resumes from.
+func TestTornTailEveryOffset(t *testing.T) {
+	full, n := tornFixture(t)
+	// Offset of the last line's first byte (the journal ends "...}\n").
+	body := strings.TrimSuffix(full, "\n")
+	lastStart := strings.LastIndexByte(body, '\n') + 1
+	lastLen := len(full) - lastStart // includes the trailing newline
+
+	for cut := 0; cut <= lastLen; cut++ {
+		torn := full[:lastStart+cut]
+		wholeLast := cut >= lastLen-1 // the full line, with or without its newline
+		// Strict: any genuinely torn tail is an error.
+		_, serr := ReadJournal(strings.NewReader(torn))
+		if wholeLast || cut == 0 {
+			if serr != nil {
+				t.Fatalf("cut=%d: strict rejected a journal with no torn line: %v", cut, serr)
+			}
+		} else if serr == nil {
+			t.Fatalf("cut=%d: strict accepted a torn journal", cut)
+		}
+		// Lenient: every complete event survives, the torn line is dropped.
+		events, wasTorn, lerr := ReadJournalOptions(strings.NewReader(torn), ReadOptions{AllowTornTail: true})
+		if lerr != nil {
+			t.Fatalf("cut=%d: lenient read failed: %v", cut, lerr)
+		}
+		want := n - 1
+		if wholeLast {
+			want = n
+		}
+		if len(events) != want {
+			t.Fatalf("cut=%d: lenient read %d events, want %d", cut, len(events), want)
+		}
+		if wantTorn := !wholeLast && cut > 0; wasTorn != wantTorn {
+			t.Fatalf("cut=%d: torn=%v, want %v", cut, wasTorn, wantTorn)
+		}
+	}
+}
+
+// TestTornTailMiddleLineStillRejected: leniency covers only the final
+// line. A mangled line with complete lines after it is corruption, not a
+// tear, and must fail in both modes.
+func TestTornTailMiddleLineStillRejected(t *testing.T) {
+	full, _ := tornFixture(t)
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	mangled := strings.Join(append([]string{lines[0][:len(lines[0])/2] + "\n"}, lines[1:]...), "")
+	if _, _, err := ReadJournalOptions(strings.NewReader(mangled), ReadOptions{AllowTornTail: true}); err == nil {
+		t.Fatal("lenient mode accepted a mangled non-final line")
+	}
+}
+
+// TestTornTailDriftStillRejected: a well-formed final line with schema
+// drift (unknown kind, unknown field, version mismatch) is not a tear —
+// AllowTornTail must still reject it.
+func TestTornTailDriftStillRejected(t *testing.T) {
+	full, _ := tornFixture(t)
+	for name, line := range map[string]string{
+		"unknown kind":  `{"schema":1,"ev":"NewFancyEvent","data":{}}`,
+		"unknown field": `{"schema":1,"ev":"RoundStart","data":{"round":1,"surprise":true}}`,
+		"bad version":   `{"schema":999,"ev":"RoundStart","data":{"round":1}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := ReadJournalOptions(strings.NewReader(full+line+"\n"), ReadOptions{AllowTornTail: true}); err == nil {
+				t.Fatal("lenient mode accepted schema drift on the final line")
+			}
+		})
+	}
+}
+
+// TestResumeJournal: a torn journal is rewritten back to its last
+// checkpoint and the returned handle appends after it; a journal without
+// checkpoints keeps only RunStart. Both rewrites must survive a strict
+// re-read (the rewritten file is a clean journal again).
+func TestResumeJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+
+	write := func(events []Event, tearBytes int) {
+		t.Helper()
+		j, err := CreateJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			j.Emit(e)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if tearBytes > 0 {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)-tearBytes], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	start := RunStart{Model: "PSO", Criterion: "memory-safety", Seed: 1, Execs: 10, MaxRounds: 3, FlushProb: 0.5}
+	cp := Checkpoint{Round: 1, TotalExecutions: 10}
+	events := []Event{
+		start,
+		RoundStart{Round: 1},
+		RoundEnd{Round: 1, Executions: 10},
+		cp,
+		RoundStart{Round: 2},
+		Violation{Round: 2, Seed: 17, Disjunction: []Pred{{L: 1, K: 2}}},
+	}
+	write(events, 9) // tear into the Violation line
+
+	j, kept, err := ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept %d events, want 4 (through the checkpoint)", len(kept))
+	}
+	if _, ok := kept[3].(Checkpoint); !ok {
+		t.Fatalf("last kept event is %s, want Checkpoint", kept[3].Kind())
+	}
+	// Appends after the cut land in the rewritten file.
+	j.Emit(RoundStart{Round: 2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("rewritten journal is not strictly readable: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("rewritten journal has %d events, want 5", len(got))
+	}
+	if _, ok := got[4].(RoundStart); !ok {
+		t.Fatalf("appended event is %s, want RoundStart", got[4].Kind())
+	}
+
+	// No checkpoint at all: keep only RunStart.
+	write([]Event{start, RoundStart{Round: 1}, RoundEnd{Round: 1}}, 3)
+	j2, kept2, err := ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept2) != 1 {
+		t.Fatalf("kept %d events, want 1 (RunStart only)", len(kept2))
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadJournalFile(path); err != nil || len(got) != 1 {
+		t.Fatalf("rewritten checkpoint-free journal: events=%d err=%v", len(got), err)
+	}
+}
