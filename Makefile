@@ -5,7 +5,9 @@
 #   make race    test suite under the race detector — exercises the
 #                parallel execution engine's worker pool
 #   make vet     static checks
-#   make lint    staticcheck, if installed (CI installs it; locally it is
+#   make lint    cmd/modelcheck (exhaustive switches over memmodel.Model
+#                and ir.FenceKind; stdlib-only, always runs), then
+#                staticcheck, if installed (CI installs it; locally it is
 #                skipped with a notice when absent)
 #   make bench   one pass over every benchmark (smoke; use BENCHTIME for
 #                real measurements, e.g. make bench BENCHTIME=3s)
@@ -28,8 +30,8 @@
 #   make fuzz-smoke     differential fuzzing campaign at a fixed seed:
 #                       200 generated programs cross-checked between
 #                       exhaustive enumeration, static analysis, and
-#                       dynamic synthesis under SC+TSO+PSO — fails on
-#                       any divergence, writing shrunk repros to
+#                       dynamic synthesis under SC+TSO+PSO+RMO — fails
+#                       on any divergence, writing shrunk repros to
 #                       FUZZ_OUT (override FUZZ_SEED/FUZZ_N for ad-hoc
 #                       campaigns; nightly CI runs a 10x budget)
 #   make ci      everything a PR must pass
@@ -63,6 +65,7 @@ vet:
 	$(GO) vet ./...
 
 lint:
+	$(GO) run ./cmd/modelcheck .
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || \
 		echo "staticcheck not installed; skipping (CI runs it)"
 
@@ -96,12 +99,12 @@ serve-smoke:
 
 # Differential fuzzing smoke: a fixed-seed campaign over FUZZ_N programs
 # (critical-cycle litmus templates + seeded random mini-C programs),
-# each cross-checked between exhaustive interleaving+flush enumeration,
-# static delay-set analysis, and dynamic fence synthesis under SC, TSO,
-# and PSO. Same seed, same flags => bit-identical report, so this gates
-# CI deterministically; any divergence exits non-zero with a shrunk
-# reproduction under $(FUZZ_OUT).
+# each cross-checked between exhaustive interleaving+flush+resolve
+# enumeration, static delay-set analysis, and dynamic fence synthesis
+# under SC, TSO, PSO, and RMO. Same seed, same flags => bit-identical
+# report, so this gates CI deterministically; any divergence exits
+# non-zero with a shrunk reproduction under $(FUZZ_OUT).
 fuzz-smoke:
 	$(GO) run ./cmd/dfence fuzz -seed $(FUZZ_SEED) -n $(FUZZ_N) -out $(FUZZ_OUT)
 
-ci: build vet test race journal-smoke serve-smoke fuzz-smoke
+ci: build vet lint test race journal-smoke serve-smoke fuzz-smoke

@@ -11,6 +11,7 @@
 //	BenchmarkSynthesizeCache/* execution caching on vs off (validation)
 //	BenchmarkChecker/*        SC / linearizability checker throughput
 //	BenchmarkSAT/*            repair-formula minimal-model extraction
+//	BenchmarkStaticSynthesis/* static fix (analysis + hitting set) per model
 //	BenchmarkAblation/*       design-choice ablations (DESIGN.md)
 //
 // Reported custom metrics: fences/op (inferred fences), violations/op
@@ -34,6 +35,7 @@ import (
 	"dfence/internal/sat"
 	"dfence/internal/sched"
 	"dfence/internal/spec"
+	"dfence/internal/staticanalysis"
 )
 
 // benchCfg builds a reduced-budget synthesis configuration that still
@@ -451,6 +453,37 @@ func BenchmarkAblation(b *testing.B) {
 			}
 			b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
 		})
+	}
+}
+
+// BenchmarkStaticSynthesis measures the static fence-synthesis pipeline
+// (delay-set analysis + weighted hitting-set placement, `dfence analyze
+// -fix`) per corpus benchmark under each relaxed model. Reported metrics:
+// fences placed, their summed cost, and the cost of the all-full-fence
+// baseline the solver must beat. Wall time per op is the headline —
+// EXPERIMENTS.md compares it against dynamic synthesis on the same cells.
+func BenchmarkStaticSynthesis(b *testing.B) {
+	for _, bench := range progs.All() {
+		bench := bench
+		p := bench.Program()
+		for _, m := range []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO} {
+			m := m
+			b.Run(fmt.Sprintf("%s/%v", bench.Name, m), func(b *testing.B) {
+				fences, cost, baseline := 0, 0, 0
+				for i := 0; i < b.N; i++ {
+					fr, err := staticanalysis.Fix(p, m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fences += len(fr.Placements)
+					cost += fr.TotalCost
+					baseline += fr.BaselineCost
+				}
+				b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+				b.ReportMetric(float64(cost)/float64(b.N), "cost/op")
+				b.ReportMetric(float64(baseline)/float64(b.N), "baseline/op")
+			})
+		}
 	}
 }
 

@@ -25,7 +25,7 @@ func runFuzz(args []string) {
 	var (
 		seed       = fs.Int64("seed", 1, "campaign seed (same seed, same flags => identical report)")
 		n          = fs.Int("n", 200, "corpus size (cycle-shape templates + seeded random programs)")
-		modelsF    = fs.String("models", "tso,pso", "comma-separated weak models to cross-check (SC is always the enumeration baseline)")
+		modelsF    = fs.String("models", "tso,pso,rmo", "comma-separated weak models to cross-check (SC is always the enumeration baseline)")
 		execs      = fs.Int("execs", 120, "dynamic sampling budget per (program, model); synthesis uses the same per round")
 		rounds     = fs.Int("rounds", 8, "maximum synthesis repair rounds per program")
 		enumStates = fs.Int("enum-states", 0, "exhaustive-enumeration state budget (0 = default 60000)")
@@ -33,7 +33,7 @@ func runFuzz(args []string) {
 		verbose    = fs.Bool("v", false, "log per-program progress and divergences as they are found")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dfence fuzz [-seed n] [-n programs] [-models tso,pso] [-execs k] [-out dir] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: dfence fuzz [-seed n] [-n programs] [-models tso,pso,rmo] [-execs k] [-out dir] [-v]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)

@@ -69,7 +69,7 @@
 // analysis, and dynamic synthesis; divergences are shrunk and written as
 // reproduction files, and the exit status is nonzero if any occurred:
 //
-//	dfence fuzz -seed 1 -n 200 -models tso,pso -out fuzzout
+//	dfence fuzz -seed 1 -n 200 -models tso,pso,rmo -out fuzzout
 //
 // Resilience flags (see DESIGN.md, Resilience):
 //
@@ -669,11 +669,12 @@ func runExplain(args []string) {
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	var (
-		modelF  = fs.String("model", "pso", "memory model: sc, tso, pso")
+		modelF  = fs.String("model", "pso", "memory model: sc, tso, pso, rmo")
 		builtin = fs.String("builtin", "", "analyze a built-in benchmark instead of a file")
+		fix     = fs.Bool("fix", false, "synthesize a minimum-cost static fence placement and print the fenced program")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dfence analyze [-model sc|tso|pso] program.mc (or -builtin name)")
+		fmt.Fprintln(os.Stderr, "usage: dfence analyze [-model sc|tso|pso|rmo] [-fix] program.mc (or -builtin name)")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -688,20 +689,51 @@ func runAnalyze(args []string) {
 		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
 		os.Exit(1)
 	}
+	// Always canonicalize: lowering materializes a copy of every loaded
+	// value, and under load-deferring models that copy is a dependency
+	// that kills every ld-class delay pair — for the analysis and the
+	// interpreter alike, so analyzing raw lowered IR silently reports
+	// load-relaxed programs robust. The fuzz corpus optimizes for the
+	// same reason (proggen.Prog.Compile).
+	ir.Optimize(prog)
+	if *fix {
+		fr, err := staticanalysis.Fix(prog, model)
+		if err != nil {
+			analyzeFatal(err)
+		}
+		fmt.Print(fr.Analysis.Report(prog))
+		fmt.Print(fr.Report(prog))
+		if len(fr.Placements) > 0 {
+			fenced := prog.Clone()
+			if err := staticanalysis.Apply(fenced, fr.Placements); err != nil {
+				fmt.Fprintln(os.Stderr, "dfence analyze:", err)
+				os.Exit(1)
+			}
+			fmt.Println("\nfenced program:")
+			fmt.Print(fenced.Disasm())
+		}
+		return
+	}
 	res, err := staticanalysis.Analyze(prog, model)
 	if err != nil {
-		var verr *staticanalysis.VerifyError
-		if errors.As(err, &verr) {
-			fmt.Fprintf(os.Stderr, "dfence analyze: IR verification failed (%d finding(s)):\n", len(verr.Diags))
-			for _, d := range verr.Diags {
-				fmt.Fprintf(os.Stderr, "  %s\n", d)
-			}
-			os.Exit(2)
-		}
-		fmt.Fprintln(os.Stderr, "dfence analyze:", err)
-		os.Exit(1)
+		analyzeFatal(err)
 	}
 	fmt.Print(res.Report(prog))
+}
+
+// analyzeFatal prints an analysis error (expanding verifier findings) and
+// exits.
+func analyzeFatal(err error) {
+	var verr *staticanalysis.VerifyError
+	if errors.As(err, &verr) {
+		fmt.Fprintf(os.Stderr, "dfence analyze: IR verification failed (%d finding(s)):\n", len(verr.Diags))
+		for _, d := range verr.Diags {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "dfence analyze:", err)
+	os.Exit(1)
 }
 
 // loadProgram resolves -builtin or a source path. The returned src is the

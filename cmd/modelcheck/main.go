@@ -1,0 +1,208 @@
+// Command modelcheck is a repo-local lint enforcing exhaustive switches
+// over the two enums whose value sets the model hierarchy grows:
+// memmodel.Model and ir.FenceKind. Adding RMO or a new fence kind must
+// not leave a switch silently falling through — every switch over either
+// type needs a default clause or a case for every constant.
+//
+// The tool is deliberately stdlib-only (go/parser + go/ast, no go/types,
+// no x/tools): the enum constant sets are recovered from the defining
+// packages' const blocks, and switches are matched syntactically — a
+// case expression is an enum reference when it is a selector off the
+// defining package (memmodel.PSO, ir.FenceAcquire) or a bare constant
+// name inside the defining package itself. That heuristic cannot see
+// through aliased imports or local re-declarations, which this repo does
+// not use; in exchange the lint runs anywhere the toolchain does.
+//
+// Usage: modelcheck [dir] (default "."). Walks the tree, skipping
+// _test.go files, testdata, and dot-directories. Exits 1 with findings
+// on stderr, 0 when clean.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// enum describes one checked constant set.
+type enum struct {
+	pkg    string // defining package name ("memmodel", "ir")
+	typ    string // type name ("Model", "FenceKind")
+	consts map[string]bool
+}
+
+func (e *enum) String() string { return e.pkg + "." + e.typ }
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	files, err := goFiles(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+	enums := []*enum{
+		{pkg: "memmodel", typ: "Model", consts: map[string]bool{}},
+		{pkg: "ir", typ: "FenceKind", consts: map[string]bool{}},
+	}
+	parsed := make(map[string]*ast.File, len(files))
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelcheck:", err)
+			os.Exit(1)
+		}
+		parsed[path] = f
+		for _, e := range enums {
+			if f.Name.Name == e.pkg {
+				collectConsts(f, e)
+			}
+		}
+	}
+	for _, e := range enums {
+		if len(e.consts) == 0 {
+			fmt.Fprintf(os.Stderr, "modelcheck: no %s constants found under %s — wrong directory?\n", e, root)
+			os.Exit(1)
+		}
+	}
+	var findings []string
+	for _, path := range files {
+		f := parsed[path]
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			for _, e := range enums {
+				if miss := missing(sw, f.Name.Name, e); len(miss) > 0 {
+					pos := fset.Position(sw.Switch)
+					findings = append(findings,
+						fmt.Sprintf("%s:%d: switch over %s is not exhaustive: missing %s (add the cases or a default)",
+							pos.Filename, pos.Line, e, strings.Join(miss, ", ")))
+				}
+			}
+			return true
+		})
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "modelcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// goFiles lists non-test .go files under root, skipping testdata and
+// hidden directories.
+func goFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// collectConsts harvests the names of e.typ-typed constants from one file
+// of the defining package. Within a const block the declared type carries
+// forward through iota-continuation specs (no type, no value).
+func collectConsts(f *ast.File, e *enum) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		cur := ""
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			switch {
+			case vs.Type != nil:
+				if id, ok := vs.Type.(*ast.Ident); ok {
+					cur = id.Name
+				} else {
+					cur = ""
+				}
+			case len(vs.Values) > 0:
+				cur = "" // explicit untyped value: not part of the enum run
+			}
+			if cur != e.typ {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name != "_" {
+					e.consts[n.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// missing returns the enum constants a switch lacks, or nil when the
+// switch is not over this enum, has a default clause, or is exhaustive.
+func missing(sw *ast.SwitchStmt, filePkg string, e *enum) []string {
+	seen := map[string]bool{}
+	matched := false
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return nil // default clause: anything uncovered is handled
+		}
+		for _, expr := range cc.List {
+			if name, ok := enumRef(expr, filePkg, e); ok {
+				seen[name] = true
+				matched = true
+			}
+		}
+	}
+	if !matched {
+		return nil
+	}
+	var miss []string
+	for name := range e.consts {
+		if !seen[name] {
+			miss = append(miss, name)
+		}
+	}
+	sort.Strings(miss)
+	return miss
+}
+
+// enumRef reports whether a case expression references a constant of e:
+// pkg.Name from outside the defining package, a bare Name inside it.
+func enumRef(expr ast.Expr, filePkg string, e *enum) (string, bool) {
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok && id.Name == e.pkg && e.consts[x.Sel.Name] {
+			return x.Sel.Name, true
+		}
+	case *ast.Ident:
+		if filePkg == e.pkg && e.consts[x.Name] {
+			return x.Name, true
+		}
+	}
+	return "", false
+}

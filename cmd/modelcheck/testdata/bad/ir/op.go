@@ -1,0 +1,6 @@
+package ir
+type FenceKind uint8
+const (
+	FenceFull FenceKind = iota
+	FenceStoreStore
+)

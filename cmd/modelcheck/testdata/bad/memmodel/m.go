@@ -1,0 +1,8 @@
+package memmodel
+type Model uint8
+const (
+	SC Model = iota
+	TSO
+	PSO
+	RMO
+)

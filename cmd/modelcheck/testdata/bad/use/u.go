@@ -1,0 +1,16 @@
+package use
+import ("m/memmodel"; "m/ir")
+func f(m memmodel.Model, k ir.FenceKind) int {
+	switch m {
+	case memmodel.SC:
+		return 0
+	case memmodel.TSO, memmodel.PSO:
+		return 1
+	}
+	switch k {
+	case ir.FenceFull:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -849,7 +849,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		if cfg.EnforceWithCAS {
 			fences, err = synth.EnforceWithCAS(work, cfg.Model, chosen)
 		} else {
-			fences, err = synth.Enforce(work, chosen)
+			fences, err = synth.Enforce(work, cfg.Model, chosen)
 		}
 		if err != nil {
 			return nil, err

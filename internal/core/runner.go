@@ -36,33 +36,52 @@ type execOutcome struct {
 	desc string
 }
 
-// roundOpts builds the scheduler options of execution i of the given
-// round — the one place the seed schedule Seed + round*K + i is encoded.
-// Config.OptionsHook gets the last word (the fault-injection seam).
 // starveEagerFlush is the flush probability of the portfolio's most
 // adversarial phase: with the victim's stores vowed away, every OTHER
 // store should commit promptly, so the machine state at the end of the
 // victim's delay window is as far from the victim's view as possible.
 const starveEagerFlush = 0.9
 
-func roundOpts(cfg *Config, round, i int) sched.Options {
-	opts := sched.Options{
-		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
-		FlushProb: cfg.FlushProb,
-		MaxSteps:  cfg.MaxStepsPerExec,
-		PORWindow: 64,
-		Timeout:   cfg.ExecTimeout,
+// lazyResolve is the deferred-load resolution probability of the
+// portfolio's load-buffering phases. ResolveProb's default couples
+// resolution to FlushProb, which is exactly backwards for load-class
+// reorderings: a load-buffering outcome wants stores committed eagerly
+// but loads resolved as late as possible (resolution is the load's
+// commit point — resolving early IS program order). Measured on the
+// 2-thread LB litmus shape, eager-flush + lazy-resolve exposes the
+// violation ~50x more often than the coupled default (21.8% vs 0.4%
+// per execution).
+const lazyResolve = 0.05
+
+// portfolioPhases is the scheduler-portfolio cycle length for the given
+// model: the four store-delay phases, plus two load-buffering phases on
+// models that defer loads. Gating on DefersLoads keeps the option
+// stream — and therefore every result — bit-identical to earlier
+// versions on SC/TSO/PSO.
+func portfolioPhases(cfg *Config) int {
+	if cfg.Model.DefersLoads() {
+		return 6
 	}
-	// A four-phase scheduler portfolio, cycled by execution index. The
-	// plain coin finds the common reorderings; the starvation vow
-	// maximally delays one buffered store per run (2+2W-style write
-	// cycles need a store to outlive its thread); the priority strategy
-	// races one thread far ahead of the others (3-thread critical cycles
-	// need a head start no uniform pick sequence is likely to produce).
-	// The last phase combines all three knobs — measured on the 3-thread
-	// write-cycle litmus family, it reaches residual violations of
-	// partially fenced programs ~50x more often than any single knob.
-	switch i % 4 {
+	return 4
+}
+
+// portfolioPhase applies phase i%portfolioPhases to opts. The plain
+// coin (phase 0) finds the common reorderings; the priority strategy
+// races one thread far ahead of the others (3-thread critical cycles
+// need a head start no uniform pick sequence is likely to produce); the
+// starvation vow maximally delays one buffered store per run
+// (2+2W-style write cycles need a store to outlive its thread); phase 3
+// combines all three knobs — measured on the 3-thread write-cycle
+// litmus family, it reaches residual violations of partially fenced
+// programs ~50x more often than any single knob. Phases 4 and 5
+// (load-deferring models only) commit stores eagerly while resolving
+// deferred loads lazily and vowing to keep each deferral window open
+// while other threads can run (sched.Options.StarveLoads) — the
+// load-buffering analogue of the starve phase; the store-starvation
+// vow is deliberately absent there, since vowing a store away blocks
+// the commit an LB cycle needs.
+func portfolioPhase(cfg *Config, opts sched.Options, i int) sched.Options {
+	switch i % portfolioPhases(cfg) {
 	case 1:
 		opts.Strategy = sched.Priority
 	case 2:
@@ -72,10 +91,37 @@ func roundOpts(cfg *Config, round, i int) sched.Options {
 		opts.Starve = true
 		if cfg.FlushProb >= 0 {
 			// Negative FlushProb means "never flush early" by contract;
-			// the eager phase must not override that.
+			// the eager phases must not override that.
 			opts.FlushProb = starveEagerFlush
 		}
+	case 4:
+		if cfg.FlushProb >= 0 {
+			opts.FlushProb = starveEagerFlush
+		}
+		opts.ResolveProb = lazyResolve
+		opts.StarveLoads = true
+	case 5:
+		opts.Strategy = sched.Priority
+		if cfg.FlushProb >= 0 {
+			opts.FlushProb = starveEagerFlush
+		}
+		opts.ResolveProb = lazyResolve
+		opts.StarveLoads = true
 	}
+	return opts
+}
+
+// roundOpts builds the scheduler options of execution i of the given
+// round — the one place the seed schedule Seed + round*K + i is encoded.
+// Config.OptionsHook gets the last word (the fault-injection seam).
+func roundOpts(cfg *Config, round, i int) sched.Options {
+	opts := portfolioPhase(cfg, sched.Options{
+		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
+		FlushProb: cfg.FlushProb,
+		MaxSteps:  cfg.MaxStepsPerExec,
+		PORWindow: 64,
+		Timeout:   cfg.ExecTimeout,
+	}, i)
 	if cfg.OptionsHook != nil {
 		opts = cfg.OptionsHook(round, i, opts)
 	}
@@ -85,32 +131,19 @@ func roundOpts(cfg *Config, round, i int) sched.Options {
 // trialOpts builds the scheduler options of validation and redundancy
 // trial executions. The cached and uncached trial implementations both
 // call it (the exec cache keys trials on seed index, so their option
-// streams must be bit-identical), and it applies the same four-phase
+// streams must be bit-identical), and it applies the same scheduler
 // portfolio as roundOpts on top of the trial flush-probability sweep: a
 // missing fence's violation rate peaks at model- and shape-dependent
 // scheduler settings (paper Fig. 5), so trying only the synthesis
 // setting under-detects.
 func trialOpts(cfg *Config, seedBase int64, i int) sched.Options {
 	probs := [...]float64{0.1, 0.3, cfg.FlushProb}
-	opts := sched.Options{
+	return portfolioPhase(cfg, sched.Options{
 		Seed:      seedBase + int64(i),
 		FlushProb: probs[i%len(probs)],
 		MaxSteps:  cfg.MaxStepsPerExec,
 		PORWindow: 64,
-	}
-	switch i % 4 {
-	case 1:
-		opts.Strategy = sched.Priority
-	case 2:
-		opts.Starve = true
-	case 3:
-		opts.Strategy = sched.Priority
-		opts.Starve = true
-		if cfg.FlushProb >= 0 {
-			opts.FlushProb = starveEagerFlush
-		}
-	}
-	return opts
+	}, i)
 }
 
 // runRound fans one round's ExecsPerRound executions of work across

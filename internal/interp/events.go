@@ -107,10 +107,11 @@ func (k AccessKind) String() string {
 
 // Observer receives shared-memory access notifications during execution.
 // The fence synthesizer implements it to run the paper's instrumented
-// semantics (Semantics 2) online: pendingOther carries the buffered store
-// entries of the same thread to *other* addresses at the moment of the
-// access — the labels ly whose ordering before this access would repair
-// the execution.
+// semantics (Semantics 2) online: pendingOther carries the same-thread
+// accesses to *other* addresses still in flight at the moment of this
+// access — buffered stores first, then (under load-deferring models)
+// deferred loads. These are the labels ly whose ordering before this
+// access would repair the execution.
 //
 // pendingOther is scratch space reused across calls: it is valid only for
 // the duration of the call, and implementations must copy anything they
@@ -119,10 +120,14 @@ type Observer interface {
 	OnSharedAccess(thread int, label ir.Label, kind AccessKind, addr int64, pendingOther []PendingStore)
 }
 
-// PendingStore identifies one buffered store visible to the Observer.
+// PendingStore identifies one in-flight access visible to the Observer: a
+// buffered store, or — when IsLoad is set — a deferred load that has
+// issued but not yet read memory. (The name predates deferred loads;
+// "pending access" is the accurate reading.)
 type PendingStore struct {
-	Label ir.Label
-	Addr  int64
+	Label  ir.Label
+	Addr   int64
+	IsLoad bool
 }
 
 // Result summarizes one complete execution.

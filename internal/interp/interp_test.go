@@ -20,9 +20,14 @@ func runAll(t *testing.T, m *Machine, maxSteps int) {
 				moved = true
 				break
 			}
+			if m.CanResolve(tid) {
+				m.ResolveOne(tid, 0)
+				moved = true
+				break
+			}
 			if m.CanFlush(tid) {
-				pend := m.Threads()[tid].Buffers().PendingAddrs()
-				m.FlushOne(tid, pend[0])
+				fl := m.Threads()[tid].Buffers().FlushableAddrs()
+				m.FlushOne(tid, fl[0])
 				moved = true
 				break
 			}
@@ -333,13 +338,27 @@ func TestLitmusMPPSOWithFence(t *testing.T) {
 	p := buildMP(t, true)
 	m := NewMachine(p, memmodel.PSO, nil)
 	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
-	// Run producer to completion: the fence forces data to commit before
-	// flag is even buffered.
+	// Run producer to completion. fence(st-st) is an epoch barrier, not a
+	// drain: both stores may still be buffered afterwards, but flag can no
+	// longer commit before data.
 	stepUntil(t, m, 1, func() bool { return m.Threads()[1].Finished() })
-	if v, _ := m.GlobalValue("data"); v != 42 {
-		t.Errorf("fence did not commit data: %d", v)
-	}
+	dataAddr := p.Global("data").Addr
 	flagAddr := p.Global("flag").Addr
+	if !m.Threads()[1].Buffers().EmptyFor(flagAddr) {
+		if k := m.FlushOne(1, flagAddr); k != StepBlocked {
+			t.Error("flag flushed across the store-store barrier")
+		}
+		if fl := m.Threads()[1].Buffers().FlushableAddrs(); len(fl) != 1 || fl[0] != dataAddr {
+			t.Errorf("flushable = %v, want data only", fl)
+		}
+		m.FlushOne(1, dataAddr)
+	}
+	if v, _ := m.GlobalValue("data"); v != 42 {
+		t.Errorf("data not committed after draining its buffer: %d", v)
+	}
+	if v, _ := m.GlobalValue("flag"); v != 0 {
+		t.Error("flag committed before data despite the barrier")
+	}
 	m.FlushOne(1, flagAddr)
 	stepUntil(t, m, 2, func() bool { return len(m.Output()) == 1 })
 	if m.Output()[0] != 42 {

@@ -36,14 +36,29 @@ type frame struct {
 	isOp   bool   // operation frame: its return emits an EventResponse
 }
 
+// DeferredLoad is a shared load whose read of memory has been issued but
+// not yet performed — the operational form of load-load/load-store
+// relaxation under models with memmodel.Model.DefersLoads. The scheduler
+// resolves deferred loads in any order (ResolveOne); the resolution order
+// is the effective read order, so resolving out of program order *is* the
+// reordering. While deferred, the issuing thread holds no buffered store
+// to Addr (a buffered store would have been forwarded at issue), so
+// resolution reads main memory directly.
+type DeferredLoad struct {
+	Label ir.Label
+	Addr  int64
+	Dst   ir.Reg
+}
+
 // Thread is one user-level thread, mirroring the paper's ThreadStacks map:
 // a thread identifier owning a list of execution contexts plus its store
-// buffers.
+// buffers and (under load-deferring models) its pending-load queue.
 type Thread struct {
 	ID      int
 	frames  []frame
 	buf     *memmodel.Buffers
-	opDepth int // >0 while executing inside an operation
+	defq    []DeferredLoad // issued-but-unresolved shared loads, issue order
+	opDepth int            // >0 while executing inside an operation
 }
 
 // Finished reports whether the thread has run to completion. Its buffers
@@ -53,6 +68,10 @@ func (t *Thread) Finished() bool { return len(t.frames) == 0 }
 
 // Buffers exposes the thread's store buffers (read-only use intended).
 func (t *Thread) Buffers() *memmodel.Buffers { return t.buf }
+
+// DeferredLoads exposes the thread's pending-load queue in issue order.
+// The slice aliases internal state — valid until the thread's next step.
+func (t *Thread) DeferredLoads() []DeferredLoad { return t.defq }
 
 // Machine executes one program run. It is not safe for concurrent use.
 // The zero Machine is ready for Reset; NewMachine compiles and resets in
@@ -83,6 +102,7 @@ type Machine struct {
 	argArena    []int64
 	pendScratch []PendingStore
 	entScratch  []memmodel.Entry
+	useScratch  []ir.Reg // backing for forced-resolve use-set scans
 }
 
 // heapGap is the number of unaddressable guard words placed between
@@ -124,6 +144,7 @@ func (m *Machine) Reset(c *Compiled, model memmodel.Model, obs Observer) {
 			m.putRegs(t.frames[i].regs)
 		}
 		t.frames = t.frames[:0]
+		t.defq = t.defq[:0]
 		t.opDepth = 0
 		m.threadsFree = append(m.threadsFree, t)
 	}
@@ -229,13 +250,15 @@ func (m *Machine) Output() []int64 { return m.output }
 func (m *Machine) ExitCode() int64 { return m.exitCode }
 
 // Done reports whether the execution has ended: a violation occurred, or
-// every thread finished with drained buffers.
+// every thread finished with drained buffers and no unresolved loads (a
+// finished thread's queue is empty by construction — OpRet resolves all —
+// but Done checks it anyway to keep the invariant observable).
 func (m *Machine) Done() bool {
 	if m.violated != nil {
 		return true
 	}
 	for _, t := range m.threads {
-		if !t.Finished() || !t.buf.Empty() {
+		if !t.Finished() || !t.buf.Empty() || len(t.defq) > 0 {
 			return false
 		}
 	}
@@ -262,8 +285,35 @@ func (m *Machine) CanExec(tid int) bool {
 // CanFlush reports whether thread tid has pending buffered stores.
 func (m *Machine) CanFlush(tid int) bool { return !m.threads[tid].buf.Empty() }
 
+// CanResolve reports whether thread tid has deferred loads awaiting
+// resolution (only ever true under load-deferring models).
+func (m *Machine) CanResolve(tid int) bool { return len(m.threads[tid].defq) > 0 }
+
+// DeferredCount returns the number of deferred loads of thread tid — the
+// valid index range for ResolveOne.
+func (m *Machine) DeferredCount(tid int) int { return len(m.threads[tid].defq) }
+
+// NextForcesResolve reports whether executing thread tid's next
+// instruction would first force-resolve a pending deferred load
+// (dependency, per-location coherence, or synchronization — the
+// forcedResolveIdx rules). Always false for finished threads and for
+// threads with an empty deferred queue. The scheduler's load-starvation
+// vow keys on it: executing such an instruction ends the load's
+// deferral window, so an adversarial schedule runs the other threads
+// first.
+func (m *Machine) NextForcesResolve(tid int) bool {
+	t := m.threads[tid]
+	if len(t.defq) == 0 || t.Finished() {
+		return false
+	}
+	fr := &t.frames[len(t.frames)-1]
+	return m.forcedResolveIdx(t, fr, &fr.fn.code[fr.pc]) >= 0
+}
+
 // Actable reports whether the scheduler can give thread tid a turn at all.
-func (m *Machine) Actable(tid int) bool { return m.CanExec(tid) || m.CanFlush(tid) }
+func (m *Machine) Actable(tid int) bool {
+	return m.CanExec(tid) || m.CanFlush(tid) || m.CanResolve(tid)
+}
 
 func (m *Machine) joinReady(target int64) bool {
 	if target < 0 || target >= int64(len(m.threads)) {
@@ -272,7 +322,7 @@ func (m *Machine) joinReady(target int64) bool {
 		return false
 	}
 	u := m.threads[target]
-	return u.Finished() && u.buf.Empty()
+	return u.Finished() && u.buf.Empty() && len(u.defq) == 0
 }
 
 func (m *Machine) current(t *Thread) *ir.Instr {
@@ -338,14 +388,20 @@ const (
 	StepShared
 	// StepFlush committed one buffered store to main memory.
 	StepFlush
+	// StepResolve performed the deferred read of one pending load.
+	StepResolve
 	// StepBlocked means the thread could not act (should not normally be
 	// scheduled in this state).
 	StepBlocked
 )
 
 // FlushOne commits the oldest pending store of thread tid for the given
-// address (PSO) or the FIFO head (TSO; addr ignored) to main memory,
-// performing the memory-safety check of the FLUSH transition.
+// address (per-address-buffer models) or the FIFO head (TSO; addr
+// ignored) to main memory, performing the memory-safety check of the
+// FLUSH transition. Under per-address models the address must be
+// currently flushable (see Buffers.FlushableAddrsView) — the oldest entry
+// of an address parked behind a store-store barrier cannot commit yet and
+// the step reports StepBlocked.
 func (m *Machine) FlushOne(tid int, addr int64) StepKind {
 	t := m.threads[tid]
 	e, ok := t.buf.FlushOldest(addr)
@@ -388,18 +444,96 @@ func (m *Machine) fail(v *Violation) {
 	}
 }
 
-// forcedFlush performs one flush step on behalf of an instruction that
-// requires (some of) the buffers to drain before it can execute.
-func (m *Machine) forcedFlush(tid int, addr int64) StepKind {
+// ResolveOne performs the deferred read of thread tid's idx-th pending
+// load (RESOLVE transition): the value at its address is read from main
+// memory — with the memory-safety check deferred loads postpone to read
+// time — into the destination register, and the entry leaves the queue.
+// Any index is legal; out-of-program-order resolution is precisely the
+// load-load/load-store reordering the deferring models exhibit. The
+// issuing frame is always the thread's top frame (calls and returns force
+// full resolution first).
+func (m *Machine) ResolveOne(tid int, idx int) StepKind {
 	t := m.threads[tid]
-	if m.model == memmodel.PSO && addr >= 0 && !t.buf.EmptyFor(addr) {
-		return m.FlushOne(tid, addr)
-	}
-	pend := t.buf.PendingAddrsView()
-	if len(pend) == 0 {
+	if m.violated != nil || idx < 0 || idx >= len(t.defq) {
 		return StepBlocked
 	}
-	return m.FlushOne(tid, pend[0])
+	d := t.defq[idx]
+	t.defq = append(t.defq[:idx], t.defq[idx+1:]...)
+	m.steps++
+	if !m.checkAddr(tid, d.Label, d.Addr, "load (at resolve)") {
+		return StepResolve
+	}
+	fr := &t.frames[len(t.frames)-1]
+	fr.regs[d.Dst] = m.mem[d.Addr]
+	return StepResolve
+}
+
+// forcedResolveIdx returns the queue index of a deferred load that must
+// resolve before in can execute, or -1 when in may proceed. The rules
+// preserve exactly what every deferring hardware model preserves:
+// data/address dependencies (in reads or rewrites a pending destination
+// register), per-location coherence (in accesses the same address as a
+// pending load), and synchronization (calls, returns, forks, joins, CAS,
+// and load-ordering fences resolve everything, one entry per step).
+func (m *Machine) forcedResolveIdx(t *Thread, fr *frame, in *ir.Instr) int {
+	switch in.Op {
+	case ir.OpCall, ir.OpRet, ir.OpFork, ir.OpJoin, ir.OpCas:
+		return 0
+	case ir.OpFence:
+		if in.Kind.ResolvesLoads() {
+			return 0
+		}
+		return -1
+	}
+	// Dependency order: an instruction reading or redefining a deferred
+	// destination register forces that load to resolve first.
+	uses := in.Uses(m.useScratch[:0])
+	m.useScratch = uses[:0]
+	def := in.Def()
+	for i := range t.defq {
+		if t.defq[i].Dst == def && def != ir.NoReg {
+			return i
+		}
+		for _, u := range uses {
+			if t.defq[i].Dst == u {
+				return i
+			}
+		}
+	}
+	// Per-location coherence: a load or store to an address with a pending
+	// load of the same address resolves it first (CoRR/CoWR). The address
+	// register is meaningful here — had it been a deferred destination, the
+	// dependency rule above would have fired instead.
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore:
+		addr := fr.regs[in.A]
+		for i := range t.defq {
+			if t.defq[i].Addr == addr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// forcedFlush performs one flush step on behalf of an instruction that
+// requires (some of) the buffers to drain before it can execute. Under
+// per-address-buffer models a CAS drains only its own address when that
+// address is flushable; otherwise (and under TSO) the oldest flushable
+// entry goes first — store-store barriers can park the wanted address
+// behind entries of an earlier epoch, which must then drain first.
+func (m *Machine) forcedFlush(tid int, addr int64) StepKind {
+	t := m.threads[tid]
+	if m.model.RelaxesStoreStore() && addr >= 0 && !t.buf.EmptyFor(addr) {
+		if k := m.FlushOne(tid, addr); k != StepBlocked {
+			return k
+		}
+	}
+	fl := t.buf.FlushableAddrsView()
+	if len(fl) == 0 {
+		return StepBlocked
+	}
+	return m.FlushOne(tid, fl[0])
 }
 
 // StepThread performs one transition of thread tid: a forced flush if the
@@ -415,17 +549,26 @@ func (m *Machine) StepThread(tid int) StepKind {
 		if t.buf.Empty() {
 			return StepBlocked
 		}
-		pend := t.buf.PendingAddrsView()
-		return m.FlushOne(tid, pend[0])
+		fl := t.buf.FlushableAddrsView()
+		return m.FlushOne(tid, fl[0])
 	}
 	fr := &t.frames[len(t.frames)-1]
 	in := &fr.fn.code[fr.pc]
 
-	// Instructions that require drained buffers first (FENCE, CAS, and the
-	// flush half of JOIN handled via joinReady) trigger forced flushes.
+	// Deferred loads the next instruction depends on (or that its
+	// synchronization semantics order) resolve first, one per step.
+	if len(t.defq) > 0 {
+		if idx := m.forcedResolveIdx(t, fr, in); idx >= 0 {
+			return m.ResolveOne(tid, idx)
+		}
+	}
+
+	// Instructions that require drained buffers first (store-draining
+	// FENCE kinds, CAS, and the flush half of JOIN handled via joinReady)
+	// trigger forced flushes.
 	switch in.Op {
 	case ir.OpFence:
-		if !t.buf.Empty() {
+		if in.Kind.DrainsStores() && !t.buf.Empty() {
 			return m.forcedFlush(tid, -1)
 		}
 	case ir.OpCas:
@@ -484,7 +627,12 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		kind = StepShared
 		m.observe(t, in.Label, AccLoad, addr)
 		if v, ok := t.buf.Lookup(addr); ok {
-			fr.regs[in.Dst] = v // LOAD-B
+			fr.regs[in.Dst] = v // LOAD-B (store forwarding resolves at issue)
+		} else if m.model.DefersLoads() {
+			// LOAD-D: the read is deferred — the scheduler picks the moment
+			// (and hence the order) it reads memory via ResolveOne. The
+			// memory-safety check moves to resolve time with the read.
+			t.defq = append(t.defq, DeferredLoad{Label: in.Label, Addr: addr, Dst: in.Dst})
 		} else {
 			if !m.checkAddr(t.ID, in.Label, addr, "load") {
 				return StepShared
@@ -528,7 +676,15 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		}
 
 	case ir.OpFence:
-		kind = StepShared // buffers already empty (forced flushes ran)
+		// Store-draining kinds arrive with empty buffers (forced flushes
+		// ran) and load-ordering kinds with an empty queue (forced resolves
+		// ran). Store-*ordering* kinds instead seal the current buffer
+		// content behind an epoch barrier — nothing drains, but later
+		// stores cannot overtake earlier ones.
+		kind = StepShared
+		if in.Kind.BarriersStores() {
+			t.buf.Barrier()
+		}
 		if w := fr.fn.rx[pc].watch; w >= 0 {
 			m.touched |= 1 << uint(w)
 		}
@@ -693,23 +849,42 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 }
 
 // observe reports a shared access to the Observer with the same-thread
-// pending stores to other addresses (instrumented Semantics 2). The
-// pending-store slice handed to the Observer is scratch space reused
-// across calls — observers must not retain it (see Observer).
+// pending accesses to other addresses (instrumented Semantics 2): the
+// buffered stores first, then — under load-deferring models — the
+// deferred loads, each of which may still take effect after the access
+// being observed. Observation happens at issue time, so the pending set
+// is exactly the set of program-order-earlier accesses the model may
+// reorder past this one. A buffered store separated from an issuing
+// store by an epoch barrier is excluded: the barrier forces it to commit
+// before the new entry, so the pair cannot reorder and no predicate
+// arises. The filter does not apply to loads (the barrier leaves st-ld
+// reordering possible) nor to CAS (its write bypasses the buffers, so
+// epochs do not gate it — mirrored statically by killsBeforeCas). The
+// slice handed to the Observer is scratch space reused across calls —
+// observers must not retain it (see Observer).
 func (m *Machine) observe(t *Thread, l ir.Label, kind AccessKind, addr int64) {
 	if m.obs == nil || m.model == memmodel.SC {
 		return
 	}
 	entries := t.buf.AppendPendingOther(m.entScratch[:0], addr)
 	m.entScratch = entries[:0]
-	if len(entries) == 0 {
-		return // no pending stores to other locations: no predicates arise
-	}
 	pend := m.pendScratch[:0]
+	epoch := t.buf.Epoch()
 	for _, e := range entries {
+		if kind == AccStore && e.Epoch < epoch {
+			continue
+		}
 		pend = append(pend, PendingStore{Label: e.Label, Addr: e.Addr})
 	}
+	for _, d := range t.defq {
+		if d.Addr != addr {
+			pend = append(pend, PendingStore{Label: d.Label, Addr: d.Addr, IsLoad: true})
+		}
+	}
 	m.pendScratch = pend[:0]
+	if len(pend) == 0 {
+		return // nothing pending to other locations: no predicates arise
+	}
 	m.obs.OnSharedAccess(t.ID, l, kind, addr, pend)
 }
 

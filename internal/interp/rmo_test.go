@@ -1,0 +1,281 @@
+package interp
+
+import (
+	"testing"
+
+	"dfence/internal/ir"
+	"dfence/internal/memmodel"
+)
+
+// buildLB constructs the load-buffering litmus shape without dependencies:
+//
+//	t1: r1 = y; x = 1        t2: r2 = x; y = 1
+//
+// Under RMO both loads may defer past the subsequent stores, so r1 = r2 = 1
+// is reachable; under PSO and stronger (loads read at issue) it is not.
+// The racy registers are published through globals p1/p2 AFTER both
+// accesses so the publication does not force early resolution.
+func buildLB(t *testing.T, fence ir.FenceKind, withFence bool) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	for _, g := range []string{"x", "y", "p1", "p2"} {
+		if err := p.AddGlobal(&ir.Global{Name: g, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(name, loadVar, storeVar, pubVar string) {
+		b := ir.NewFuncBuilder(p, name, 0)
+		la := b.GlobalAddr(loadVar)
+		r, _ := b.Load(la, loadVar)
+		if withFence {
+			b.Fence(fence)
+		}
+		sa := b.GlobalAddr(storeVar)
+		one := b.Const(1)
+		b.Store(sa, one, storeVar)
+		pa := b.GlobalAddr(pubVar)
+		b.Store(pa, r, pubVar)
+		b.Ret()
+		finish(t, b)
+	}
+	mk("t1", "y", "x", "p1")
+	mk("t2", "x", "y", "p2")
+
+	mb := ir.NewFuncBuilder(p, "main", 0)
+	h1 := mb.Fork("t1")
+	h2 := mb.Fork("t2")
+	mb.Join(h1)
+	mb.Join(h2)
+	p1 := mb.GlobalAddr("p1")
+	v1, _ := mb.Load(p1, "p1")
+	mb.Print(v1)
+	p2 := mb.GlobalAddr("p2")
+	v2, _ := mb.Load(p2, "p2")
+	mb.Print(v2)
+	mb.Ret()
+	finish(t, mb)
+	mustLink(t, p)
+	return p
+}
+
+// TestRMOLoadDefersAndResolves drives the deferral machinery by hand on a
+// single thread: a shared load issues without reading, the destination
+// register materializes only at ResolveOne, and the value read is the
+// memory content at resolve time (not issue time).
+func TestRMOLoadDefersAndResolves(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	v, _ := b.Load(xa, "x")
+	b.Print(v)
+	b.Ret()
+	finish(t, b)
+	mustLink(t, p)
+
+	m := NewMachine(p, memmodel.RMO, nil)
+	// Step to and through the load: it must defer, not read.
+	stepUntil(t, m, 0, func() bool { return m.CanResolve(0) })
+	if n := m.DeferredCount(0); n != 1 {
+		t.Fatalf("DeferredCount = %d, want 1", n)
+	}
+	d := m.Threads()[0].DeferredLoads()[0]
+	if d.Addr != p.Global("x").Addr {
+		t.Fatalf("deferred addr = %d, want x", d.Addr)
+	}
+	if got := m.MemRead(p.Global("x").Addr); got != 0 {
+		t.Fatalf("x = %d before resolve", got)
+	}
+	// The print instruction uses the deferred dst, so stepping the thread
+	// force-resolves rather than printing a stale register.
+	k := m.StepThread(0)
+	if k != StepResolve {
+		t.Fatalf("step on use of deferred dst = %v, want StepResolve", k)
+	}
+	if m.CanResolve(0) {
+		t.Fatal("queue not empty after forced resolve")
+	}
+	runAll(t, m, 1000)
+	if m.Output()[0] != 0 {
+		t.Fatalf("printed %d, want 0", m.Output()[0])
+	}
+}
+
+// TestRMOLoadBuffering: the LB outcome r1 = r2 = 1 is reachable under RMO
+// (deferred loads resolve after the other thread's store commits) and
+// unreachable under PSO (loads read at issue).
+func TestRMOLoadBuffering(t *testing.T) {
+	p := buildLB(t, ir.FenceFull, false)
+
+	// RMO: drive the witness schedule by hand. Fork both threads, issue
+	// both loads (deferring), run both stores and let them commit, then
+	// resolve both loads — each reads the other thread's store.
+	m := NewMachine(p, memmodel.RMO, nil)
+	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 1, func() bool { return m.CanResolve(1) }) // t1 load y deferred
+	stepUntil(t, m, 2, func() bool { return m.CanResolve(2) }) // t2 load x deferred
+	// Run both threads until their first store is buffered, then flush.
+	stepUntil(t, m, 1, func() bool { return m.CanFlush(1) })
+	stepUntil(t, m, 2, func() bool { return m.CanFlush(2) })
+	m.FlushOne(1, p.Global("x").Addr)
+	m.FlushOne(2, p.Global("y").Addr)
+	// Both stores committed; now resolve the deferred loads.
+	if k := m.ResolveOne(1, 0); k != StepResolve {
+		t.Fatalf("resolve t1 = %v", k)
+	}
+	if k := m.ResolveOne(2, 0); k != StepResolve {
+		t.Fatalf("resolve t2 = %v", k)
+	}
+	runAll(t, m, 10000)
+	if m.Violation() != nil {
+		t.Fatalf("violation: %v", m.Violation())
+	}
+	out := m.Output()
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("RMO LB outcome = %v, want [1 1] (load buffering)", out)
+	}
+}
+
+// TestRMOCoherenceForcedResolve: a second load of the same address cannot
+// overtake a deferred first load (CoRR) — stepping into it resolves the
+// first load before the second issues.
+func TestRMOCoherenceForcedResolve(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	v1, _ := b.Load(xa, "x")
+	v2, _ := b.Load(xa, "x")
+	b.Print(v1)
+	b.Print(v2)
+	b.Ret()
+	finish(t, b)
+	mustLink(t, p)
+
+	m := NewMachine(p, memmodel.RMO, nil)
+	stepUntil(t, m, 0, func() bool { return m.CanResolve(0) })
+	if n := m.DeferredCount(0); n != 1 {
+		t.Fatalf("DeferredCount = %d, want 1", n)
+	}
+	// Next instruction is the second load of x: same address forces the
+	// first to resolve before the second can issue.
+	if k := m.StepThread(0); k != StepResolve {
+		t.Fatalf("second load of same addr stepped as %v, want StepResolve", k)
+	}
+	runAll(t, m, 1000)
+}
+
+// TestRMOStoreForwarding: a load of an address with a same-thread buffered
+// store forwards at issue (no deferral) — the invariant that deferred
+// loads never have a same-thread pending store to their address.
+func TestRMOStoreForwarding(t *testing.T) {
+	p := ir.NewProgram()
+	if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFuncBuilder(p, "main", 0)
+	xa := b.GlobalAddr("x")
+	c7 := b.Const(7)
+	b.Store(xa, c7, "x")
+	v, _ := b.Load(xa, "x")
+	b.Print(v)
+	b.Ret()
+	finish(t, b)
+	mustLink(t, p)
+
+	m := NewMachine(p, memmodel.RMO, nil)
+	stepUntil(t, m, 0, func() bool { return len(m.Output()) == 1 })
+	if m.DeferredCount(0) != 0 {
+		t.Error("load with buffered same-address store deferred instead of forwarding")
+	}
+	if m.Output()[0] != 7 {
+		t.Errorf("forwarded %d, want 7", m.Output()[0])
+	}
+	runAll(t, m, 1000)
+}
+
+// TestRMOFenceKindsGate: load-ordering fence kinds force the queue empty
+// before executing; store-only kinds do not.
+func TestRMOFenceKindsGate(t *testing.T) {
+	cases := []struct {
+		kind     ir.FenceKind
+		resolves bool
+	}{
+		{ir.FenceFull, true},
+		{ir.FenceLoadLoad, true},
+		{ir.FenceLoadStore, true},
+		{ir.FenceAcquire, true},
+		{ir.FenceRelease, true}, // release orders ld-st at runtime too
+		{ir.FenceStoreStore, false},
+		{ir.FenceStoreLoad, false},
+	}
+	for _, c := range cases {
+		p := ir.NewProgram()
+		if err := p.AddGlobal(&ir.Global{Name: "x", Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddGlobal(&ir.Global{Name: "y", Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+		b := ir.NewFuncBuilder(p, "main", 0)
+		xa := b.GlobalAddr("x")
+		v, _ := b.Load(xa, "x")
+		b.Fence(c.kind)
+		ya := b.GlobalAddr("y")
+		one := b.Const(1)
+		b.Store(ya, one, "y")
+		b.Print(v)
+		b.Ret()
+		finish(t, b)
+		mustLink(t, p)
+
+		m := NewMachine(p, memmodel.RMO, nil)
+		stepUntil(t, m, 0, func() bool { return m.CanResolve(0) })
+		// Step the fence: load-ordering kinds resolve first.
+		k := m.StepThread(0)
+		if c.resolves {
+			if k != StepResolve {
+				t.Errorf("%v: step = %v, want StepResolve", c.kind, k)
+			}
+			if m.CanResolve(0) {
+				t.Errorf("%v: queue non-empty after forced resolve", c.kind)
+			}
+		} else {
+			if k == StepResolve {
+				t.Errorf("%v: store-only fence forced a resolve", c.kind)
+			}
+			if !m.CanResolve(0) {
+				t.Errorf("%v: queue drained by store-only fence", c.kind)
+			}
+		}
+		runAll(t, m, 1000)
+	}
+}
+
+// TestLBFenceRepairs: with acquire fences between load and store in both
+// threads, the r1 = r2 = 1 outcome becomes unreachable under RMO — resolve
+// is forced before the store issues, restoring load-store order.
+func TestRMOLBFenceRepairs(t *testing.T) {
+	p := buildLB(t, ir.FenceAcquire, true)
+	m := NewMachine(p, memmodel.RMO, nil)
+	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	// Adversarial attempt: defer t1's load, then try to reach its store
+	// without resolving. The acquire fence must block that path.
+	stepUntil(t, m, 1, func() bool { return m.CanResolve(1) })
+	k := m.StepThread(1) // fence: forces resolve
+	if k != StepResolve {
+		t.Fatalf("acquire fence step = %v, want StepResolve", k)
+	}
+	if m.CanResolve(1) {
+		t.Fatal("queue non-empty after acquire fence resolve")
+	}
+	runAll(t, m, 10000)
+	out := m.Output()
+	if out[0] == 1 && out[1] == 1 {
+		t.Fatalf("fenced LB still produced [1 1]")
+	}
+}

@@ -21,7 +21,8 @@ const keyNoExclude = int64(-1) << 62
 // outputs, and violations as from the other. The key covers the memory
 // image, live allocation units, accumulated output and history, the exit
 // code, every thread's frame stack (function, pc, registers, return
-// slot), and every thread's store buffers in canonical drain order. It
+// slot), every thread's store buffers in canonical drain order (with
+// store-store barrier epochs), and every thread's deferred-load queue. It
 // deliberately excludes the step counter and the watched-fence bitmask —
 // neither affects future behavior, and including the former would defeat
 // deduplication entirely (different-length paths reach equal states).
@@ -87,9 +88,11 @@ func (m *Machine) AppendStateKey(dst []byte) []byte {
 				dst = binary.AppendVarint(dst, r)
 			}
 		}
-		// Buffers in canonical drain order (TSO: FIFO; PSO: per-address
-		// FIFOs grouped oldest-address-first) — the same order flushes
-		// commit in, so equal encodings mean equal flush behavior.
+		// Buffers in canonical drain order (TSO: FIFO; per-address models:
+		// per-address FIFOs grouped oldest-address-first) — the same order
+		// flushes commit in, so equal encodings mean equal flush behavior.
+		// Entry epochs are included: two buffers with equal content but a
+		// store-store barrier between different entries flush differently.
 		ents := t.buf.AppendPendingOther(m.entScratch[:0], keyNoExclude)
 		m.entScratch = ents[:0]
 		dst = binary.AppendUvarint(dst, uint64(len(ents)))
@@ -97,6 +100,15 @@ func (m *Machine) AppendStateKey(dst []byte) []byte {
 			dst = binary.AppendVarint(dst, e.Addr)
 			dst = binary.AppendVarint(dst, e.Val)
 			dst = binary.AppendVarint(dst, int64(e.Label))
+			dst = binary.AppendVarint(dst, int64(e.Epoch))
+		}
+		// Deferred loads in issue order: the queue determines which resolve
+		// transitions exist and what they will write where.
+		dst = binary.AppendUvarint(dst, uint64(len(t.defq)))
+		for _, d := range t.defq {
+			dst = binary.AppendVarint(dst, int64(d.Label))
+			dst = binary.AppendVarint(dst, d.Addr)
+			dst = binary.AppendVarint(dst, int64(d.Dst))
 		}
 	}
 	return dst

@@ -45,8 +45,10 @@ const (
 	// Executes atomically and only when the thread's store buffer for the
 	// location has drained (the scheduler flushes first).
 	OpCas
-	// OpFence drains the thread's store buffers. FenceK records the specific
-	// kind (store-store or store-load) for reporting.
+	// OpFence is a memory barrier; Kind selects its strength. Store-ordering
+	// kinds drain (st-ld, full) or epoch-partition (st-st, release) the
+	// thread's store buffers; load-ordering kinds force the thread's pending
+	// deferred loads to resolve. See FenceKind.
 	OpFence
 
 	// OpBr jumps unconditionally to the instruction labelled Target.
@@ -206,21 +208,182 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// FenceKind distinguishes the specific fences DFENCE inserts. All kinds
-// drain the executing thread's store buffers; the kind records which
-// reordering the fence was synthesized to prevent (paper §4.2: "we insert a
-// more specific fence (store-load or store-store) depending on whether the
-// statement at k is a load or a store").
+// AccessClass classifies a shared access as a load or a store for the
+// purposes of reordering: a memory model relaxes (or a fence restores)
+// program order between ordered pairs of classes. CAS counts as a store
+// (it writes memory); whether it can appear on either side of a relaxed
+// pair is decided by the model's synchronization rules, not its class.
+type AccessClass uint8
+
+const (
+	// ClassLoad is a shared read.
+	ClassLoad AccessClass = iota
+	// ClassStore is a shared write (store or CAS).
+	ClassStore
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassLoad:
+		return "ld"
+	case ClassStore:
+		return "st"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// AccessClasses lists both classes, load first. Matrix builders and
+// round-trip tests range over it.
+func AccessClasses() []AccessClass { return []AccessClass{ClassLoad, ClassStore} }
+
+// ClassOf returns the access class of a shared-memory opcode (OpLoad,
+// OpStore, OpCas); ok is false for every other opcode.
+func ClassOf(op Op) (AccessClass, bool) {
+	switch op {
+	case OpLoad:
+		return ClassLoad, true
+	case OpStore, OpCas:
+		return ClassStore, true
+	}
+	return ClassLoad, false
+}
+
+// FenceKind distinguishes the barrier vocabulary DFENCE reasons about. Each
+// kind declares which program-order pairs (AccessClass × AccessClass) it
+// restores — see Orders — and the interpreter gives it operational meaning:
+// store-ordering kinds drain or epoch-partition the store buffers,
+// load-ordering kinds force pending deferred loads to resolve. The kinds
+// mirror the SPARC membar variants plus acquire/release one-way barriers
+// (cf. "Don't sit on the fence": full fences dominate one-way barriers in
+// both strength and cost).
 type FenceKind uint8
 
 const (
-	// FenceFull is a full barrier (programmer-written fence()).
+	// FenceFull is a full barrier (programmer-written fence()): orders
+	// every class pair.
 	FenceFull FenceKind = iota
-	// FenceStoreStore orders a store before later stores.
+	// FenceStoreStore orders earlier stores before later stores. The
+	// interpreter implements it as an epoch barrier in the store buffers:
+	// nothing drains, but entries buffered after it cannot commit before
+	// entries buffered before it.
 	FenceStoreStore
-	// FenceStoreLoad orders a store before later loads.
+	// FenceStoreLoad orders earlier stores before later loads; the
+	// interpreter drains the store buffers (which incidentally also orders
+	// store-store — see OrdersAtRuntime).
 	FenceStoreLoad
+	// FenceLoadLoad orders earlier loads before later loads (resolves
+	// pending deferred loads).
+	FenceLoadLoad
+	// FenceLoadStore orders earlier loads before later stores (resolves
+	// pending deferred loads).
+	FenceLoadStore
+	// FenceAcquire is the one-way barrier after a load: earlier loads are
+	// ordered before every later access (ld-ld and ld-st).
+	FenceAcquire
+	// FenceRelease is the one-way barrier before a store: every earlier
+	// access is ordered before later stores (ld-st and st-st).
+	FenceRelease
 )
+
+// FenceKinds lists every defined fence kind, FenceFull first. Exhaustive
+// by construction: dispatch sites, cost tables, and round-trip tests range
+// over it so a kind added later cannot be silently skipped.
+func FenceKinds() []FenceKind {
+	return []FenceKind{
+		FenceFull, FenceStoreStore, FenceStoreLoad,
+		FenceLoadLoad, FenceLoadStore, FenceAcquire, FenceRelease,
+	}
+}
+
+// pairBit maps an ordered class pair to its bit in a coverage mask.
+func pairBit(a, b AccessClass) uint8 { return 1 << (2*uint8(a) + uint8(b)) }
+
+const (
+	maskLdLd = 1 << 0 // (ClassLoad, ClassLoad)
+	maskLdSt = 1 << 1 // (ClassLoad, ClassStore)
+	maskStLd = 1 << 2 // (ClassStore, ClassLoad)
+	maskStSt = 1 << 3 // (ClassStore, ClassStore)
+	maskAll  = maskLdLd | maskLdSt | maskStLd | maskStSt
+)
+
+// ordersMask is the declared (static) coverage of each kind: the class
+// pairs the kind is *specified* to order. The static delay-set analysis
+// and the hitting-set fence selector trust exactly this table.
+func (k FenceKind) ordersMask() uint8 {
+	switch k {
+	case FenceFull:
+		return maskAll
+	case FenceStoreStore:
+		return maskStSt
+	case FenceStoreLoad:
+		return maskStLd
+	case FenceLoadLoad:
+		return maskLdLd
+	case FenceLoadStore:
+		return maskLdSt
+	case FenceAcquire:
+		return maskLdLd | maskLdSt
+	case FenceRelease:
+		return maskLdSt | maskStSt
+	}
+	return 0
+}
+
+// runtimeMask is the operational guarantee of each kind in the
+// interpreter, always a superset of ordersMask: draining the store buffer
+// (st-ld) cannot help but order store-store too, and resolving the
+// deferred-load queue (any load-ordering kind) orders both ld-ld and
+// ld-st. interp's fence tests assert dynamic ⊇ declared, which is the
+// soundness direction: a fence may be stronger than it claims, never
+// weaker.
+func (k FenceKind) runtimeMask() uint8 {
+	switch k {
+	case FenceFull:
+		return maskAll
+	case FenceStoreStore:
+		return maskStSt
+	case FenceStoreLoad:
+		return maskStLd | maskStSt
+	case FenceLoadLoad, FenceLoadStore, FenceAcquire:
+		return maskLdLd | maskLdSt
+	case FenceRelease:
+		return maskLdLd | maskLdSt | maskStSt
+	}
+	return 0
+}
+
+// Orders reports the declared coverage: a fence of this kind guarantees
+// that earlier class-a accesses take effect before later class-b accesses.
+func (k FenceKind) Orders(a, b AccessClass) bool {
+	return k.ordersMask()&pairBit(a, b) != 0
+}
+
+// OrdersAtRuntime reports the interpreter's operational guarantee, a
+// superset of Orders (see runtimeMask). Dynamic synthesis selects fence
+// kinds against this table; static analysis must use Orders.
+func (k FenceKind) OrdersAtRuntime(a, b AccessClass) bool {
+	return k.runtimeMask()&pairBit(a, b) != 0
+}
+
+// DrainsStores reports whether executing the fence forces the thread's
+// store buffers to drain completely first (full and store-load barriers).
+func (k FenceKind) DrainsStores() bool {
+	return k.runtimeMask()&maskStLd != 0
+}
+
+// BarriersStores reports whether the fence partitions the store buffers
+// into epochs instead of draining them (store-store and release barriers:
+// earlier entries must commit before later ones, but nothing is forced
+// out).
+func (k FenceKind) BarriersStores() bool {
+	return !k.DrainsStores() && k.runtimeMask()&maskStSt != 0
+}
+
+// ResolvesLoads reports whether executing the fence forces the thread's
+// pending deferred loads to resolve first (every load-ordering kind).
+func (k FenceKind) ResolvesLoads() bool {
+	return k.runtimeMask()&(maskLdLd|maskLdSt) != 0
+}
 
 func (k FenceKind) String() string {
 	switch k {
@@ -230,6 +393,14 @@ func (k FenceKind) String() string {
 		return "fence(st-st)"
 	case FenceStoreLoad:
 		return "fence(st-ld)"
+	case FenceLoadLoad:
+		return "fence(ld-ld)"
+	case FenceLoadStore:
+		return "fence(ld-st)"
+	case FenceAcquire:
+		return "fence(acq)"
+	case FenceRelease:
+		return "fence(rel)"
 	}
 	return fmt.Sprintf("fencekind(%d)", uint8(k))
 }
@@ -237,13 +408,10 @@ func (k FenceKind) String() string {
 // ParseFenceKind inverts FenceKind.String — used when rebuilding a
 // program's fences from a serialized run journal.
 func ParseFenceKind(s string) (FenceKind, error) {
-	switch s {
-	case "fence":
-		return FenceFull, nil
-	case "fence(st-st)":
-		return FenceStoreStore, nil
-	case "fence(st-ld)":
-		return FenceStoreLoad, nil
+	for _, k := range FenceKinds() {
+		if k.String() == s {
+			return k, nil
+		}
 	}
 	return 0, fmt.Errorf("ir: unknown fence kind %q", s)
 }

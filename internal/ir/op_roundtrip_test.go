@@ -2,14 +2,13 @@ package ir
 
 import "testing"
 
-// FenceKinds in op.go has no exported enumeration; keep this list in sync
-// with the FenceKind constants. The round-trip property below is what the
-// run-journal deserializer depends on: every kind the synthesizer can emit
-// must parse back to itself.
-var allFenceKinds = []FenceKind{FenceFull, FenceStoreStore, FenceStoreLoad}
-
 func TestParseFenceKindRoundTrip(t *testing.T) {
-	for _, k := range allFenceKinds {
+	// Ranging over the exported enumeration keeps this in sync by
+	// construction: a kind added to FenceKinds is round-trip tested without
+	// touching this file. The property is what the run-journal deserializer
+	// depends on: every kind the synthesizer can emit must parse back to
+	// itself.
+	for _, k := range FenceKinds() {
 		got, err := ParseFenceKind(k.String())
 		if err != nil {
 			t.Fatalf("ParseFenceKind(%q) failed: %v", k.String(), err)
@@ -18,7 +17,54 @@ func TestParseFenceKindRoundTrip(t *testing.T) {
 			t.Errorf("ParseFenceKind(%v.String()) = %v, want %v", k, got, k)
 		}
 	}
-	if _, err := ParseFenceKind("fence(ld-ld)"); err == nil {
+	if _, err := ParseFenceKind("fence(ld-ld-ld)"); err == nil {
 		t.Error("ParseFenceKind accepted an undefined kind")
+	}
+	if _, err := ParseFenceKind("membar #Sync"); err == nil {
+		t.Error("ParseFenceKind accepted an undefined kind")
+	}
+}
+
+func TestFenceKindStringsDistinct(t *testing.T) {
+	seen := make(map[string]FenceKind)
+	for _, k := range FenceKinds() {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("FenceKind %d and %d share the string %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestFenceKindCoverage(t *testing.T) {
+	// Declared coverage must be a subset of the operational guarantee for
+	// every kind: a fence may be stronger at runtime than it claims
+	// statically, never weaker — the soundness direction the static
+	// synthesizer relies on.
+	for _, k := range FenceKinds() {
+		covers := false
+		for _, a := range AccessClasses() {
+			for _, b := range AccessClasses() {
+				if k.Orders(a, b) {
+					covers = true
+					if !k.OrdersAtRuntime(a, b) {
+						t.Errorf("%v: Orders(%v,%v) declared but not guaranteed at runtime", k, a, b)
+					}
+				}
+			}
+		}
+		if !covers {
+			t.Errorf("%v declares no coverage at all", k)
+		}
+	}
+	// FenceFull dominates every other kind in both tables.
+	for _, k := range FenceKinds() {
+		for _, a := range AccessClasses() {
+			for _, b := range AccessClasses() {
+				if k.Orders(a, b) && !FenceFull.Orders(a, b) {
+					t.Errorf("FenceFull does not dominate %v on (%v,%v)", k, a, b)
+				}
+			}
+		}
 	}
 }

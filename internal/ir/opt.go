@@ -173,7 +173,10 @@ func foldOnce(f *Func) int {
 				changed++
 			}
 		default:
-			clobber(in.Dst)
+			// Def(), not Dst: non-result instructions (stores, fences,
+			// branches, ...) leave Dst at its zero value, which is register
+			// 0, and clobbering it here would discard real facts about r0.
+			clobber(in.Def())
 		}
 	}
 	return changed

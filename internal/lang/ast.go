@@ -221,8 +221,9 @@ type Field struct {
 }
 
 // Call invokes a function or intrinsic. Intrinsics are recognized by name
-// during sema: cas, fence, fence_ss, fence_sl, alloc, free, self, assert,
-// print, lock, unlock, sizeof.
+// during sema: cas, fence, fence_ss, fence_sl, fence_ll, fence_ls,
+// fence_acq, fence_rel, alloc, free, self, assert, print, lock, unlock,
+// sizeof.
 type Call struct {
 	exprBase
 	Name string

@@ -562,6 +562,18 @@ func (l *lowerer) call(x *Call) (ir.Reg, error) {
 	case "fence_sl":
 		l.b.Fence(ir.FenceStoreLoad)
 		return l.b.Const(0), nil
+	case "fence_ll":
+		l.b.Fence(ir.FenceLoadLoad)
+		return l.b.Const(0), nil
+	case "fence_ls":
+		l.b.Fence(ir.FenceLoadStore)
+		return l.b.Const(0), nil
+	case "fence_acq":
+		l.b.Fence(ir.FenceAcquire)
+		return l.b.Const(0), nil
+	case "fence_rel":
+		l.b.Fence(ir.FenceRelease)
+		return l.b.Const(0), nil
 	case "alloc":
 		n, err := l.expr(x.Args[0])
 		if err != nil {

@@ -45,10 +45,14 @@ var intrinsics = map[string]struct {
 	args int
 	ret  *Type
 }{
-	"cas":      {3, tInt},
-	"fence":    {0, tVoid},
-	"fence_ss": {0, tVoid},
-	"fence_sl": {0, tVoid},
+	"cas":       {3, tInt},
+	"fence":     {0, tVoid},
+	"fence_ss":  {0, tVoid},
+	"fence_sl":  {0, tVoid},
+	"fence_ll":  {0, tVoid},
+	"fence_ls":  {0, tVoid},
+	"fence_acq": {0, tVoid},
+	"fence_rel": {0, tVoid},
 	"alloc":    {1, PtrTo(tInt)},
 	"sysfree":  {1, tVoid},
 	"self":     {0, tInt},

@@ -1,0 +1,271 @@
+package memmodel
+
+import (
+	"testing"
+
+	"dfence/internal/ir"
+)
+
+// TestRelaxesMatrix pins the full reordering matrix for every model —
+// the single source of truth every analysis dispatches on.
+func TestRelaxesMatrix(t *testing.T) {
+	type pair struct{ a, b ir.AccessClass }
+	ld, st := ir.ClassLoad, ir.ClassStore
+	want := map[Model]map[pair]bool{
+		SC:  {},
+		TSO: {{st, ld}: true},
+		PSO: {{st, ld}: true, {st, st}: true},
+		RMO: {{st, ld}: true, {st, st}: true, {ld, ld}: true, {ld, st}: true},
+	}
+	for _, m := range Models() {
+		for _, a := range ir.AccessClasses() {
+			for _, b := range ir.AccessClasses() {
+				if got := m.Relaxes(a, b); got != want[m][pair{a, b}] {
+					t.Errorf("%v.Relaxes(%v,%v) = %v, want %v", m, a, b, got, want[m][pair{a, b}])
+				}
+			}
+		}
+	}
+	// The hierarchy is cumulative: each model's relaxations include its
+	// predecessor's.
+	ms := Models()
+	for i := 1; i < len(ms); i++ {
+		for _, a := range ir.AccessClasses() {
+			for _, b := range ir.AccessClasses() {
+				if ms[i-1].Relaxes(a, b) && !ms[i].Relaxes(a, b) {
+					t.Errorf("%v relaxes (%v,%v) but weaker %v does not", ms[i-1], a, b, ms[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCapabilityWrappers(t *testing.T) {
+	for _, m := range Models() {
+		if m.RelaxesStoreLoad() != m.Relaxes(ir.ClassStore, ir.ClassLoad) {
+			t.Errorf("%v: RelaxesStoreLoad disagrees with matrix", m)
+		}
+		if m.RelaxesStoreStore() != m.Relaxes(ir.ClassStore, ir.ClassStore) {
+			t.Errorf("%v: RelaxesStoreStore disagrees with matrix", m)
+		}
+		wantDefer := m.Relaxes(ir.ClassLoad, ir.ClassLoad) || m.Relaxes(ir.ClassLoad, ir.ClassStore)
+		if m.DefersLoads() != wantDefer {
+			t.Errorf("%v: DefersLoads = %v, want %v", m, m.DefersLoads(), wantDefer)
+		}
+		if !m.MultiCopyAtomic() {
+			t.Errorf("%v: all store-buffer models are multi-copy atomic", m)
+		}
+	}
+	if SC.DefersLoads() || TSO.DefersLoads() || PSO.DefersLoads() {
+		t.Error("only RMO defers loads")
+	}
+	if !RMO.DefersLoads() {
+		t.Error("RMO must defer loads")
+	}
+}
+
+// TestFenceCost pins the cost lattice: on a model where a kind is useful,
+// a full fence is at least as expensive as any other kind, and a kind
+// covering nothing the model relaxes costs the nominal nop price.
+func TestFenceCost(t *testing.T) {
+	for _, m := range Models() {
+		full := m.FenceCost(ir.FenceFull)
+		for _, k := range ir.FenceKinds() {
+			c := m.FenceCost(k)
+			if c <= 0 {
+				t.Errorf("%v.FenceCost(%v) = %d, want positive", m, k, c)
+			}
+			if c > full {
+				t.Errorf("%v: %v costs %d > full fence %d", m, k, c, full)
+			}
+			useful := false
+			for _, a := range ir.AccessClasses() {
+				for _, b := range ir.AccessClasses() {
+					if k.Orders(a, b) && m.Relaxes(a, b) {
+						useful = true
+					}
+				}
+			}
+			if !useful && c != 1 {
+				t.Errorf("%v: nop kind %v costs %d, want 1", m, k, c)
+			}
+			if useful && c == 1 {
+				t.Errorf("%v: useful kind %v priced as a nop", m, k)
+			}
+		}
+	}
+	// Under SC every fence is a nop.
+	for _, k := range ir.FenceKinds() {
+		if SC.FenceCost(k) != 1 {
+			t.Errorf("SC.FenceCost(%v) = %d, want 1", k, SC.FenceCost(k))
+		}
+	}
+	// Under RMO the single-pair membars are strictly cheaper than the
+	// one-way barriers, which are cheaper than st-ld, which is cheaper
+	// than full — the lattice the synthesizer exploits.
+	costs := []int{
+		RMO.FenceCost(ir.FenceLoadLoad),
+		RMO.FenceCost(ir.FenceAcquire),
+		RMO.FenceCost(ir.FenceStoreLoad),
+		RMO.FenceCost(ir.FenceFull),
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i-1] >= costs[i] {
+			t.Errorf("RMO cost lattice not strict: %v", costs)
+		}
+	}
+}
+
+// TestBarrierEpochs exercises the store-store barrier machinery: entries
+// behind a Barrier cannot flush until everything before it has drained.
+func TestBarrierEpochs(t *testing.T) {
+	b := New(PSO)
+	b.Put(10, 1, 100)
+	b.Put(20, 2, 101)
+	b.Barrier()
+	b.Put(30, 3, 102)
+
+	// 30 is pending but not flushable: it sits behind the barrier.
+	if got := b.PendingAddrs(); len(got) != 3 {
+		t.Fatalf("PendingAddrs = %v, want 3 addrs", got)
+	}
+	fl := b.FlushableAddrs()
+	if len(fl) != 2 || fl[0] != 10 || fl[1] != 20 {
+		t.Fatalf("FlushableAddrs = %v, want [10 20]", fl)
+	}
+	if _, ok := b.FlushOldest(30); ok {
+		t.Fatal("FlushOldest(30) succeeded across an epoch barrier")
+	}
+	if _, ok := b.FlushOldest(20); !ok {
+		t.Fatal("FlushOldest(20) refused in the lowest epoch")
+	}
+	// 10 still blocks 30.
+	if _, ok := b.FlushOldest(30); ok {
+		t.Fatal("FlushOldest(30) succeeded with epoch-0 entry pending")
+	}
+	if _, ok := b.FlushOldest(10); !ok {
+		t.Fatal("FlushOldest(10) refused")
+	}
+	// Barrier cleared: 30 is now flushable.
+	fl = b.FlushableAddrs()
+	if len(fl) != 1 || fl[0] != 30 {
+		t.Fatalf("FlushableAddrs after drain = %v, want [30]", fl)
+	}
+	if e, ok := b.FlushOldest(30); !ok || e.Val != 3 {
+		t.Fatalf("FlushOldest(30) = %+v,%v", e, ok)
+	}
+	if !b.Empty() {
+		t.Error("not empty after full drain")
+	}
+}
+
+// TestBarrierSameAddressStacking: two stores to the same address across a
+// barrier stay FIFO within their queue, and the head epoch gates correctly
+// when the same address spans epochs.
+func TestBarrierSameAddress(t *testing.T) {
+	b := New(PSO)
+	b.Put(10, 1, 100)
+	b.Barrier()
+	b.Put(10, 2, 101)
+	b.Put(20, 3, 102)
+	// Address 10's head is epoch 0, so 10 is flushable; 20's head is epoch
+	// 1, blocked by 10's epoch-0 head.
+	fl := b.FlushableAddrs()
+	if len(fl) != 1 || fl[0] != 10 {
+		t.Fatalf("FlushableAddrs = %v, want [10]", fl)
+	}
+	if e, _ := b.FlushOldest(10); e.Val != 1 {
+		t.Fatalf("flushed %+v, want val 1", e)
+	}
+	// Now both heads are epoch 1: both flushable.
+	fl = b.FlushableAddrs()
+	if len(fl) != 2 {
+		t.Fatalf("FlushableAddrs = %v, want both", fl)
+	}
+}
+
+func TestBarrierNoopCases(t *testing.T) {
+	// TSO: Barrier is a no-op (single FIFO already ordered) — everything
+	// stays flushable in FIFO order.
+	tso := New(TSO)
+	tso.Put(10, 1, 100)
+	tso.Barrier()
+	tso.Put(20, 2, 101)
+	if e, ok := tso.FlushOldest(0); !ok || e.Val != 1 {
+		t.Fatalf("TSO flush after Barrier = %+v,%v", e, ok)
+	}
+	if e, ok := tso.FlushOldest(0); !ok || e.Val != 2 {
+		t.Fatalf("TSO flush after Barrier = %+v,%v", e, ok)
+	}
+
+	// Empty buffers: Barrier must not create an epoch (a later lone store
+	// must be immediately flushable).
+	pso := New(PSO)
+	pso.Barrier()
+	pso.Put(10, 1, 100)
+	if _, ok := pso.FlushOldest(10); !ok {
+		t.Error("store after Barrier-on-empty not flushable")
+	}
+}
+
+// TestEpochRearm: once the buffers drain, the epoch counter re-arms so
+// state keys stay canonical (two histories reaching "empty" are identical).
+func TestEpochRearm(t *testing.T) {
+	b := New(PSO)
+	b.Put(10, 1, 100)
+	b.Barrier()
+	b.Put(20, 2, 101)
+	for _, a := range []int64{10, 20} {
+		if _, ok := b.FlushOldest(a); !ok {
+			t.Fatalf("FlushOldest(%d) refused", a)
+		}
+	}
+	b.Put(30, 3, 102)
+	if got := b.All(); len(got) != 1 || got[0].Epoch != 0 {
+		t.Errorf("epoch did not re-arm after drain: %+v", got)
+	}
+}
+
+// TestDrainRespectsBarriers: Drain's commit order never lets a later-epoch
+// entry precede an earlier-epoch entry.
+func TestDrainRespectsBarriers(t *testing.T) {
+	for _, m := range []Model{PSO, RMO} {
+		b := New(m)
+		b.Put(10, 1, 100)
+		b.Put(20, 2, 101)
+		b.Barrier()
+		b.Put(30, 3, 102)
+		b.Put(10, 4, 103)
+		got := b.Drain()
+		if len(got) != 4 {
+			t.Fatalf("%v: Drain = %d entries, want 4", m, len(got))
+		}
+		lastEpoch := int32(0)
+		for _, e := range got {
+			if e.Epoch < lastEpoch {
+				t.Errorf("%v: Drain order violated epochs: %+v", m, got)
+			}
+			lastEpoch = e.Epoch
+		}
+		if !b.Empty() {
+			t.Errorf("%v: not empty after Drain", m)
+		}
+	}
+}
+
+// TestRMOBuffersBehaveLikePSO: the store side of RMO is PSO's per-address
+// buffers; load deferral lives in the interpreter.
+func TestRMOBuffersBehaveLikePSO(t *testing.T) {
+	b := New(RMO)
+	b.Put(10, 1, 100)
+	b.Put(20, 2, 101)
+	if e, ok := b.FlushOldest(20); !ok || e.Val != 2 {
+		t.Fatalf("RMO FlushOldest(20) = %+v,%v (store-store reorder)", e, ok)
+	}
+	if !b.EmptyFor(20) || b.EmptyFor(10) {
+		t.Error("RMO EmptyFor wrong")
+	}
+	if v, ok := b.Lookup(10); !ok || v != 1 {
+		t.Errorf("RMO Lookup(10) = %d,%v", v, ok)
+	}
+}

@@ -65,7 +65,11 @@ func TestTSOFIFOOrder(t *testing.T) {
 		t.Error("Lookup(30) found a value")
 	}
 	// Flush pops strictly FIFO, ignoring the addr hint.
-	want := []Entry{{10, 1, 100}, {20, 2, 101}, {10, 3, 102}}
+	want := []Entry{
+		{Addr: 10, Val: 1, Label: 100},
+		{Addr: 20, Val: 2, Label: 101},
+		{Addr: 10, Val: 3, Label: 102},
+	}
 	for i, w := range want {
 		e, ok := b.FlushOldest(999)
 		if !ok || e != w {

@@ -1,10 +1,11 @@
 package proggen
 
-// Exhaustive interleaving+flush enumeration — the ground-truth oracle.
-// The interpreter (interp.Machine) exposes exactly two scheduler-visible
-// transitions, "thread tid executes its next step" and "thread tid
-// flushes the oldest buffered store for address a", so a program's full
-// behavior space is the tree of finite choice sequences. The enumerator
+// Exhaustive interleaving+flush+resolve enumeration — the ground-truth
+// oracle. The interpreter (interp.Machine) exposes three scheduler-visible
+// transitions — "thread tid executes its next step", "thread tid flushes
+// the oldest buffered store for address a", and (under load-deferring
+// models) "thread tid resolves its idx-th deferred load" — so a program's
+// full behavior space is the tree of finite choice sequences. The enumerator
 // walks that tree by depth-first replay: a pooled Machine is Reset and
 // the choice prefix re-applied (the Machine has no snapshot/undo), and
 // each decision point is fingerprinted with Machine.AppendStateKey so any
@@ -39,11 +40,14 @@ import (
 	"dfence/internal/memmodel"
 )
 
-// choice is one scheduler transition.
+// choice is one scheduler transition: an exec step, a flush of one
+// buffered store, or a resolve of one deferred load.
 type choice struct {
-	tid   int
-	flush bool
-	addr  int64 // flush target (flush=true only)
+	tid     int
+	flush   bool
+	resolve bool
+	addr    int64 // flush target (flush=true only)
+	idx     int   // deferred-load queue index (resolve=true only)
 }
 
 // EnumOptions bounds one enumeration.
@@ -218,6 +222,8 @@ func (e *enumerator) replay(path []choice) (overBudget bool) {
 	for _, ch := range path {
 		if ch.flush {
 			m.FlushOne(ch.tid, ch.addr)
+		} else if ch.resolve {
+			m.ResolveOne(ch.tid, ch.idx)
 		} else {
 			kind := m.StepThread(ch.tid)
 			// Local-run collapse (mirrors sched.Run's POR window): a
@@ -240,7 +246,13 @@ func (e *enumerator) replay(path []choice) (overBudget bool) {
 
 // choices enumerates the transitions available at the machine's current
 // state in deterministic order: exec per thread id ascending, then flush
-// per (thread id, pending address in canonical buffer order).
+// per (thread id, flushable address in canonical buffer order), then
+// resolve per (thread id, deferred-load queue index). Flushes offer only
+// the currently flushable addresses — an address parked behind a
+// store-store barrier epoch is not a legal transition. Resolves offer
+// every queue index: out-of-order resolution is exactly the load
+// reordering the deferring models exhibit, so skipping indices would
+// prune reachable outcomes.
 func (e *enumerator) choices(dst []choice) []choice {
 	m := &e.m
 	n := len(m.Threads())
@@ -253,10 +265,15 @@ func (e *enumerator) choices(dst []choice) []choice {
 		if !m.CanFlush(tid) {
 			continue
 		}
-		// PendingAddrs copies; the view would be invalidated by nothing
+		// FlushableAddrs copies; the view would be invalidated by nothing
 		// here, but the copy keeps this loop obviously safe.
-		for _, addr := range m.Threads()[tid].Buffers().PendingAddrs() {
+		for _, addr := range m.Threads()[tid].Buffers().FlushableAddrs() {
 			dst = append(dst, choice{tid: tid, flush: true, addr: addr})
+		}
+	}
+	for tid := 0; tid < n; tid++ {
+		for idx := 0; idx < m.DeferredCount(tid); idx++ {
+			dst = append(dst, choice{tid: tid, resolve: true, idx: idx})
 		}
 	}
 	return dst

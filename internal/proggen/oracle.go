@@ -74,7 +74,7 @@ type FuzzConfig struct {
 	// N is the corpus size (templates + randoms).
 	N int
 	// Models are the weak models to differentially test; SC is always
-	// enumerated as the baseline. Defaults to TSO and PSO.
+	// enumerated as the baseline. Defaults to TSO, PSO, and RMO.
 	Models []memmodel.Model
 	// Execs is the dynamic sampling budget per (program, model); the
 	// synthesis phase uses the same number per round.
@@ -108,7 +108,7 @@ func (c *FuzzConfig) Fill() {
 		c.N = 200
 	}
 	if len(c.Models) == 0 {
-		c.Models = []memmodel.Model{memmodel.TSO, memmodel.PSO}
+		c.Models = []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO}
 	}
 	if c.Execs <= 0 {
 		c.Execs = 120
@@ -159,14 +159,16 @@ type FuzzReport struct {
 }
 
 // Corpus builds the deterministic program corpus for a seed: the full
-// template pool (every PSO-admissible cycle shape over 2 and 3 threads —
-// a superset of TSO's shapes, since RelaxedEdgeKinds(PSO) ⊇
-// RelaxedEdgeKinds(TSO) — in all three fence variants) interleaved with
-// seeded random programs at one template per four entries.
+// template pool (every RMO-admissible cycle shape over 2 and 3 threads —
+// a superset of PSO's and TSO's shapes, since RelaxedEdgeKinds grows
+// monotonically down the hierarchy — in all three fence variants)
+// interleaved with seeded random programs at one template per four
+// entries. The RMO-only shapes are exactly the deferred-load litmus
+// family (MP without dependencies, LB, and their 3-thread extensions).
 func Corpus(seed int64, n int) []*Prog {
 	var templates []*Prog
 	for _, threads := range []int{2, 3} {
-		for _, shape := range staticanalysis.CriticalCycleShapes(memmodel.PSO, threads) {
+		for _, shape := range staticanalysis.CriticalCycleShapes(memmodel.RMO, threads) {
 			for _, v := range TemplateVariants() {
 				templates = append(templates, TemplateProg(shape, v))
 			}
@@ -358,10 +360,12 @@ func (f *fuzzer) synthConfig(model memmodel.Model, seed int64, execs, rounds int
 		Workers:         1, // single-threaded: verdicts must be bit-deterministic
 		OptionsHook: func(round, index int, opts sched.Options) sched.Options {
 			// Diversify flush probabilities across the round, but leave the
-			// portfolio's eager phase (starve + priority + high flush, see
-			// core's roundOpts) its own setting — that combination is what
-			// reaches 3-thread write-cycle residuals.
-			if index%4 != 3 {
+			// portfolio's eager phases (high flush, with starve+priority or
+			// lazy resolve — see core's portfolioPhase) their own setting:
+			// those combinations are what reach 3-thread write-cycle and
+			// load-buffering residuals. A phase that set its own FlushProb
+			// no longer carries the config's base value.
+			if opts.FlushProb == 0.3 {
 				opts.FlushProb = flushProbs[index%len(flushProbs)]
 			}
 			return opts

@@ -39,8 +39,8 @@ func TestFuzzClean(t *testing.T) {
 	if rep.Violating == 0 {
 		t.Errorf("no program enumerated a violation — templates and injection both inert")
 	}
-	if rep.Checked != rep.Programs*2 {
-		t.Errorf("Checked = %d, want %d (two models per program)", rep.Checked, rep.Programs*2)
+	if rep.Checked != rep.Programs*3 {
+		t.Errorf("Checked = %d, want %d (three models per program)", rep.Checked, rep.Programs*3)
 	}
 }
 

@@ -184,6 +184,14 @@ func (r *renderer) stmt(depth int, s *Stmt) {
 			r.line(depth, "fence_ss();")
 		case ir.FenceStoreLoad:
 			r.line(depth, "fence_sl();")
+		case ir.FenceLoadLoad:
+			r.line(depth, "fence_ll();")
+		case ir.FenceLoadStore:
+			r.line(depth, "fence_ls();")
+		case ir.FenceAcquire:
+			r.line(depth, "fence_acq();")
+		case ir.FenceRelease:
+			r.line(depth, "fence_rel();")
 		default:
 			r.line(depth, "fence();")
 		}
@@ -256,7 +264,19 @@ func (p *Prog) Render() string {
 	return r.b.String()
 }
 
-// Compile renders and compiles the program to linked IR.
+// Compile renders and compiles the program to linked IR, then runs the
+// IR optimizer. The optimizer matters for semantics coverage, not just
+// size: the naive lowering of `u = x;` copies the loaded register into
+// the local's register immediately, and that use forces a deferred load
+// to resolve on the spot (and statically kills its candidate pairs) —
+// hiding every load-class reordering the RMO templates exist to
+// exercise. Copy propagation + DCE delete the move, so the loaded
+// register's first use is the publishing store after B_i.
 func (p *Prog) Compile() (*ir.Program, error) {
-	return lang.Compile(p.Render())
+	prog, err := lang.Compile(p.Render())
+	if err != nil {
+		return nil, err
+	}
+	ir.Optimize(prog)
+	return prog, nil
 }

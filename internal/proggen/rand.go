@@ -101,8 +101,8 @@ func (g *randGen) stmt(depth int) Stmt {
 		return Stmt{Kind: SCas, G: g.global(), Old: int64(g.rng.Intn(2)), New: int64(1 + g.rng.Intn(3))}
 	case n < 62: // cas into local
 		return Stmt{Kind: SCasTo, L: g.local(), G: g.global(), Old: int64(g.rng.Intn(2)), New: int64(1 + g.rng.Intn(3))}
-	case n < 66: // fence (any kind; the interpreter drains fully for all)
-		kinds := []ir.FenceKind{ir.FenceFull, ir.FenceStoreStore, ir.FenceStoreLoad}
+	case n < 66: // fence, drawn from the full vocabulary
+		kinds := ir.FenceKinds()
 		return Stmt{Kind: SFence, Fence: kinds[g.rng.Intn(len(kinds))]}
 	case n < 72: // local arithmetic
 		return Stmt{Kind: SLocalAdd, L: g.local(), Val: int64(1 + g.rng.Intn(2))}

@@ -1,0 +1,148 @@
+package proggen
+
+// Corpus-wide cross-check of the static fence synthesis
+// (staticanalysis.Fix) against the two independent ground truths this
+// package owns:
+//
+//   - the exhaustive enumerator: a statically fixed template must have no
+//     reachable violation under its model (soundness);
+//   - dynamic synthesis: running core.Synthesize on the fixed program
+//     must converge with zero additional fences (the static repair
+//     subsumes the dynamic one).
+//
+// Plus the placement's own contracts: determinism (bit-identical across
+// runs), non-redundancy (dropping any fence breaks robustness), and the
+// cost ceiling (never costlier than one full fence per delay L).
+
+import (
+	"fmt"
+	"testing"
+
+	"dfence/internal/core"
+	"dfence/internal/memmodel"
+	"dfence/internal/spec"
+	"dfence/internal/staticanalysis"
+)
+
+// fixModels are the relaxed models the cross-check sweeps. SC is omitted:
+// every program is robust under SC and Fix degenerates to "no fences".
+var fixModels = []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO}
+
+// bareTemplates compiles every bare template admissible under model with
+// the given thread counts.
+func bareTemplates(t *testing.T, model memmodel.Model, threads []int) []*Prog {
+	t.Helper()
+	var out []*Prog
+	for _, n := range threads {
+		for _, shape := range staticanalysis.CriticalCycleShapes(model, n) {
+			out = append(out, TemplateProg(shape, VariantBare))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no %v cycle shapes — RelaxedEdgeKinds broken?", model)
+	}
+	return out
+}
+
+func TestStaticFixTemplatesSoundAndMinimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enumerates every fixed template in full")
+	}
+	for _, model := range fixModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			for _, p := range bareTemplates(t, model, []int{2, 3}) {
+				prog, err := p.Compile()
+				if err != nil {
+					t.Fatalf("%s: compile: %v", p.Name, err)
+				}
+				fr, err := staticanalysis.Fix(prog, model)
+				if err != nil {
+					t.Fatalf("%s: Fix: %v", p.Name, err)
+				}
+				if len(fr.Placements) == 0 {
+					t.Errorf("%s: bare template robust under %v — template generation lost its cycle", p.Name, model)
+					continue
+				}
+				if fr.Truncated || fr.Baseline {
+					t.Errorf("%s: litmus-sized fix hit the solver budget (truncated=%v baseline=%v)",
+						p.Name, fr.Truncated, fr.Baseline)
+				}
+				if fr.TotalCost > fr.BaselineCost {
+					t.Errorf("%s: TotalCost %d exceeds the all-full-fence baseline %d",
+						p.Name, fr.TotalCost, fr.BaselineCost)
+				}
+				// Determinism: same input, bit-identical placement.
+				fr2, err := staticanalysis.Fix(prog, model)
+				if err != nil {
+					t.Fatalf("%s: second Fix: %v", p.Name, err)
+				}
+				if fmt.Sprint(fr.Placements) != fmt.Sprint(fr2.Placements) {
+					t.Errorf("%s: nondeterministic placement:\n  first  %v\n  second %v",
+						p.Name, fr.Placements, fr2.Placements)
+				}
+				// Soundness per the exhaustive enumerator: the fixed
+				// program reaches no violation under the model.
+				fenced := prog.Clone()
+				if err := staticanalysis.Apply(fenced, fr.Placements); err != nil {
+					t.Fatalf("%s: Apply: %v", p.Name, err)
+				}
+				er := Enumerate(fenced, model, EnumOptions{})
+				if !er.Complete {
+					t.Errorf("%s: enumeration of the fixed program hit its budget — cannot certify", p.Name)
+				} else if er.HasViolation() {
+					t.Errorf("%s: fixed program still violates under %v: %v\nplacements: %v",
+						p.Name, model, er.SortedViolations(), fr.Placements)
+				}
+				// Non-redundancy: dropping any placement re-opens a cycle.
+				if err := staticanalysis.CheckNonRedundant(prog, model, fr); err != nil {
+					t.Errorf("%s: %v", p.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestStaticFixSubsumesDynamicSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dynamic synthesis per fixed template")
+	}
+	for _, model := range fixModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			// 2-thread shapes keep the dynamic budget small; the 3-thread
+			// shapes exercise the same code paths in the enumerator test.
+			for _, p := range bareTemplates(t, model, []int{2}) {
+				prog, err := p.Compile()
+				if err != nil {
+					t.Fatalf("%s: compile: %v", p.Name, err)
+				}
+				fr, err := staticanalysis.Fix(prog, model)
+				if err != nil {
+					t.Fatalf("%s: Fix: %v", p.Name, err)
+				}
+				fenced := prog.Clone()
+				if err := staticanalysis.Apply(fenced, fr.Placements); err != nil {
+					t.Fatalf("%s: Apply: %v", p.Name, err)
+				}
+				res, err := core.Synthesize(fenced, core.Config{
+					Model:         model,
+					Criterion:     spec.MemorySafety,
+					ExecsPerRound: 300,
+					MaxRounds:     4,
+					Seed:          7,
+				})
+				if err != nil {
+					t.Fatalf("%s: Synthesize on fixed program: %v", p.Name, err)
+				}
+				if len(res.Fences) != 0 {
+					t.Errorf("%s: dynamic synthesis added %d fence(s) to a statically fixed program under %v: %v",
+						p.Name, len(res.Fences), model, res.Fences)
+				}
+				if res.Outcome != core.OutcomeConverged {
+					t.Errorf("%s: dynamic synthesis on fixed program: outcome %v, want converged", p.Name, res.Outcome)
+				}
+			}
+		})
+	}
+}

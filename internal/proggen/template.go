@@ -2,25 +2,33 @@ package proggen
 
 // Litmus-template instantiation: turn an abstract critical-cycle shape
 // (staticanalysis.CriticalCycleShapes) into a concrete program with a
-// known-forbidden outcome. Thread i of an n-thread shape performs
+// known-forbidden outcome. Thread i of an n-thread shape with edge kind
+// e_i performs
 //
-//	A_i: x_i = 1
-//	B_i: load  x_{(i+1)%n}  (EdgeStoreLoad; result published via r_i)
-//	     store x_{(i+1)%n} = 2 (EdgeStoreStore)
+//	A_i: x_i = 1          (e_i.AClass() == store)
+//	     load x_i → a_i   (e_i.AClass() == load; published after B_i)
+//	B_i: x_{(i+1)%n} = 2  (e_i.BClass() == store)
+//	     load x_{(i+1)%n} → r_i (e_i.BClass() == load)
 //
 // and the forbidden outcome is the conjunction of the conflict-edge
-// witnesses: r_i == 0 for a load edge (B_i read x_{i+1}'s initial value,
-// so it executed before A_{i+1} committed — an fr edge) and x_{i+1} == 1
-// for a store edge (A_{i+1}'s value survived, so B_i's store committed
-// first — a co edge). If every thread's A_i commits before its B_i takes
-// effect the witnesses chain into a cycle A_0 < B_0 ≤ A_1 < B_1 ≤ … < A_0,
-// a contradiction: the outcome is unreachable under SC. Conversely, as
-// soon as the model relaxes even one thread's po edge the chain breaks
-// and the store-buffer semantics reach the outcome (delay that one A in
-// its buffer, run everything else SC) — which is also why repairing a
-// template requires a fence in *every* thread whose edge the model
-// relaxes. main asserts the negation, so the outcome is a memory-safety
-// violation dynamic synthesis can chase.
+// witnesses between B_i and A_{i+1}, both at x_{i+1}, each asserting
+// that B_i took effect before A_{i+1}:
+//
+//	B_i store, A_{i+1} store:  x_{i+1} == 1  (A's value survived — co)
+//	B_i store, A_{i+1} load:   a_{i+1} == 2  (A read B's value — rf)
+//	B_i load,  A_{i+1} store:  r_i == 0      (B read the initial value — fr)
+//
+// (both loads cannot conflict; CriticalCycleShapes filters those shapes
+// out). If every thread's A_i takes effect before its B_i the witnesses
+// chain into a cycle A_0 < B_0 ≤ A_1 < B_1 ≤ … < A_0, a contradiction:
+// the outcome is unreachable under SC. Conversely, as soon as the model
+// relaxes even one thread's po edge (a buffered store or a deferred
+// load) the chain breaks and the relaxed semantics reach the outcome —
+// which is also why repairing a template requires a fence in *every*
+// thread whose edge the model relaxes. The load-class shapes are exactly
+// the RMO litmus family: MP-without-dependencies is (st,st)+(ld,ld), LB
+// is (ld,st)+(ld,st). main asserts the negation, so the outcome is a
+// memory-safety violation dynamic synthesis can chase.
 
 import (
 	"fmt"
@@ -72,27 +80,54 @@ func TemplateProg(shape staticanalysis.CycleShape, variant TemplateVariant) *Pro
 		p.Globals = append(p.Globals, Global{Name: fmt.Sprintf("x%d", i)})
 	}
 	for i, e := range shape.Edges {
+		self := fmt.Sprintf("x%d", i)
 		next := fmt.Sprintf("x%d", (i+1)%n)
 		t := Thread{}
-		t.Stmts = append(t.Stmts, Stmt{Kind: SStoreConst, G: fmt.Sprintf("x%d", i), Val: 1}) // A_i
+		// Observations are published after B_i so the publishing stores
+		// cannot sit between A_i and B_i and perturb the cycle.
+		var publish []Stmt
+		if e.AClass() == ir.ClassLoad {
+			a := fmt.Sprintf("a%d", i)
+			p.Globals = append(p.Globals, Global{Name: a})
+			t.Stmts = append(t.Stmts, Stmt{Kind: SLoad, L: "u", G: self}) // A_i
+			publish = append(publish, Stmt{Kind: SStoreLocal, G: a, L: "u"})
+			p.Observe = append(p.Observe, a)
+		} else {
+			t.Stmts = append(t.Stmts, Stmt{Kind: SStoreConst, G: self, Val: 1}) // A_i
+		}
 		if variant == VariantFenced || (variant == VariantPartial && i == 0) {
 			t.Stmts = append(t.Stmts, Stmt{Kind: SFence, Fence: ir.FenceFull})
 		}
-		switch e {
-		case staticanalysis.EdgeStoreLoad:
+		if e.BClass() == ir.ClassLoad {
 			r := fmt.Sprintf("r%d", i)
 			p.Globals = append(p.Globals, Global{Name: r})
-			t.Stmts = append(t.Stmts,
-				Stmt{Kind: SLoad, L: "v", G: next},    // B_i
-				Stmt{Kind: SStoreLocal, G: r, L: "v"}) // publish the observation
-			p.Forbidden = append(p.Forbidden, Cond{Global: r, Equals: 0})
+			t.Stmts = append(t.Stmts, Stmt{Kind: SLoad, L: "v", G: next}) // B_i
+			publish = append(publish, Stmt{Kind: SStoreLocal, G: r, L: "v"})
 			p.Observe = append(p.Observe, r)
-		case staticanalysis.EdgeStoreStore:
+		} else {
 			t.Stmts = append(t.Stmts, Stmt{Kind: SStoreConst, G: next, Val: 2}) // B_i
-			p.Forbidden = append(p.Forbidden, Cond{Global: next, Equals: 1})
-			p.Observe = append(p.Observe, next)
 		}
+		t.Stmts = append(t.Stmts, publish...)
 		p.Threads = append(p.Threads, t)
+	}
+	// Conflict-edge witnesses: one per adjacent pair (B_i, A_{i+1}), both
+	// at x_{i+1}, each asserting B_i took effect first.
+	for i, e := range shape.Edges {
+		j := (i + 1) % n
+		bc, ac := e.BClass(), shape.Edges[j].AClass()
+		switch {
+		case bc == ir.ClassStore && ac == ir.ClassStore:
+			p.Forbidden = append(p.Forbidden, Cond{Global: fmt.Sprintf("x%d", j), Equals: 1})
+			p.Observe = append(p.Observe, fmt.Sprintf("x%d", j))
+		case bc == ir.ClassStore && ac == ir.ClassLoad:
+			p.Forbidden = append(p.Forbidden, Cond{Global: fmt.Sprintf("a%d", j), Equals: 2})
+		case bc == ir.ClassLoad && ac == ir.ClassStore:
+			p.Forbidden = append(p.Forbidden, Cond{Global: fmt.Sprintf("r%d", i), Equals: 0})
+		default:
+			// Load-load conflicts are filtered out by CriticalCycleShapes;
+			// reaching here means the shape is malformed.
+			panic(fmt.Sprintf("proggen: shape %s has load-load conflict at edge %d", shape.Name(), i))
+		}
 	}
 	return p
 }

@@ -63,6 +63,12 @@ type Options struct {
 	// stores flushes one instead of executing (paper §6.5: ~0.1 for TSO,
 	// ~0.5 for PSO).
 	FlushProb float64
+	// ResolveProb is the probability that a thread with deferred loads
+	// (load-deferring models such as RMO) resolves one — at a uniformly
+	// random queue position, which is what realizes load-load/load-store
+	// reordering — instead of executing. 0 means "use FlushProb", keeping
+	// the two delay disciplines aligned by default.
+	ResolveProb float64
 	// MaxSteps bounds the execution; runs that exceed it are reported with
 	// StepLimitHit and treated as inconclusive.
 	MaxSteps int
@@ -81,6 +87,26 @@ type Options struct {
 	// maximal delay of one store a certainty per execution. Victim choice
 	// is seed-deterministic.
 	Starve bool
+	// StarveLoads enables the load-starvation discipline (meaningful only
+	// under load-deferring models): the first thread the scheduler picks
+	// whose next instruction would force-resolve a pending deferred load
+	// names a per-execution victim; the victim is not executed while
+	// another thread can make real progress — it may still flush and
+	// resolve by coin, but its dependent instruction waits. This is the
+	// load-class analogue of Starve. A deferred load's window typically
+	// ends one instruction after it opens (the loaded register is used
+	// almost immediately, which force-resolves), so witnesses that need
+	// one thread's load to out-defer another thread's entire run
+	// (one-sided load-buffering residuals) require the scheduler to avoid
+	// the deferring thread for the whole window — exponentially unlikely
+	// under uniform picks; the vow makes it a certainty. A single victim,
+	// not all deferring threads: vowing everyone blocks every thread's
+	// progress at once and the witness's ordering dissolves into coin
+	// noise. Victim choice is seed-deterministic, and the vow is released
+	// (and re-chooseable) once the victim's deferred queue drains.
+	// Liveness is preserved: the vow yields when no other thread can
+	// execute.
+	StarveLoads bool
 	// Timeout bounds the execution's wall-clock time (0 = none). A run
 	// that exceeds it stops at the next budget check and is reported with
 	// TimedOut set — inconclusive, like a step-limit hit. Unlike MaxSteps
@@ -150,6 +176,12 @@ type worker struct {
 	stTid    int
 	stAddr   int64
 	stSteps  int
+	// Load-starvation vow (Options.StarveLoads): once ldChosen, thread
+	// ldTid is not executed past a force-resolving instruction while
+	// another thread can execute. Released when ldTid's deferred queue
+	// drains. Reset per run.
+	ldChosen bool
+	ldTid    int
 }
 
 // Run executes prog once under the given memory model and scheduling
@@ -199,6 +231,7 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 	}
 	rng := w.rng
 	w.stChosen = false
+	w.ldChosen = false
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 200000
@@ -206,6 +239,10 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 	changePoints := opts.ChangePoints
 	if changePoints <= 0 {
 		changePoints = 30
+	}
+	resolveProb := opts.ResolveProb
+	if resolveProb == 0 {
+		resolveProb = opts.FlushProb
 	}
 	var deadline time.Time
 	if opts.Timeout > 0 {
@@ -269,26 +306,66 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		t := m.Threads()[tid]
 
 		if !m.CanExec(tid) {
-			// Finished or join-blocked thread with pending stores: its only
-			// action is a flush — but the flush-delaying coin applies here
-			// too. Flushing unconditionally would commit a dead thread's
-			// stores within ~2 picks, making witnesses that need such a
-			// store to land late (2+2W-style write cycles) exponentially
-			// unlikely. Defer while some other thread can make real
-			// progress; when flushing is the only possible action the flush
-			// is forced, which keeps every schedule live.
+			// Finished or join-blocked thread with pending stores or
+			// deferred loads: its only actions are flushes and resolves —
+			// but the delay coins apply here too. Acting unconditionally
+			// would commit a dead thread's stores within ~2 picks, making
+			// witnesses that need such a store to land late (2+2W-style
+			// write cycles) exponentially unlikely. Defer while some other
+			// thread can make real progress; when this thread's action is
+			// the only possible one it is forced, which keeps every
+			// schedule live.
 			if !anyExec {
-				w.tryFlush(t, tid, opts.Starve, true, tr)
+				if !w.tryFlush(t, tid, opts.Starve, true, tr) {
+					w.tryResolve(tid, tr)
+				}
 				continue
 			}
-			if !(rng.Float64() < opts.FlushProb) || !w.tryFlush(t, tid, opts.Starve, false, tr) {
+			acted := false
+			if rng.Float64() < opts.FlushProb {
+				acted = w.tryFlush(t, tid, opts.Starve, false, tr)
+			}
+			if !acted && m.CanResolve(tid) && rng.Float64() < resolveProb {
+				acted = w.tryResolve(tid, tr)
+			}
+			if !acted && opts.Strategy == Priority {
+				// Deferral must demote, or the highest-priority thread
+				// would be re-picked to defer forever.
+				priorities[tid] = rng.Float64() * priorities[lowest(priorities)]
+			}
+			continue
+		}
+		if opts.StarveLoads {
+			if w.ldChosen && !m.CanResolve(w.ldTid) {
+				w.ldChosen = false // victim's queue drained: vow over
+			}
+			if !w.ldChosen && m.NextForcesResolve(tid) {
+				w.ldChosen, w.ldTid = true, tid
+			}
+			if w.ldChosen && w.ldTid == tid && m.NextForcesResolve(tid) && canExecOther(m, actable, tid) {
+				// Load-starvation vow: executing the victim's next
+				// instruction would end a deferred load's window. The flush
+				// coin still applies (committing the victim's earlier
+				// stores is exactly what a load-buffering witness needs),
+				// and the resolve coin retires deferred loads from the
+				// queue's tail — later loads committing first is load-load
+				// reordering — while never touching the oldest entry, whose
+				// window the vow protects. The dependent instruction waits
+				// until no other thread can execute.
+				acted := false
+				if rng.Float64() < opts.FlushProb {
+					acted = w.tryFlush(t, tid, opts.Starve, false, tr)
+				}
+				if !acted && rng.Float64() < resolveProb {
+					w.tryResolveTail(tid, tr)
+				}
 				if opts.Strategy == Priority {
 					// Deferral must demote, or the highest-priority thread
 					// would be re-picked to defer forever.
 					priorities[tid] = rng.Float64() * priorities[lowest(priorities)]
 				}
+				continue
 			}
-			continue
 		}
 		if !t.Buffers().Empty() && rng.Float64() < opts.FlushProb {
 			if w.tryFlush(t, tid, opts.Starve, false, tr) {
@@ -296,6 +373,11 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			}
 			// Only the starvation victim is pending: execute instead of
 			// breaking the vow.
+		}
+		if m.CanResolve(tid) && rng.Float64() < resolveProb {
+			if w.tryResolve(tid, tr) {
+				continue
+			}
 		}
 		kind := m.StepThread(tid)
 		if tr != nil {
@@ -308,6 +390,12 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			if m.Violation() != nil || m.Steps() >= maxSteps || !m.CanExec(tid) {
 				break
 			}
+			if opts.StarveLoads && m.NextForcesResolve(tid) {
+				// The load-starvation vow guards force-resolving
+				// instructions at pick time; stepping into one inside the
+				// reduction window would bypass it.
+				break
+			}
 			kind = m.StepThread(tid)
 			if tr != nil {
 				tr.record(tid, false, 0)
@@ -315,6 +403,18 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		}
 	}
 	return m.Result(true)
+}
+
+// canExecOther reports whether any actable thread other than tid can
+// execute its next instruction — the liveness guard of the
+// load-starvation vow.
+func canExecOther(m *interp.Machine, actable []int, tid int) bool {
+	for _, cand := range actable {
+		if cand != tid && m.CanExec(cand) {
+			return true
+		}
+	}
+	return false
 }
 
 // lowest returns the index of the smallest priority.
@@ -345,11 +445,12 @@ const starveVowSteps = 4096
 // thereafter refuses to flush it unless forced (no thread can execute, or
 // nothing else is pending on a forced call) — until the vow expires
 // starveVowSteps machine steps after it was sworn. It reads the
-// pending-address view in place (no copy): the slice is consumed before
-// the FlushOne mutation invalidates it.
+// flushable-address view in place (no copy): the slice is consumed before
+// the FlushOne mutation invalidates it. Flushable (not merely pending)
+// addresses are offered, so store-store barrier epochs are respected.
 func (w *worker) tryFlush(t *interp.Thread, tid int, starve, forced bool, tr *Trace) bool {
 	m := &w.m
-	pend := t.Buffers().PendingAddrsView()
+	pend := t.Buffers().FlushableAddrsView()
 	if len(pend) == 0 {
 		return false
 	}
@@ -398,6 +499,40 @@ func (w *worker) tryFlush(t *interp.Thread, tid int, starve, forced bool, tr *Tr
 	m.FlushOne(tid, addr)
 	if tr != nil {
 		tr.record(tid, true, addr)
+	}
+	return true
+}
+
+// tryResolve performs the deferred read of one pending load of thread
+// tid, at a uniformly random queue position — under load-deferring models
+// the position choice is the scheduler's load-reordering decision — and
+// reports whether a load was resolved.
+func (w *worker) tryResolve(tid int, tr *Trace) bool {
+	m := &w.m
+	n := m.DeferredCount(tid)
+	if n == 0 {
+		return false
+	}
+	idx := w.rng.Intn(n)
+	m.ResolveOne(tid, idx)
+	if tr != nil {
+		tr.recordResolve(tid, idx)
+	}
+	return true
+}
+
+// tryResolveTail resolves thread tid's newest deferred load, refusing to
+// touch the oldest entry — the load whose deferral window the
+// load-starvation vow protects. Reports whether a load was resolved.
+func (w *worker) tryResolveTail(tid int, tr *Trace) bool {
+	m := &w.m
+	n := m.DeferredCount(tid)
+	if n < 2 {
+		return false
+	}
+	m.ResolveOne(tid, n-1)
+	if tr != nil {
+		tr.recordResolve(tid, n-1)
 	}
 	return true
 }

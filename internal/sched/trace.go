@@ -11,13 +11,16 @@ import (
 )
 
 // Decision is one scheduling choice: which thread acted and whether it
-// flushed (and which address) or executed instructions.
+// flushed a buffered store (and which address), resolved a deferred load
+// (and which queue index), or executed instructions.
 type Decision struct {
-	Thread int
-	Flush  bool
-	Addr   int64 // flushed address (PSO); ignored for execution steps
+	Thread  int
+	Flush   bool
+	Resolve bool
+	Addr    int64 // flushed address (per-address models); ignored otherwise
+	Idx     int   // resolved deferred-load queue index (Resolve only)
 	// Steps is the number of consecutive execution steps taken (the POR
-	// burst length); 1 for flushes.
+	// burst length); 1 for flushes and resolves.
 	Steps int
 }
 
@@ -30,14 +33,17 @@ type Trace struct {
 	Decisions []Decision
 }
 
-// String renders the schedule compactly: "t0×5 t1⤓x t1×2 ...".
+// String renders the schedule compactly: "t0×5 t1⤓x t1⟲0 t1×2 ...".
 func (tr *Trace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%v]", tr.Model)
 	for _, d := range tr.Decisions {
-		if d.Flush {
+		switch {
+		case d.Flush:
 			fmt.Fprintf(&b, " t%d⤓%d", d.Thread, d.Addr)
-		} else {
+		case d.Resolve:
+			fmt.Fprintf(&b, " t%d⟲%d", d.Thread, d.Idx)
+		default:
 			fmt.Fprintf(&b, " t%d×%d", d.Thread, d.Steps)
 		}
 	}
@@ -52,13 +58,18 @@ func (tr *Trace) Len() int { return len(tr.Decisions) }
 func (tr *Trace) record(thread int, flush bool, addr int64) {
 	if !flush && len(tr.Decisions) > 0 {
 		last := &tr.Decisions[len(tr.Decisions)-1]
-		if !last.Flush && last.Thread == thread {
+		if !last.Flush && !last.Resolve && last.Thread == thread {
 			last.Steps++
 			return
 		}
 	}
 	d := Decision{Thread: thread, Flush: flush, Addr: addr, Steps: 1}
 	tr.Decisions = append(tr.Decisions, d)
+}
+
+// recordResolve appends a deferred-load resolution decision.
+func (tr *Trace) recordResolve(thread, idx int) {
+	tr.Decisions = append(tr.Decisions, Decision{Thread: thread, Resolve: true, Idx: idx, Steps: 1})
 }
 
 // RunTraced is Run but additionally records the schedule, returning it
@@ -89,18 +100,27 @@ func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Resul
 			m.FlushOne(d.Thread, d.Addr)
 			continue
 		}
+		if d.Resolve {
+			if d.Idx >= m.DeferredCount(d.Thread) {
+				return m.Result(false), false
+			}
+			m.ResolveOne(d.Thread, d.Idx)
+			continue
+		}
 		for i := 0; i < d.Steps; i++ {
 			if m.Violation() != nil {
 				return m.Result(false), true // reproduced the violation
 			}
-			if !m.CanExec(d.Thread) && !m.CanFlush(d.Thread) {
+			if !m.CanExec(d.Thread) && !m.CanFlush(d.Thread) && !m.CanResolve(d.Thread) {
 				return m.Result(false), false
 			}
 			m.StepThread(d.Thread)
 		}
 	}
 	// Drain any remainder deterministically (round-robin) so the result is
-	// complete even if the trace was cut at the violation.
+	// complete even if the trace was cut at the violation. Flushes pick a
+	// currently flushable address (store-store barriers can park the oldest
+	// pending address); resolves retire the queue head.
 	for guard := 0; !m.Done() && guard < 1_000_000; guard++ {
 		moved := false
 		for tid := 0; tid < len(m.Threads()); tid++ {
@@ -109,9 +129,14 @@ func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Resul
 				moved = true
 				break
 			}
+			if m.CanResolve(tid) {
+				m.ResolveOne(tid, 0)
+				moved = true
+				break
+			}
 			if m.CanFlush(tid) {
-				pend := m.Threads()[tid].Buffers().PendingAddrs()
-				m.FlushOne(tid, pend[0])
+				fl := m.Threads()[tid].Buffers().FlushableAddrs()
+				m.FlushOne(tid, fl[0])
 				moved = true
 				break
 			}

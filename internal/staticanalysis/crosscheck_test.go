@@ -89,7 +89,7 @@ func checkSuperset(t *testing.T, name string, prog *ir.Program, model memmodel.M
 func TestCrossCheckLitmus(t *testing.T) {
 	total := 0
 	for _, test := range litmus.All() {
-		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO} {
 			test, model := test, model
 			t.Run(test.Name+"/"+model.String(), func(t *testing.T) {
 				total += checkSuperset(t, test.Name, test.Program(), model, 150)
@@ -107,7 +107,7 @@ func TestCrossCheckBenchmarks(t *testing.T) {
 		runs = 10
 	}
 	for _, b := range progs.All() {
-		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO} {
 			t.Run(b.Name+"/"+model.String(), func(t *testing.T) {
 				checkSuperset(t, b.Name, b.Program(), model, runs)
 			})
@@ -120,7 +120,7 @@ func TestCrossCheckMailbox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO} {
 		checkSuperset(t, "mailbox", prog, model, 200)
 	}
 }

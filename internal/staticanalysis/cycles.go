@@ -6,34 +6,69 @@ package staticanalysis
 // so a test generator (internal/proggen) can instantiate each one as a
 // litmus program with a known-forbidden outcome. A shape is a Shasha–Snir
 // critical cycle in which *every* program-order edge is relaxed by the
-// model: thread i performs A_i (a store to location i) followed by B_i (an
-// access of location i+1 mod n), and the conflict edges B_i → A_{i+1}
+// model: thread i performs A_i (an access of location i) followed by B_i
+// (an access of location i+1 mod n), and the conflict edges B_i → A_{i+1}
 // close the cycle. With all po edges intact (SC, or any model once fences
 // are inserted) the conjunction of the conflict-edge witnesses is
 // unsatisfiable; with every edge relaxed the store-buffer semantics
-// exhibit it.
+// exhibit it. A conflict edge needs at least one write, so shapes where
+// B_i and A_{i+1} are both loads are rejected (see CriticalCycleShapes).
 
 import (
 	"fmt"
 	"strings"
 
+	"dfence/internal/ir"
 	"dfence/internal/memmodel"
 )
 
 // EdgeKind classifies one thread's relaxed program-order edge in a cycle
-// shape: the kind of the B access that the pending A store is delayed
-// past.
+// shape: the class of the pending A access and of the B access it is
+// delayed past.
 type EdgeKind uint8
 
 const (
-	// EdgeStoreLoad is A: store loc[i]; B: load loc[i+1]. Relaxed by TSO
-	// and PSO; the fr-edge witness is "the load saw the initial value".
+	// EdgeStoreLoad is A: store loc[i]; B: load loc[i+1]. Relaxed by TSO,
+	// PSO, and RMO; the fr-edge witness is "the load saw the initial
+	// value".
 	EdgeStoreLoad EdgeKind = iota
-	// EdgeStoreStore is A: store loc[i]; B: store loc[i+1]. Relaxed only
-	// by PSO; the co-edge witness is "location i+1 ended with A_{i+1}'s
-	// value, so B_i committed first".
+	// EdgeStoreStore is A: store loc[i]; B: store loc[i+1]. Relaxed by
+	// PSO and RMO; the co-edge witness is "location i+1 ended with
+	// A_{i+1}'s value, so B_i committed first".
 	EdgeStoreStore
+	// EdgeLoadLoad is A: load loc[i]; B: load loc[i+1]. Relaxed only by
+	// load-deferring models (RMO): A defers and resolves after B; the
+	// witness is "A read a value written after B was read".
+	EdgeLoadLoad
+	// EdgeLoadStore is A: load loc[i]; B: store loc[i+1]. Relaxed only by
+	// load-deferring models (RMO): A defers past the B store; the witness
+	// is "A observed a write that B's commit transitively enabled".
+	EdgeLoadStore
 )
+
+// EdgeKinds lists every edge kind in declaration order — the iteration
+// order RelaxedEdgeKinds and the shape enumeration use.
+func EdgeKinds() []EdgeKind {
+	return []EdgeKind{EdgeStoreLoad, EdgeStoreStore, EdgeLoadLoad, EdgeLoadStore}
+}
+
+// AClass returns the access class of the edge's A (the pending access
+// that is delayed).
+func (k EdgeKind) AClass() ir.AccessClass {
+	if k == EdgeLoadLoad || k == EdgeLoadStore {
+		return ir.ClassLoad
+	}
+	return ir.ClassStore
+}
+
+// BClass returns the access class of the edge's B (the later access the
+// pending A is delayed past).
+func (k EdgeKind) BClass() ir.AccessClass {
+	if k == EdgeStoreLoad || k == EdgeLoadLoad {
+		return ir.ClassLoad
+	}
+	return ir.ClassStore
+}
 
 func (k EdgeKind) String() string {
 	switch k {
@@ -41,21 +76,25 @@ func (k EdgeKind) String() string {
 		return "st-ld"
 	case EdgeStoreStore:
 		return "st-st"
+	case EdgeLoadLoad:
+		return "ld-ld"
+	case EdgeLoadStore:
+		return "ld-st"
 	}
 	return fmt.Sprintf("edgekind(%d)", uint8(k))
 }
 
 // RelaxedEdgeKinds returns the edge kinds the model can reorder, in
-// declaration order. It is driven by the same capability predicates the
-// delay-set analysis uses (relaxedKind), so the generative and detecting
-// directions can never disagree about which shapes a model admits.
+// declaration order. It is driven by the same reordering matrix the
+// delay-set analysis uses (memmodel.Model.Relaxes), so the generative
+// and detecting directions can never disagree about which shapes a model
+// admits.
 func RelaxedEdgeKinds(model memmodel.Model) []EdgeKind {
 	var out []EdgeKind
-	if model.RelaxesStoreLoad() {
-		out = append(out, EdgeStoreLoad)
-	}
-	if model.RelaxesStoreStore() {
-		out = append(out, EdgeStoreStore)
+	for _, k := range EdgeKinds() {
+		if model.Relaxes(k.AClass(), k.BClass()) {
+			out = append(out, k)
+		}
 	}
 	return out
 }
@@ -83,10 +122,14 @@ func (s CycleShape) Name() string {
 
 // CriticalCycleShapes enumerates every cycle shape of the given size whose
 // edges are all relaxed by the model, in a deterministic order (the
-// mixed-radix counting order over RelaxedEdgeKinds). SC relaxes nothing
-// and admits no shapes; TSO admits exactly the all-store-load cycle; PSO
-// admits all 2^threads combinations. threads must be ≥ 2 for a cycle to
-// involve a conflict between distinct threads.
+// mixed-radix counting order over RelaxedEdgeKinds). Shapes with an
+// invalid conflict edge are dropped: the edge B_i → A_{i+1} relates two
+// accesses of location i+1, and two reads never conflict, so either B_i
+// or A_{i+1} must be a store. SC relaxes nothing and admits no shapes;
+// TSO admits exactly the all-store-load cycle; PSO admits all 2^threads
+// store-edge combinations; RMO admits every adjacency-valid shape over
+// all four edge kinds. threads must be ≥ 2 for a cycle to involve a
+// conflict between distinct threads.
 func CriticalCycleShapes(model memmodel.Model, threads int) []CycleShape {
 	kinds := RelaxedEdgeKinds(model)
 	if len(kinds) == 0 || threads < 2 {
@@ -104,7 +147,17 @@ func CriticalCycleShapes(model memmodel.Model, threads int) []CycleShape {
 			edges[i] = kinds[v%len(kinds)]
 			v /= len(kinds)
 		}
-		out = append(out, CycleShape{Model: model, Edges: edges})
+		valid := true
+		for i := range edges {
+			next := edges[(i+1)%threads]
+			if edges[i].BClass() == ir.ClassLoad && next.AClass() == ir.ClassLoad {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			out = append(out, CycleShape{Model: model, Edges: edges})
+		}
 	}
 	return out
 }

@@ -5,11 +5,14 @@ package staticanalysis
 // (cf. Alglave, Kroening, Nimal & Poetzl, "Don't sit on the fence"):
 //
 //   - Candidates over-approximate every ordering predicate [L ⊰ K] the
-//     dynamic Collector can ever propose: L a shared store, K a later
-//     same-thread access of a kind the model relaxes, connected by an
-//     interprocedural path free of buffer-draining instructions, and not
-//     provably the same scalar location (the instrumented semantics only
-//     report *other*-address pending stores).
+//     dynamic Collector can ever propose: L a shared store (whose
+//     buffered write can commit late) or a shared load (whose deferred
+//     read can resolve late, under load-deferring models), K a later
+//     same-thread access whose class pair (class L, class K) the model's
+//     reordering matrix relaxes, connected by an interprocedural path
+//     free of instructions that order exactly that pair (see killsPair),
+//     and not provably the same scalar location (the instrumented
+//     semantics only report *other*-address pending accesses).
 //   - Delays refine Candidates to the pairs lying on a critical cycle of
 //     the static event graph: program-order edges within each thread
 //     root, conflict edges between may-aliasing accesses of different
@@ -260,16 +263,59 @@ func (a *analysis) buildEvents() {
 	}
 }
 
-// relaxedKind reports whether the model can delay a pending store past an
-// access of this kind, making it a legal K of a predicate: loads when the
-// model relaxes store→load order, stores and CAS when it relaxes
-// store→store order. (Under TSO a CAS is also a kill, so it never sees
-// pending stores; under SC nothing is relaxed and no candidates exist.)
-func relaxedKind(model memmodel.Model, op ir.Op) bool {
-	if op == ir.OpLoad {
-		return model.RelaxesStoreLoad()
+// killsPair reports whether executing in ends the reorderability of a
+// pending class-a access with any later class-b access, under model:
+//
+//   - A fence kills exactly the class pairs its declared coverage orders
+//     (FenceKind.Orders). Runtime over-delivery — a draining st-ld fence
+//     also orders st-st, a load-resolving release fence also orders
+//     ld-ld — only makes the dynamic engine propose fewer predicates,
+//     which keeps the static candidates a superset.
+//   - Fork is a full barrier: the interpreter drains the parent's
+//     buffers and resolves its deferred loads before the child starts.
+//   - Call, return, and join force the deferred-load queue to resolve
+//     (frames change, and registers must be concrete across them) but
+//     leave buffered stores pending.
+//   - CAS resolves the deferred-load queue, and on models with a single
+//     FIFO buffer (TSO) it also drains every pending store first. Under
+//     PSO/RMO it drains only its own address's buffer, so it is
+//     pending-transparent for store-class accesses (a sound
+//     over-approximation).
+//
+// For a == ClassLoad the caller must additionally kill on instructions
+// that use or redefine the deferred load's destination register (the
+// interpreter force-resolves on dependency) — see findCandidates.
+func killsPair(in *ir.Instr, model memmodel.Model, a, b ir.AccessClass) bool {
+	switch in.Op {
+	case ir.OpFence:
+		return in.Kind.Orders(a, b)
+	case ir.OpFork:
+		return true
+	case ir.OpCall, ir.OpRet, ir.OpJoin:
+		return a == ir.ClassLoad
+	case ir.OpCas:
+		return a == ir.ClassLoad || !model.RelaxesStoreStore()
 	}
-	return model.RelaxesStoreStore()
+	return false
+}
+
+// killsBeforeCas is the kill rule for a pending store-class access whose
+// K is a CAS. A CAS commits its write directly to memory, bypassing the
+// store buffers, so an epoch barrier (st-st or release fence) does not
+// order a pending store before it — only a fence that physically drains
+// the buffers (full, st-ld) does. The dynamic engine mirrors this: the
+// observe hook's epoch filter applies to buffered stores only, never to
+// CAS accesses.
+func killsBeforeCas(in *ir.Instr, model memmodel.Model) bool {
+	switch in.Op {
+	case ir.OpFence:
+		return in.Kind.DrainsStores()
+	case ir.OpFork:
+		return true
+	case ir.OpCas:
+		return !model.RelaxesStoreStore()
+	}
+	return false
 }
 
 // sameScalar reports that both accesses provably address the same
@@ -285,35 +331,94 @@ func (a *analysis) sameScalar(fL *ir.Func, L *ir.Instr, fK *ir.Func, K *ir.Instr
 	return g != nil && g.Size == 1
 }
 
-// findCandidates enumerates, per root, every (shared store L, later
-// access K) pair connected by a kill-free path.
+// findCandidates enumerates, per root, every (shared access L, later
+// access K) pair whose class pair the model relaxes, connected by a
+// kill-free path. L is a shared store (its buffered write can commit
+// late) or a shared load (its deferred read can resolve late); a CAS
+// never appears as L — it executes atomically, in place. The kill set
+// depends on the class pair — an (a, b)-covering fence orders only that
+// pair — so reachability is computed once per relaxed pair, and for a
+// deferred load additionally kills on any instruction that uses or
+// redefines its destination register (the interpreter force-resolves on
+// dependency). CAS K's of a pending store consult a separate
+// reachability under the stricter killsBeforeCas rule.
 func (a *analysis) findCandidates() {
 	a.candSites = make(map[Pair][][3]int)
 	seen := make(map[Pair]bool)
+	var regs []ir.Reg
 	for ri, g := range a.graphs {
 		for n := range g.nodes {
 			in := g.instr(n)
-			if !in.IsSharedStore() {
+			var ca ir.AccessClass
+			switch {
+			case in.IsSharedStore():
+				ca = ir.ClassStore
+			case in.IsSharedLoad():
+				ca = ir.ClassLoad
+			default:
 				continue
 			}
-			pending := g.pendingReach(n, a.model)
-			for m := range g.nodes {
-				if !pending.has(m) {
+			for _, cb := range ir.AccessClasses() {
+				if !a.model.Relaxes(ca, cb) {
 					continue
 				}
-				k := g.instr(m)
-				if !k.IsSharedAccess() || !relaxedKind(a.model, k.Op) {
-					continue
+				kill := func(x *ir.Instr) bool {
+					if killsPair(x, a.model, ca, cb) {
+						return true
+					}
+					if ca != ir.ClassLoad {
+						return false
+					}
+					// Dependency on the deferred load's destination
+					// forces resolution. Register numbers are
+					// per-function, but every interprocedural edge goes
+					// through a call or ret, which kill load-class
+					// pending above — so the comparison never crosses a
+					// function boundary.
+					if x.Def() == in.Dst {
+						return true
+					}
+					regs = x.Uses(regs[:0])
+					for _, r := range regs {
+						if r == in.Dst {
+							return true
+						}
+					}
+					return false
 				}
-				if a.sameScalar(g.nodes[n].fn, in, g.nodes[m].fn, k) {
-					continue
+				pending := g.pendingReach(n, kill)
+				var pendingCas bitvec
+				if ca == ir.ClassStore && cb == ir.ClassStore {
+					pendingCas = g.pendingReach(n, func(x *ir.Instr) bool {
+						return killsBeforeCas(x, a.model)
+					})
 				}
-				pair := Pair{L: in.Label, K: k.Label}
-				if !seen[pair] {
-					seen[pair] = true
-					a.candidates = append(a.candidates, pair)
+				for m := range g.nodes {
+					k := g.instr(m)
+					if !k.IsSharedAccess() {
+						continue
+					}
+					kc, _ := ir.ClassOf(k.Op)
+					if kc != cb {
+						continue
+					}
+					set := pending
+					if k.Op == ir.OpCas && pendingCas != nil {
+						set = pendingCas
+					}
+					if !set.has(m) {
+						continue
+					}
+					if a.sameScalar(g.nodes[n].fn, in, g.nodes[m].fn, k) {
+						continue
+					}
+					pair := Pair{L: in.Label, K: k.Label}
+					if !seen[pair] {
+						seen[pair] = true
+						a.candidates = append(a.candidates, pair)
+					}
+					a.candSites[pair] = append(a.candSites[pair], [3]int{ri, n, m})
 				}
-				a.candSites[pair] = append(a.candSites[pair], [3]int{ri, n, m})
 			}
 		}
 	}

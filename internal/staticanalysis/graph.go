@@ -10,7 +10,6 @@ import (
 	"sort"
 
 	"dfence/internal/ir"
-	"dfence/internal/memmodel"
 )
 
 // bitvec is a dense bitset over node indices.
@@ -127,28 +126,14 @@ func buildRootGraph(p *ir.Program, root string) *rootGraph {
 	return g
 }
 
-// kills reports whether executing the instruction forcibly drains the
-// thread's store buffers, ending every pending store's lifetime: fences
-// always, fork always (the interpreter drains the parent before the new
-// thread starts), and CAS on models whose single FIFO must fully drain
-// first (TSO). Under PSO a CAS drains only its own address's buffer, so
-// it is not a kill for other locations (keeping it pending-transparent
-// over-approximates soundly).
-func kills(in *ir.Instr, model memmodel.Model) bool {
-	switch in.Op {
-	case ir.OpFence, ir.OpFork:
-		return true
-	case ir.OpCas:
-		return !model.RelaxesStoreStore()
-	}
-	return false
-}
-
-// pendingReach returns the nodes a pending store buffered at node n can
+// pendingReach returns the nodes a pending access issued at node n can
 // still be pending at: every node reachable from n in >= 1 step without
-// passing through a buffer-draining instruction. Kill nodes themselves
-// are not in the result — by the time they execute, the buffers drained.
-func (g *rootGraph) pendingReach(n int, model memmodel.Model) bitvec {
+// passing through an instruction the kill predicate claims ends the
+// access's reorderability (the rules live in delayset.go's killsPair,
+// parameterized by the access-class pair under consideration). Kill
+// nodes themselves are not in the result — by the time they execute, the
+// pending access is ordered.
+func (g *rootGraph) pendingReach(n int, kill func(*ir.Instr) bool) bitvec {
 	out := newBitvec(len(g.nodes))
 	var work []int
 	seen := newBitvec(len(g.nodes))
@@ -161,7 +146,7 @@ func (g *rootGraph) pendingReach(n int, model memmodel.Model) bitvec {
 	for len(work) > 0 {
 		m := work[len(work)-1]
 		work = work[:len(work)-1]
-		if kills(g.instr(m), model) {
+		if kill(g.instr(m)) {
 			continue
 		}
 		out.add(m)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dfence/internal/ir"
+	"dfence/internal/memmodel"
 	"dfence/internal/staticanalysis"
 )
 
@@ -34,32 +35,112 @@ func (f InsertedFence) String() string {
 	return fmt.Sprintf("%s in %s after L%d", f.Kind, f.Func, f.After)
 }
 
-// Enforce realizes a satisfying assignment as fences (Algorithm 2): for
-// every predicate [l ⊰ k] it inserts a fence immediately after label l.
-// Predicates sharing the same l are enforced by a single fence whose kind
-// is chosen from the statements at the k labels: store-load if any k is a
-// load, otherwise store-store (the paper: "we insert a more specific
-// fence (store-load or store-store) depending on whether the statement at
-// k is a load or a store").
-func Enforce(prog *ir.Program, preds []Predicate) ([]InsertedFence, error) {
-	// Group predicates by l.
-	kinds := make(map[ir.Label]ir.FenceKind)
-	for _, p := range preds {
-		k := ir.FenceStoreStore
-		if in := prog.InstrAt(p.K); in != nil && in.IsSharedLoad() {
-			k = ir.FenceStoreLoad
-		}
-		prev, seen := kinds[p.L]
-		if !seen {
-			kinds[p.L] = k
-			continue
-		}
-		if prev != k {
-			kinds[p.L] = ir.FenceStoreLoad // the stronger of the two here
+// needSet accumulates the ordering requirements of one fence site (the l
+// of a predicate group): which class pairs the fence must restore, and
+// whether some K is a CAS whose write only a draining fence can order
+// (the CAS write bypasses the store buffers, so an epoch barrier does
+// not gate it — the same rule staticanalysis.CoveringKinds applies).
+type needSet struct {
+	pairs    [2][2]bool // [class of l][class of k], indexed by ir.AccessClass
+	casDrain bool
+}
+
+// covers reports whether a fence kind's operational guarantee meets
+// every requirement in n. Dynamic synthesis validates fences by
+// re-executing, so the runtime coverage (OrdersAtRuntime) is the right
+// table here — a draining st-ld fence legitimately discharges a
+// store-store requirement.
+func (n *needSet) covers(k ir.FenceKind) bool {
+	if n.casDrain && !k.DrainsStores() {
+		return false
+	}
+	for _, a := range ir.AccessClasses() {
+		for _, b := range ir.AccessClasses() {
+			if n.pairs[a][b] && !k.OrdersAtRuntime(a, b) {
+				return false
+			}
 		}
 	}
-	ls := make([]ir.Label, 0, len(kinds))
-	for l := range kinds {
+	return true
+}
+
+// coversDeclared is covers against the declared table (Orders) — the
+// tie-break preference: among equally cheap covering kinds, one that
+// also declares its coverage keeps the fenced program statically clean.
+func (n *needSet) coversDeclared(k ir.FenceKind) bool {
+	if n.casDrain && !k.DrainsStores() {
+		return false
+	}
+	for _, a := range ir.AccessClasses() {
+		for _, b := range ir.AccessClasses() {
+			if n.pairs[a][b] && !k.Orders(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// cheapestKind selects the covering fence kind with the lowest per-model
+// cost; ties prefer declared coverage, then FenceKinds order. FenceFull
+// covers everything, so a kind always exists.
+func cheapestKind(model memmodel.Model, n *needSet) ir.FenceKind {
+	best := ir.FenceFull
+	bestCost := 0
+	found := false
+	bestDecl := false
+	for _, k := range ir.FenceKinds() {
+		if !n.covers(k) {
+			continue
+		}
+		c := model.FenceCost(k)
+		d := n.coversDeclared(k)
+		if !found || c < bestCost || (c == bestCost && d && !bestDecl) {
+			best, bestCost, bestDecl, found = k, c, d, true
+		}
+	}
+	return best
+}
+
+// Enforce realizes a satisfying assignment as fences (Algorithm 2): for
+// every predicate [l ⊰ k] it inserts a fence immediately after label l.
+// Predicates sharing the same l are enforced by a single fence whose
+// kind is the cheapest (per model.FenceCost) whose runtime coverage
+// restores every required class pair — the generalization of the paper's
+// "we insert a more specific fence (store-load or store-store) depending
+// on whether the statement at k is a load or a store" to the full fence
+// vocabulary: load-K stores still get st-ld, store-K stores get st-st,
+// mixed sites get the draining st-ld, and deferred-load predicates (RMO)
+// get ld-ld/ld-st/acquire as their K classes demand.
+func Enforce(prog *ir.Program, model memmodel.Model, preds []Predicate) ([]InsertedFence, error) {
+	// Group the required class pairs by l.
+	needs := make(map[ir.Label]*needSet)
+	for _, p := range preds {
+		lin := prog.InstrAt(p.L)
+		if lin == nil {
+			return nil, fmt.Errorf("synth: predicate references unknown label L%d", p.L)
+		}
+		la, ok := ir.ClassOf(lin.Op)
+		if !ok {
+			return nil, fmt.Errorf("synth: predicate L%d is not a shared access (%v)", p.L, lin.Op)
+		}
+		n := needs[p.L]
+		if n == nil {
+			n = &needSet{}
+			needs[p.L] = n
+		}
+		kin := prog.InstrAt(p.K)
+		switch {
+		case kin != nil && kin.Op == ir.OpCas && la == ir.ClassStore:
+			n.casDrain = true
+		case kin != nil && kin.IsSharedLoad():
+			n.pairs[la][ir.ClassLoad] = true
+		default:
+			n.pairs[la][ir.ClassStore] = true
+		}
+	}
+	ls := make([]ir.Label, 0, len(needs))
+	for l := range needs {
 		ls = append(ls, l)
 	}
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
@@ -70,17 +151,20 @@ func Enforce(prog *ir.Program, preds []Predicate) ([]InsertedFence, error) {
 		if f == nil {
 			return nil, fmt.Errorf("synth: predicate references unknown label L%d", l)
 		}
-		// If a fence already directly follows l, strengthen/skip instead of
-		// stacking another one.
+		kind := cheapestKind(model, needs[l])
+		// If a fence already directly follows l and its runtime coverage
+		// meets this site's requirements, skip instead of stacking
+		// another one; an uncovering fence (e.g. a ld-ld fence where a
+		// drain is now needed) does not suppress insertion.
 		idx := f.IndexOf(l)
-		if idx+1 < len(f.Code) && f.Code[idx+1].Op == ir.OpFence {
+		if idx+1 < len(f.Code) && f.Code[idx+1].Op == ir.OpFence && needs[l].covers(f.Code[idx+1].Kind) {
 			continue
 		}
-		fl, err := prog.InsertFenceAfter(l, kinds[l])
+		fl, err := prog.InsertFenceAfter(l, kind)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, InsertedFence{After: l, Label: fl, Kind: kinds[l], Func: f.Name})
+		out = append(out, InsertedFence{After: l, Label: fl, Kind: kind, Func: f.Name})
 	}
 	if err := verifyMutation(prog, "fence insertion (Enforce)"); err != nil {
 		return nil, err
@@ -99,7 +183,7 @@ func InsertFences(prog *ir.Program, fences []InsertedFence) ([]InsertedFence, er
 			return nil, fmt.Errorf("synth: InsertFences: label L%d not found", f.After)
 		}
 		idx := fn.IndexOf(f.After)
-		if idx+1 < len(fn.Code) && fn.Code[idx+1].Op == ir.OpFence {
+		if idx+1 < len(fn.Code) && fn.Code[idx+1].Op == ir.OpFence && fn.Code[idx+1].Kind == f.Kind {
 			continue
 		}
 		nl, err := prog.InsertFenceAfter(f.After, f.Kind)
@@ -114,15 +198,50 @@ func InsertFences(prog *ir.Program, fences []InsertedFence) ([]InsertedFence, er
 	return out, nil
 }
 
+// pairMask is a set of (class, class) ordering pairs, one bit per pair.
+type pairMask uint8
+
+func pairMaskBit(a, b ir.AccessClass) pairMask { return 1 << (uint(a)*2 + uint(b)) }
+
+// runtimePairs returns the fence kind's operational guarantee as a pair
+// set. DrainsStores is equivalent to the (st, ld) bit (every draining
+// kind orders store-load at runtime and vice versa), so the mask captures
+// the CAS-ordering property too.
+func runtimePairs(k ir.FenceKind) pairMask {
+	var m pairMask
+	for _, a := range ir.AccessClasses() {
+		for _, b := range ir.AccessClasses() {
+			if k.OrdersAtRuntime(a, b) {
+				m |= pairMaskBit(a, b)
+			}
+		}
+	}
+	return m
+}
+
+// maskRowSt / maskRowLd select the pairs invalidated by a new shared
+// store (pending store-class entry) or shared load (pending deferred
+// load) respectively.
+var (
+	maskRowSt = pairMaskBit(ir.ClassStore, ir.ClassLoad) | pairMaskBit(ir.ClassStore, ir.ClassStore)
+	maskRowLd = pairMaskBit(ir.ClassLoad, ir.ClassLoad) | pairMaskBit(ir.ClassLoad, ir.ClassStore)
+)
+
 // MergeFences implements the paper's fence-combining optimization: "a
 // simple static analysis which eliminates a fence if it can prove that it
 // always follows a previous fence statement in program order, with no
-// store statements on shared variables occurring in between."
+// store statements on shared variables occurring in between" — lifted to
+// the full fence vocabulary.
 //
-// It runs a forward dataflow per function over the CFG with the state
-// "buffers certainly empty since the last fence" (meet = conjunction,
-// entry = unknown). A fence whose entry state is protected is removed.
-// Returns the number of fences removed.
+// It runs a forward dataflow per function over the CFG whose state is the
+// set of class pairs (a, b) certainly ordered on every incoming path: a
+// fence whose runtime coverage includes (a, b) has executed with no
+// class-a shared access after it (meet = intersection, entry = empty). A
+// fence whose runtime coverage is contained in its entry state guarantees
+// nothing new and is removed. Removal is order-insensitive: a removable
+// fence's transfer is the identity on the fixpoint state, so deleting it
+// never weakens the protection of a later fence. Returns the number of
+// fences removed.
 func MergeFences(prog *ir.Program) (int, error) {
 	removed := 0
 	for _, name := range prog.FuncNames() {
@@ -138,25 +257,23 @@ func MergeFences(prog *ir.Program) (int, error) {
 
 func mergeFunc(f *ir.Func) int {
 	n := len(f.Code)
-	// protectedIn[i]: on every path reaching instruction i, a fence has
-	// executed with no shared store/CAS after it.
-	protectedIn := make([]bool, n)
+	// protectedIn[i]: pairs ordered on every path reaching instruction i.
+	// Initialized to empty and grown to the least fixpoint — conservative
+	// (loop heads stay unprotected), which only suppresses removals.
+	protectedIn := make([]pairMask, n)
 	preds := predecessors(f)
 
 	changed := true
 	for changed {
 		changed = false
 		for i := 0; i < n; i++ {
-			var in bool
+			var in pairMask
 			if ps := preds[i]; len(ps) == 0 {
-				in = false // function entry (or unreachable): conservative
+				in = 0 // function entry (or unreachable): conservative
 			} else {
-				in = true
+				in = ^pairMask(0)
 				for _, p := range ps {
-					if !transfer(&f.Code[p], protectedIn[p]) {
-						in = false
-						break
-					}
+					in &= transfer(&f.Code[p], protectedIn[p])
 				}
 			}
 			if in != protectedIn[i] {
@@ -172,7 +289,10 @@ func mergeFunc(f *ir.Func) int {
 	// successor always exists).
 	removed := 0
 	for i := n - 1; i >= 0; i-- {
-		if f.Code[i].Op != ir.OpFence || !protectedIn[i] {
+		if f.Code[i].Op != ir.OpFence {
+			continue
+		}
+		if m := runtimePairs(f.Code[i].Kind); m&^protectedIn[i] != 0 {
 			continue
 		}
 		dead := f.Code[i].Label
@@ -198,24 +318,30 @@ func mergeFunc(f *ir.Func) int {
 	return removed
 }
 
-// transfer computes the protected state after executing instruction in
+// transfer computes the protected pair set after executing instruction in
 // with the given entry state.
-func transfer(in *ir.Instr, protected bool) bool {
+func transfer(in *ir.Instr, protected pairMask) pairMask {
 	switch in.Op {
 	case ir.OpFence:
-		return true
+		return protected | runtimePairs(in.Kind)
 	case ir.OpCas:
 		// CAS drains the relevant buffer but under PSO only that address's
-		// buffer: not a full fence. Conservatively unprotect.
-		return false
+		// buffer, and its write bypasses the buffers entirely.
+		// Conservatively unprotect everything.
+		return 0
 	case ir.OpStore:
 		if in.ThreadLocal {
 			return protected
 		}
-		return false
+		return protected &^ maskRowSt
+	case ir.OpLoad:
+		if in.ThreadLocal {
+			return protected
+		}
+		return protected &^ maskRowLd
 	case ir.OpCall, ir.OpFork:
-		// The callee may store; conservative.
-		return false
+		// The callee may access shared memory; conservative.
+		return 0
 	default:
 		return protected
 	}

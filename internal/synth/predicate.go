@@ -43,11 +43,13 @@ func (p Predicate) less(q Predicate) bool {
 // execution is the disjunction d of all single-predicate repairs for that
 // execution.
 //
-// Model-specific filtering (paper §4.1): under PSO all of store, load, and
-// CAS accesses generate predicates (store-store and store-load reordering
-// both exist). Under TSO the single FIFO already preserves store-store
-// order, so only loads generate predicates; CAS never observes pending
-// stores under TSO because it drains the whole FIFO first.
+// Model-specific filtering (paper §4.1, generalized to the reordering
+// matrix): a pending access of class a generates a predicate at an access
+// of class b only when the model relaxes (a, b). Under TSO only pending
+// stores at loads qualify (the single FIFO preserves store-store order,
+// and CAS drains it first); under PSO pending stores qualify at every
+// access; under RMO deferred loads qualify too, on both sides of the
+// matrix.
 type Collector struct {
 	model memmodel.Model
 	preds map[Predicate]struct{}
@@ -60,13 +62,20 @@ func NewCollector(model memmodel.Model) *Collector {
 
 // OnSharedAccess implements interp.Observer.
 func (c *Collector) OnSharedAccess(thread int, label ir.Label, kind interp.AccessKind, addr int64, pending []interp.PendingStore) {
-	// A non-load access K can only appear in a predicate [L ⊰ K] when the
-	// model reorders stores with later stores (PSO). Under TSO the single
-	// FIFO preserves store order and CAS drains it, so only loads observe.
-	if !c.model.RelaxesStoreStore() && kind != interp.AccLoad {
-		return
+	// K's class: stores and CAS both write (ir.ClassOf treats OpCas as a
+	// store); the pending entry's class comes from its IsLoad flag.
+	kc := ir.ClassStore
+	if kind == interp.AccLoad {
+		kc = ir.ClassLoad
 	}
 	for _, p := range pending {
+		pc := ir.ClassStore
+		if p.IsLoad {
+			pc = ir.ClassLoad
+		}
+		if !c.model.Relaxes(pc, kc) {
+			continue
+		}
 		c.preds[Predicate{L: p.Label, K: label}] = struct{}{}
 	}
 }

@@ -119,7 +119,7 @@ func buildStoreStoreLoad(t *testing.T) (*ir.Program, ir.Label, ir.Label, ir.Labe
 
 func TestEnforceInsertsKindsAndPositions(t *testing.T) {
 	p, sx, sy, lx := buildStoreStoreLoad(t)
-	fences, err := Enforce(p, []Predicate{
+	fences, err := Enforce(p, memmodel.PSO, []Predicate{
 		{L: sx, K: sy}, // store-store
 		{L: sy, K: lx}, // store-load
 	})
@@ -146,7 +146,7 @@ func TestEnforceInsertsKindsAndPositions(t *testing.T) {
 
 func TestEnforceMergesSameL(t *testing.T) {
 	p, sx, sy, lx := buildStoreStoreLoad(t)
-	fences, err := Enforce(p, []Predicate{
+	fences, err := Enforce(p, memmodel.PSO, []Predicate{
 		{L: sx, K: sy}, // store-store
 		{L: sx, K: lx}, // store-load — same l, stronger kind wins
 	})
@@ -163,11 +163,11 @@ func TestEnforceMergesSameL(t *testing.T) {
 
 func TestEnforceSkipsExistingFence(t *testing.T) {
 	p, sx, sy, _ := buildStoreStoreLoad(t)
-	if _, err := Enforce(p, []Predicate{{L: sx, K: sy}}); err != nil {
+	if _, err := Enforce(p, memmodel.PSO, []Predicate{{L: sx, K: sy}}); err != nil {
 		t.Fatal(err)
 	}
 	before := len(p.Funcs["main"].Code)
-	fences, err := Enforce(p, []Predicate{{L: sx, K: sy}})
+	fences, err := Enforce(p, memmodel.PSO, []Predicate{{L: sx, K: sy}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestEnforceSkipsExistingFence(t *testing.T) {
 
 func TestEnforceUnknownLabel(t *testing.T) {
 	p, _, _, _ := buildStoreStoreLoad(t)
-	if _, err := Enforce(p, []Predicate{{L: 9999, K: 10000}}); err == nil {
+	if _, err := Enforce(p, memmodel.PSO, []Predicate{{L: 9999, K: 10000}}); err == nil {
 		t.Fatal("unknown label accepted")
 	}
 }
