@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -245,6 +246,112 @@ func BenchmarkExecutionEngine(b *testing.B) {
 			})
 		b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 	})
+	// The struct-of-arrays engine at full fan-out: same execution stream
+	// across NumCPU workers, each owning one machine whose thread table,
+	// register arenas, and store buffers are machine-owned flat storage.
+	// execs/s is the acceptance-throughput metric tracked in EXPERIMENTS.md.
+	b.Run("soa-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		var steps atomic.Int64
+		start := time.Now()
+		sched.RunBatch(context.Background(), p, memmodel.PSO, b.N, runtime.NumCPU(), nil, optsFor,
+			func(i, _ int, _ interp.Observer, res *interp.Result, _ *sched.ExecError) (struct{}, bool) {
+				steps.Add(int64(res.Steps))
+				return struct{}{}, false
+			})
+		wall := time.Since(start)
+		b.ReportMetric(float64(steps.Load())/float64(b.N), "steps/op")
+		if wall > 0 {
+			b.ReportMetric(float64(b.N)/wall.Seconds(), "execs/s")
+		}
+	})
+}
+
+// BenchmarkIncrementalSAT measures cross-round solver persistence: the
+// same staged sequence of growing monotone formulas (shaped like a
+// synthesis run's per-round φ over an overlapping predicate vocabulary)
+// enumerated by one persistent sat.Incremental versus a fresh solver per
+// round. The minimal-model sets are bit-identical (see the differential
+// tests); the persistent solver keeps its learnt clauses, VSIDS
+// activity, and saved phases between rounds.
+func BenchmarkIncrementalSAT(b *testing.B) {
+	const (
+		nvars  = 28
+		rounds = 6
+	)
+	// Pre-generate the round clause sets once, outside the timer.
+	perRound := make([][][]sat.Lit, rounds)
+	rng := rand.New(rand.NewSource(17))
+	for r := range perRound {
+		n := 20 + 10*r // φ grows round over round
+		clauses := make([][]sat.Lit, n)
+		for i := range clauses {
+			w := 2 + rng.Intn(5)
+			c := make([]sat.Lit, w)
+			for j := range c {
+				c[j] = sat.Lit(1 + rng.Intn(nvars))
+			}
+			clauses[i] = c
+		}
+		perRound[r] = clauses
+	}
+	budget := sat.Budget{MaxModels: 512}
+	b.Run("persistent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inc := sat.NewIncremental()
+			inc.EnsureVars(nvars)
+			for r, clauses := range perRound {
+				if r > 0 {
+					inc.BeginRound()
+				}
+				for _, c := range clauses {
+					inc.AddClause(c)
+				}
+				inc.MinimalModels(budget, nil)
+			}
+		}
+	})
+	b.Run("fresh-per-round", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, clauses := range perRound {
+				sat.MinimalModelsBudget(nvars, clauses, budget)
+			}
+		}
+	})
+}
+
+// BenchmarkSpecAutomaton measures the compiled-spec sequentialization
+// search on realistic Chase-Lev histories: the automaton path (interned
+// states, table-lookup transitions, integer memo keys) versus the legacy
+// string-keyed dfs, each on a reused Checker as the engine uses them.
+func BenchmarkSpecAutomaton(b *testing.B) {
+	subject, err := progs.ByName("chase-lev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := subject.Program()
+	var histories [][]spec.Op
+	for s := int64(0); s < 32; s++ {
+		res := sched.Run(p, memmodel.PSO, nil, sched.DefaultOptions(s))
+		ops := spec.RelaxStealAborts(spec.CompleteOps(res.History))
+		histories = append(histories, ops)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "automaton"
+		if disable {
+			name = "legacy-dfs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var c spec.Checker
+			c.DisableAutomaton = disable
+			for i := 0; i < b.N; i++ {
+				c.Check(spec.SeqConsistency, histories[i%len(histories)], spec.NewDeque, false)
+			}
+		})
+	}
 }
 
 // BenchmarkSynthesizeCache measures the cross-phase execution caching:

@@ -1,0 +1,142 @@
+// Command benchgate compares two benchmark snapshots produced by
+// cmd/benchjson and fails (exit 1) when the new run regressed past a
+// threshold ratio. It is the stdlib-only gating half of the benchmark
+// pipeline: benchstat (when installed) renders the human-readable
+// comparison artifact, benchgate renders the verdict CI acts on.
+//
+//	benchgate -old BENCH_pr9.json -new /tmp/new.json \
+//	    -bench 'BenchmarkExecutionEngine' -threshold 1.3
+//
+// For every benchmark whose name matches -bench and that appears in both
+// snapshots, the gated metrics are compared directionally:
+//
+//   - ns/op (lower is better): fail if new > old * threshold;
+//   - execs/s (higher is better): fail if new < old / threshold.
+//
+// Other metrics (B/op, allocs/op, steps/op, ...) are reported for
+// context but never gate — allocation counts are exact and drift
+// legitimately with code changes, and the deterministic counters are
+// covered by tests, not benchmarks. The threshold is deliberately loose
+// (default 1.3x) because CI machines are noisy; the gate exists to catch
+// step-function regressions (a pooling path lost, an index gone
+// quadratic), not percent-level drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// load reads a benchjson document and averages duplicate benchmark names
+// (repeated -count runs) into one metric set per name.
+func load(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sums := make(map[string]map[string]float64)
+	counts := make(map[string]map[string]int)
+	for _, b := range doc.Benchmarks {
+		if sums[b.Name] == nil {
+			sums[b.Name] = make(map[string]float64)
+			counts[b.Name] = make(map[string]int)
+		}
+		for unit, v := range b.Metrics {
+			sums[b.Name][unit] += v
+			counts[b.Name][unit]++
+		}
+	}
+	for name, m := range sums {
+		for unit := range m {
+			m[unit] /= float64(counts[name][unit])
+		}
+	}
+	return sums, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson snapshot (committed)")
+	newPath := flag.String("new", "", "fresh benchjson snapshot to gate")
+	benchRe := flag.String("bench", ".", "regexp selecting which benchmarks gate")
+	threshold := flag.Float64("threshold", 1.3, "maximum tolerated regression ratio")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	oldB, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range newB {
+		if _, ok := oldB[name]; ok && re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matches %q in both snapshots\n", *benchRe)
+		os.Exit(1)
+	}
+
+	failed := 0
+	for _, name := range names {
+		o, n := oldB[name], newB[name]
+		for _, g := range []struct {
+			unit        string
+			lowerBetter bool
+		}{{"ns/op", true}, {"execs/s", false}} {
+			ov, okO := o[g.unit]
+			nv, okN := n[g.unit]
+			if !okO || !okN || ov == 0 || nv == 0 {
+				continue
+			}
+			ratio := nv / ov
+			verdict := "ok"
+			bad := (g.lowerBetter && ratio > *threshold) ||
+				(!g.lowerBetter && ratio < 1 / *threshold)
+			if bad {
+				verdict = "REGRESSED"
+				failed++
+			}
+			fmt.Printf("%-60s %-10s old=%-14.4g new=%-14.4g ratio=%.3f %s\n",
+				name, g.unit, ov, nv, ratio, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d metric(s) regressed past %.2fx\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated metrics within %.2fx of baseline\n", *threshold)
+}

@@ -26,7 +26,7 @@ func runFuzz(args []string) {
 		seed       = fs.Int64("seed", 1, "campaign seed (same seed, same flags => identical report)")
 		n          = fs.Int("n", 200, "corpus size (cycle-shape templates + seeded random programs)")
 		modelsF    = fs.String("models", "tso,pso,rmo", "comma-separated weak models to cross-check (SC is always the enumeration baseline)")
-		execs      = fs.Int("execs", 120, "dynamic sampling budget per (program, model); synthesis uses the same per round")
+		execs      = fs.Int("execs", 160, "dynamic sampling budget per (program, model); synthesis uses the same per round")
 		rounds     = fs.Int("rounds", 8, "maximum synthesis repair rounds per program")
 		enumStates = fs.Int("enum-states", 0, "exhaustive-enumeration state budget (0 = default 60000)")
 		outDir     = fs.String("out", "", "write the campaign journal and one repro .mc per divergence to this directory")

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -146,6 +147,14 @@ type Config struct {
 	// are bit-identical with the flag on or off — the knob exists for
 	// measurement and as the determinism-test control.
 	NoExecCache bool
+	// FreshSolver disables the cross-round persistent SAT solver: each
+	// round's φ is solved on a brand-new Formula (and therefore a fresh
+	// CDCL solver), as earlier versions did. The minimal-model set of a
+	// monotone formula is unique and the solution order is a total sort,
+	// so results are bit-identical with the flag on or off — the knob
+	// exists for measurement and as the incremental-vs-fresh
+	// differential-test control.
+	FreshSolver bool
 	// Metrics, when non-nil, receives the run's hot-path instrumentation:
 	// execution/verdict/cache counters per worker shard, solver effort,
 	// fence lifecycle, and the step/wall-time histograms. Nil (the default)
@@ -627,8 +636,17 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		})
 	}
 
+	// The repair formula is long-lived: each round resets φ to true via
+	// BeginRound while the owned SAT solver keeps its learnt clauses,
+	// activity, and predicate vocabulary warm across rounds. FreshSolver
+	// rebuilds the Formula per round instead (the differential control).
+	formula := synth.NewFormula()
 	for round := startRound; round < cfg.MaxRounds; round++ {
-		formula := synth.NewFormula() // φ := true at the start of each round
+		if cfg.FreshSolver {
+			formula = synth.NewFormula() // φ := true on a fresh solver
+		} else {
+			formula.BeginRound() // φ := true, solver state retained
+		}
 		stats := Round{}
 		var delaySet map[staticanalysis.Pair]bool
 		if cfg.StaticPrune {
@@ -808,11 +826,18 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			break
 		}
 		var sst sat.Stats
+		var sols [][]synth.Predicate
+		var truncated bool
 		solveStart := time.Now()
-		sols, truncated := formula.MinimalSolutionsStats(cfg.solverBudget(), &sst)
+		pprof.Do(ctx, pprof.Labels("dfence_phase", "solve"), func(context.Context) {
+			sols, truncated = formula.MinimalSolutionsStats(cfg.solverBudget(), &sst)
+		})
 		solverWall := time.Since(solveStart)
 		cfg.mv.SolverModels.Add(0, int64(sst.Models))
 		cfg.mv.SolverConflicts.Add(0, sst.Conflicts)
+		cfg.mv.SolverDecisions.Add(0, sst.Decisions)
+		cfg.mv.SolverPropagations.Add(0, sst.Propagations)
+		cfg.mv.SolverRestarts.Add(0, sst.Restarts)
 		cfg.mv.SolverClauses.Add(0, int64(sst.Clauses))
 		cfg.mv.SolverWallUS.Observe(0, solverWall.Microseconds())
 		if truncated {

@@ -148,6 +148,79 @@ func TestSynthesizeCacheAndWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestIncrementalSolverMatchesFresh: the persistent cross-round SAT
+// solver is a pure performance mechanism — full synthesis must be
+// bit-identical between the persistent path (default) and the
+// fresh-solver-per-round path (FreshSolver), for representative corpus
+// subjects under all four memory models and at multiple worker counts.
+func TestIncrementalSolverMatchesFresh(t *testing.T) {
+	subjects := []string{"chase-lev", "cilk-the", "ms2-queue", "lifo-iwsq"}
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO, memmodel.RMO}
+	for _, name := range subjects {
+		b, err := progs.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range models {
+			if name == "ms2-queue" && model == memmodel.RMO {
+				// Pre-existing pathology, unrelated to the solver path
+				// this test gates: the RMO scheduler portfolio's
+				// load-starving phases crawl on ms2-queue (minutes per
+				// synthesis; reproduced at the commit before the
+				// persistent solver landed). ExecTimeout would bound it
+				// but is wall-clock-dependent, which this bit-identity
+				// test cannot tolerate. Tracked in ROADMAP.md.
+				continue
+			}
+			crit := spec.SeqConsistency
+			if b.SkipSeqCheck {
+				crit = spec.MemorySafety
+			}
+			// Reduced budgets and no validation pass: the solver
+			// differential lives in the per-round repair loop, and
+			// validation would triple the runtime without exercising
+			// any additional solver path. FlushProb is set explicitly
+			// (the model-recommended values) because a zero flush
+			// probability under RMO produces the pathological crawling
+			// schedules ExecTimeout exists for — see the Config docs.
+			fp := 0.5
+			if model == memmodel.TSO {
+				fp = 0.1
+			}
+			base := Config{
+				Model:            model,
+				Criterion:        crit,
+				NewSpec:          b.NewSpec(),
+				CheckGarbage:     b.CheckGarbage,
+				RelaxStealAborts: b.RelaxStealAborts,
+				ExecsPerRound:    80,
+				MaxRounds:        3,
+				FlushProb:        fp,
+				Seed:             11,
+			}
+			var keys []string
+			for _, mode := range []struct {
+				workers int
+				fresh   bool
+			}{{1, false}, {4, false}, {4, true}} {
+				cfg := base
+				cfg.Workers = mode.workers
+				cfg.FreshSolver = mode.fresh
+				res, err := Synthesize(b.Program(), cfg)
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d fresh=%v: %v", name, model, mode.workers, mode.fresh, err)
+				}
+				keys = append(keys, resultKey(res))
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i] != keys[0] {
+					t.Fatalf("%s/%v: solver mode %d diverged\nbase: %s\ngot:  %s", name, model, i, keys[0], keys[i])
+				}
+			}
+		}
+	}
+}
+
 // TestFindRedundantCacheDeterminism: the cached redundancy scan returns
 // the identical label set as the uncached scan on a program that carries
 // synthesized fences.

@@ -14,7 +14,7 @@ func runAll(t *testing.T, m *Machine, maxSteps int) {
 	t.Helper()
 	for i := 0; i < maxSteps && !m.Done(); i++ {
 		moved := false
-		for tid := 0; tid < len(m.Threads()); tid++ {
+		for tid := 0; tid < m.NumThreads(); tid++ {
 			if m.CanExec(tid) {
 				m.StepThread(tid)
 				moved = true
@@ -26,7 +26,7 @@ func runAll(t *testing.T, m *Machine, maxSteps int) {
 				break
 			}
 			if m.CanFlush(tid) {
-				fl := m.Threads()[tid].Buffers().FlushableAddrs()
+				fl := m.Thread(tid).Buffers().FlushableAddrs()
 				m.FlushOne(tid, fl[0])
 				moved = true
 				break
@@ -213,7 +213,7 @@ func TestLitmusSBRelaxed(t *testing.T) {
 	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
 		p := buildSB(t)
 		m := NewMachine(p, model, nil)
-		stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+		stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 		// Run each worker to its print with no flushes in between.
 		stepUntil(t, m, 1, func() bool { return len(m.Output()) == 1 })
 		stepUntil(t, m, 2, func() bool { return len(m.Output()) == 2 })
@@ -234,7 +234,7 @@ func TestLitmusSBSC(t *testing.T) {
 	// Under SC the same schedule commits stores immediately: loads see 1.
 	p := buildSB(t)
 	m := NewMachine(p, memmodel.SC, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 	stepUntil(t, m, 1, func() bool { return len(m.Output()) == 1 })
 	stepUntil(t, m, 2, func() bool { return len(m.Output()) == 2 })
 	if m.Output()[0] != 0 {
@@ -298,9 +298,9 @@ func buildMP(t *testing.T, withFence bool) *ir.Program {
 func TestLitmusMPPSOReordersStores(t *testing.T) {
 	p := buildMP(t, false)
 	m := NewMachine(p, memmodel.PSO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 	// Producer buffers both stores.
-	stepUntil(t, m, 1, func() bool { return m.Threads()[1].Finished() })
+	stepUntil(t, m, 1, func() bool { return m.Thread(1).Finished() })
 	// Demonically flush flag *before* data (legal under PSO only).
 	flagAddr := p.Global("flag").Addr
 	if k := m.FlushOne(1, flagAddr); k != StepFlush {
@@ -317,8 +317,8 @@ func TestLitmusMPPSOReordersStores(t *testing.T) {
 func TestLitmusMPTSOPreservesStoreOrder(t *testing.T) {
 	p := buildMP(t, false)
 	m := NewMachine(p, memmodel.TSO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
-	stepUntil(t, m, 1, func() bool { return m.Threads()[1].Finished() })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
+	stepUntil(t, m, 1, func() bool { return m.Thread(1).Finished() })
 	// Under TSO the FIFO forces data to flush first regardless of the hint.
 	flagAddr := p.Global("flag").Addr
 	m.FlushOne(1, flagAddr)
@@ -337,18 +337,18 @@ func TestLitmusMPTSOPreservesStoreOrder(t *testing.T) {
 func TestLitmusMPPSOWithFence(t *testing.T) {
 	p := buildMP(t, true)
 	m := NewMachine(p, memmodel.PSO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 	// Run producer to completion. fence(st-st) is an epoch barrier, not a
 	// drain: both stores may still be buffered afterwards, but flag can no
 	// longer commit before data.
-	stepUntil(t, m, 1, func() bool { return m.Threads()[1].Finished() })
+	stepUntil(t, m, 1, func() bool { return m.Thread(1).Finished() })
 	dataAddr := p.Global("data").Addr
 	flagAddr := p.Global("flag").Addr
-	if !m.Threads()[1].Buffers().EmptyFor(flagAddr) {
+	if !m.Thread(1).Buffers().EmptyFor(flagAddr) {
 		if k := m.FlushOne(1, flagAddr); k != StepBlocked {
 			t.Error("flag flushed across the store-store barrier")
 		}
-		if fl := m.Threads()[1].Buffers().FlushableAddrs(); len(fl) != 1 || fl[0] != dataAddr {
+		if fl := m.Thread(1).Buffers().FlushableAddrs(); len(fl) != 1 || fl[0] != dataAddr {
 			t.Errorf("flushable = %v, want data only", fl)
 		}
 		m.FlushOne(1, dataAddr)
@@ -387,7 +387,7 @@ func TestCasForcesFlush(t *testing.T) {
 	for _, model := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
 		m := NewMachine(p, model, nil)
 		// Step until the CAS is next; the store is buffered.
-		stepUntil(t, m, 0, func() bool { return m.Threads()[0].Buffers().Len() == 1 })
+		stepUntil(t, m, 0, func() bool { return m.Thread(0).Buffers().Len() == 1 })
 		// Next step must be a forced flush, not the CAS.
 		if k := exec1(t, m, 0); k != StepFlush {
 			t.Fatalf("%v: step with pending buffer before CAS = %v, want StepFlush", model, k)
@@ -499,12 +499,12 @@ func TestUseAfterFreeCaughtAtFlush(t *testing.T) {
 	mustLink(t, p)
 	m := NewMachine(p, memmodel.PSO, nil)
 	// Execute everything without flushing.
-	stepUntil(t, m, 0, func() bool { return m.Threads()[0].Finished() })
+	stepUntil(t, m, 0, func() bool { return m.Thread(0).Finished() })
 	if m.Violation() != nil {
 		t.Fatalf("premature violation: %v", m.Violation())
 	}
 	// Now drain: the pending store hits freed memory.
-	pend := m.Threads()[0].Buffers().PendingAddrs()
+	pend := m.Thread(0).Buffers().PendingAddrs()
 	if len(pend) == 0 {
 		t.Fatal("store was not buffered")
 	}
@@ -733,8 +733,8 @@ func TestJoinWaitsForBufferDrain(t *testing.T) {
 	mustLink(t, p)
 
 	m := NewMachine(p, memmodel.PSO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 2 })
-	stepUntil(t, m, 1, func() bool { return m.Threads()[1].Finished() })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 2 })
+	stepUntil(t, m, 1, func() bool { return m.Thread(1).Finished() })
 	// Worker finished but buffer pending: main must be blocked on join.
 	if m.CanExec(0) {
 		t.Fatal("join proceeded before the target's buffers drained")
@@ -820,7 +820,7 @@ func TestObserverSeesPendingOther(t *testing.T) {
 
 	obs := &recordingObserver{}
 	m := NewMachine(p, memmodel.PSO, obs)
-	stepUntil(t, m, 0, func() bool { return m.Threads()[0].Finished() })
+	stepUntil(t, m, 0, func() bool { return m.Thread(0).Finished() })
 	// Expect: store-x with no pending (skipped), store-y with pending x,
 	// load-x with pending y.
 	if len(obs.calls) != 2 {

@@ -27,10 +27,15 @@ import (
 	"dfence/internal/memmodel"
 )
 
-// frame is one activation record.
+// frame is one activation record. Registers are not stored here: they
+// live in the owning thread's flat register arena, and the frame holds
+// only its [base, base+nregs) window — frames are pointer-light (one
+// *cfunc into the compiled program) and a thread's whole call stack sits
+// in two contiguous slices.
 type frame struct {
 	fn     *cfunc
-	regs   []int64
+	base   int32  // first register slot in the thread's arena
+	nregs  int32  // register count (== fn.numRegs)
 	pc     int    // index into fn.code
 	retDst ir.Reg // caller register receiving the return value (NoReg: dropped)
 	isOp   bool   // operation frame: its return emits an EventResponse
@@ -53,10 +58,19 @@ type DeferredLoad struct {
 // Thread is one user-level thread, mirroring the paper's ThreadStacks map:
 // a thread identifier owning a list of execution contexts plus its store
 // buffers and (under load-deferring models) its pending-load queue.
+//
+// Threads are stored by value in the machine's thread table
+// (struct-of-arrays layout): the store buffers are embedded rather than
+// heap-allocated, every frame's registers live in the thread's flat regs
+// arena, and a retired thread slot keeps all its backing storage for the
+// next execution — so steady-state runs hold per-thread state in a few
+// contiguous allocations the garbage collector never has to trace
+// per-frame.
 type Thread struct {
 	ID      int
 	frames  []frame
-	buf     *memmodel.Buffers
+	regs    []int64 // register arena; frames hold [base, base+nregs) windows
+	buf     memmodel.Buffers
 	defq    []DeferredLoad // issued-but-unresolved shared loads, issue order
 	opDepth int            // >0 while executing inside an operation
 }
@@ -67,11 +81,53 @@ type Thread struct {
 func (t *Thread) Finished() bool { return len(t.frames) == 0 }
 
 // Buffers exposes the thread's store buffers (read-only use intended).
-func (t *Thread) Buffers() *memmodel.Buffers { return t.buf }
+func (t *Thread) Buffers() *memmodel.Buffers { return &t.buf }
 
 // DeferredLoads exposes the thread's pending-load queue in issue order.
 // The slice aliases internal state — valid until the thread's next step.
 func (t *Thread) DeferredLoads() []DeferredLoad { return t.defq }
+
+// top returns the active frame.
+func (t *Thread) top() *frame { return &t.frames[len(t.frames)-1] }
+
+// frameRegs returns fr's register window into the thread's arena. The
+// view is invalidated by pushFrame (arena growth may move the backing).
+func (t *Thread) frameRegs(fr *frame) []int64 {
+	return t.regs[fr.base : int(fr.base)+int(fr.nregs)]
+}
+
+// pushFrame appends an activation of fn, carving (and zeroing) its
+// register window out of the arena, and returns the new frame. Any
+// previously obtained frame pointer or register view may be invalidated
+// (both the frame slice and the arena can grow).
+func (t *Thread) pushFrame(fn *cfunc, retDst ir.Reg, isOp bool) *frame {
+	base := len(t.regs)
+	need := base + fn.numRegs
+	if need <= cap(t.regs) {
+		t.regs = t.regs[:need]
+		clear(t.regs[base:])
+	} else {
+		grown := make([]int64, need, 2*need+8)
+		copy(grown, t.regs)
+		t.regs = grown
+	}
+	t.frames = append(t.frames, frame{
+		fn:     fn,
+		base:   int32(base),
+		nregs:  int32(fn.numRegs),
+		retDst: retDst,
+		isOp:   isOp,
+	})
+	return &t.frames[len(t.frames)-1]
+}
+
+// popFrame retires the active frame, returning its register window to
+// the arena (stack discipline: the window is always the arena's tail).
+func (t *Thread) popFrame() {
+	fr := t.top()
+	t.regs = t.regs[:fr.base]
+	t.frames = t.frames[:len(t.frames)-1]
+}
 
 // Machine executes one program run. It is not safe for concurrent use.
 // The zero Machine is ready for Reset; NewMachine compiles and resets in
@@ -85,7 +141,7 @@ type Machine struct {
 
 	mem      []int64
 	units    unitTracker
-	threads  []*Thread
+	threads  []Thread // by value: thread state is machine-owned (SoA)
 	history  []Event
 	output   []int64
 	steps    int
@@ -93,13 +149,13 @@ type Machine struct {
 	exitCode int64
 	touched  uint64 // bitmask of watched fences executed (CompileWatched)
 
-	// Pools, retained across Reset. threadsFree holds retired Thread
-	// structs (with their buffers); regsFree holds retired register
-	// slices; argArena backs history-event argument slices; pendScratch
-	// and entScratch back the observation hook.
-	threadsFree []*Thread
-	regsFree    [][]int64
-	argArena    []int64
+	// Scratch, retained across Reset. Retired Thread slots beyond
+	// len(m.threads) keep their frame, register-arena, buffer, and queue
+	// storage and are revived in place by newThread; argBlocks backs
+	// history-event argument slices; pendScratch and entScratch back the
+	// observation hook.
+	argBlocks   [][]int64
+	argCur      int
 	pendScratch []PendingStore
 	entScratch  []memmodel.Entry
 	useScratch  []ir.Reg // backing for forced-resolve use-set scans
@@ -134,20 +190,14 @@ func (m *Machine) Reset(c *Compiled, model memmodel.Model, obs Observer) {
 	m.touched = 0
 	m.history = m.history[:0]
 	m.output = m.output[:0]
-	m.argArena = m.argArena[:0]
+	for i := range m.argBlocks {
+		m.argBlocks[i] = m.argBlocks[i][:0]
+	}
+	m.argCur = 0
 	m.units.units = m.units.units[:0]
 
-	// Retire every thread of the previous run (frames return their
-	// register slices to the pool) before building the new main thread.
-	for _, t := range m.threads {
-		for i := range t.frames {
-			m.putRegs(t.frames[i].regs)
-		}
-		t.frames = t.frames[:0]
-		t.defq = t.defq[:0]
-		t.opDepth = 0
-		m.threadsFree = append(m.threadsFree, t)
-	}
+	// Retire every thread of the previous run: slots beyond the length
+	// keep their storage and are revived in place by newThread.
 	m.threads = m.threads[:0]
 
 	size := c.prog.GlobalsSize()
@@ -162,77 +212,66 @@ func (m *Machine) Reset(c *Compiled, model memmodel.Model, obs Observer) {
 		copy(m.mem[g.Addr:g.Addr+g.Size], g.Init)
 	}
 	entry := &c.funcs[c.entry]
-	main := m.newThread(0)
-	main.frames = append(main.frames, frame{
-		fn:     entry,
-		regs:   m.getRegs(entry.numRegs),
-		retDst: ir.NoReg,
-	})
-	m.threads = append(m.threads, main)
+	main := m.newThread()
+	main.pushFrame(entry, ir.NoReg, false)
 }
 
-// newThread takes a thread from the pool (or allocates one) with empty
-// buffers under the current model.
-func (m *Machine) newThread(id int) *Thread {
-	var t *Thread
-	if n := len(m.threadsFree); n > 0 {
-		t = m.threadsFree[n-1]
-		m.threadsFree = m.threadsFree[:n-1]
-		t.buf.Reset(m.model)
+// newThread appends a thread (id = its table index) with empty buffers
+// under the current model, reviving a retired slot's storage when one is
+// available. Growing the table may move it: every *Thread (and frame or
+// register view derived from one) obtained earlier is invalidated.
+func (m *Machine) newThread() *Thread {
+	if len(m.threads) < cap(m.threads) {
+		m.threads = m.threads[:len(m.threads)+1]
 	} else {
-		t = &Thread{buf: memmodel.New(m.model)}
+		m.threads = append(m.threads, Thread{})
 	}
-	t.ID = id
+	t := &m.threads[len(m.threads)-1]
+	t.ID = len(m.threads) - 1
+	t.frames = t.frames[:0]
+	t.regs = t.regs[:0]
+	t.defq = t.defq[:0]
+	t.opDepth = 0
+	t.buf.Reset(m.model)
 	return t
-}
-
-// getRegs returns a zeroed register slice of length n, reusing a pooled
-// slice when one is large enough. Zeroing keeps reused frames bit-identical
-// to freshly allocated ones.
-func (m *Machine) getRegs(n int) []int64 {
-	for i := len(m.regsFree) - 1; i >= 0; i-- {
-		if cap(m.regsFree[i]) >= n {
-			s := m.regsFree[i][:n]
-			last := len(m.regsFree) - 1
-			m.regsFree[i] = m.regsFree[last]
-			m.regsFree[last] = nil
-			m.regsFree = m.regsFree[:last]
-			clear(s)
-			return s
-		}
-	}
-	return make([]int64, n)
-}
-
-// putRegs returns a register slice to the pool.
-func (m *Machine) putRegs(s []int64) {
-	if cap(s) == 0 {
-		return
-	}
-	m.regsFree = append(m.regsFree, s)
 }
 
 // allocArgs carves an n-word slice out of the machine's argument arena
 // (history-event arguments live until the next Reset, not until frame pop,
-// so they cannot share the register pool).
+// so they cannot share the register pool). The arena is chunked: a full
+// block is sealed and the next pooled block activated, so growth never
+// abandons storage — every block survives Reset, and an execution stream
+// whose arg high-water mark has been reached stops allocating entirely.
 func (m *Machine) allocArgs(n int) []int64 {
 	if n == 0 {
 		return nil
 	}
-	if len(m.argArena)+n > cap(m.argArena) {
+	for {
+		if m.argCur < len(m.argBlocks) {
+			b := m.argBlocks[m.argCur]
+			if off := len(b); off+n <= cap(b) {
+				b = b[: off+n : off+n]
+				m.argBlocks[m.argCur] = b
+				return b[off:]
+			}
+			m.argCur++
+			continue
+		}
 		grow := 256
 		if n > grow {
 			grow = n
 		}
-		m.argArena = make([]int64, 0, grow)
+		m.argBlocks = append(m.argBlocks, make([]int64, 0, grow))
 	}
-	off := len(m.argArena)
-	m.argArena = m.argArena[: off+n : off+n]
-	return m.argArena[off:]
 }
 
-// Threads returns the live thread table (index = thread id).
-func (m *Machine) Threads() []*Thread { return m.threads }
+// NumThreads returns the number of live threads (ids are 0..n-1).
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Thread returns thread tid. The pointer aliases the machine's thread
+// table: it is valid until the next fork or Reset (both may move the
+// table) and must not be retained across steps.
+func (m *Machine) Thread(tid int) *Thread { return &m.threads[tid] }
 
 // Steps returns the number of transitions taken so far.
 func (m *Machine) Steps() int { return m.steps }
@@ -257,7 +296,8 @@ func (m *Machine) Done() bool {
 	if m.violated != nil {
 		return true
 	}
-	for _, t := range m.threads {
+	for i := range m.threads {
+		t := &m.threads[i]
 		if !t.Finished() || !t.buf.Empty() || len(t.defq) > 0 {
 			return false
 		}
@@ -270,13 +310,13 @@ func (m *Machine) Done() bool {
 // A thread whose next instruction is a fence or CAS with pending buffered
 // stores can still "execute": its step is a forced flush.
 func (m *Machine) CanExec(tid int) bool {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if t.Finished() {
 		return false
 	}
 	in := m.current(t)
 	if in.Op == ir.OpJoin {
-		target := t.frames[len(t.frames)-1].regs[in.A]
+		target := t.frameRegs(t.top())[in.A]
 		return m.joinReady(target)
 	}
 	return true
@@ -302,11 +342,11 @@ func (m *Machine) DeferredCount(tid int) int { return len(m.threads[tid].defq) }
 // deferral window, so an adversarial schedule runs the other threads
 // first.
 func (m *Machine) NextForcesResolve(tid int) bool {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if len(t.defq) == 0 || t.Finished() {
 		return false
 	}
-	fr := &t.frames[len(t.frames)-1]
+	fr := t.top()
 	return m.forcedResolveIdx(t, fr, &fr.fn.code[fr.pc]) >= 0
 }
 
@@ -315,18 +355,82 @@ func (m *Machine) Actable(tid int) bool {
 	return m.CanExec(tid) || m.CanFlush(tid) || m.CanResolve(tid)
 }
 
+// Census bits: the scheduler-relevant state of one thread, packed so the
+// scheduling loop can rebuild its actable set from one byte per thread.
+// A thread whose census is exactly CensusFinished is permanently inert
+// (finished, buffer drained, no unresolved loads): it never acts again,
+// and joins blocked on it are ready.
+const (
+	// CensusExec: the thread can execute its next instruction.
+	CensusExec uint8 = 1 << iota
+	// CensusFlush: the thread has pending buffered stores.
+	CensusFlush
+	// CensusResolve: the thread has deferred loads awaiting resolution.
+	CensusResolve
+	// CensusFinished: the thread has no frames left.
+	CensusFinished
+)
+
+// CensusActable masks the bits that make a thread schedulable at all.
+const CensusActable = CensusExec | CensusFlush | CensusResolve
+
+// censusOf computes the census bits of one thread — the fused equivalent
+// of Finished/CanExec/CanFlush/CanResolve with a single frame-and-queue
+// inspection.
+func (m *Machine) censusOf(tid int) uint8 {
+	t := &m.threads[tid]
+	var f uint8
+	if !t.buf.Empty() {
+		f |= CensusFlush
+	}
+	if len(t.defq) > 0 {
+		f |= CensusResolve
+	}
+	if t.Finished() {
+		f |= CensusFinished
+	} else {
+		in := m.current(t)
+		if in.Op != ir.OpJoin || m.joinReady(t.frameRegs(t.top())[in.A]) {
+			f |= CensusExec
+		}
+	}
+	return f
+}
+
+// SchedCensus fills flags (reset and grown as needed, indexed by tid)
+// with every thread's census bits. The scheduler calls it once per
+// structural change; between those, SchedCensusOne keeps the census
+// exact at one-thread cost.
+func (m *Machine) SchedCensus(flags []uint8) []uint8 {
+	for tid := range m.threads {
+		flags = append(flags, m.censusOf(tid))
+	}
+	return flags
+}
+
+// SchedCensusOne recomputes the census entry of the one thread that
+// mutated. Sound whenever the machine changed only through thread tid
+// and the thread count is unchanged: flushes, resolves, and non-fork
+// steps touch no other thread's frames or queues, memory contents never
+// affect actability, and join readiness of other threads can only flip
+// when tid's new census becomes exactly CensusFinished — the caller must
+// fall back to a full SchedCensus in that case (and after forks).
+func (m *Machine) SchedCensusOne(flags []uint8, tid int) {
+	flags[tid] = m.censusOf(tid)
+}
+
 func (m *Machine) joinReady(target int64) bool {
 	if target < 0 || target >= int64(len(m.threads)) {
 		// Joining a bogus id can never succeed; treat as never-ready (the
 		// runner will report deadlock).
 		return false
 	}
-	u := m.threads[target]
+	u := &m.threads[target]
 	return u.Finished() && u.buf.Empty() && len(u.defq) == 0
 }
 
 func (m *Machine) current(t *Thread) *ir.Instr {
-	fr := &t.frames[len(t.frames)-1]
+	fr := t.top()
 	return &fr.fn.code[fr.pc]
 }
 
@@ -339,7 +443,7 @@ func (m *Machine) CurrentInstr(tid int) *ir.Instr {
 	if tid < 0 || tid >= len(m.threads) {
 		return nil
 	}
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if t.Finished() {
 		return nil
 	}
@@ -352,11 +456,11 @@ func (m *Machine) CurrentFunc(tid int) string {
 	if tid < 0 || tid >= len(m.threads) {
 		return ""
 	}
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if t.Finished() {
 		return ""
 	}
-	return t.frames[len(t.frames)-1].fn.name
+	return t.top().fn.name
 }
 
 // RegValue returns register r of thread tid's active frame. Used by the
@@ -366,11 +470,11 @@ func (m *Machine) RegValue(tid int, r ir.Reg) (int64, bool) {
 	if tid < 0 || tid >= len(m.threads) {
 		return 0, false
 	}
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if t.Finished() {
 		return 0, false
 	}
-	regs := t.frames[len(t.frames)-1].regs
+	regs := t.frameRegs(t.top())
 	if int(r) < 0 || int(r) >= len(regs) {
 		return 0, false
 	}
@@ -403,7 +507,7 @@ const (
 // of an address parked behind a store-store barrier cannot commit yet and
 // the step reports StepBlocked.
 func (m *Machine) FlushOne(tid int, addr int64) StepKind {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	e, ok := t.buf.FlushOldest(addr)
 	if !ok {
 		return StepBlocked
@@ -453,7 +557,7 @@ func (m *Machine) fail(v *Violation) {
 // issuing frame is always the thread's top frame (calls and returns force
 // full resolution first).
 func (m *Machine) ResolveOne(tid int, idx int) StepKind {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if m.violated != nil || idx < 0 || idx >= len(t.defq) {
 		return StepBlocked
 	}
@@ -463,8 +567,7 @@ func (m *Machine) ResolveOne(tid int, idx int) StepKind {
 	if !m.checkAddr(tid, d.Label, d.Addr, "load (at resolve)") {
 		return StepResolve
 	}
-	fr := &t.frames[len(t.frames)-1]
-	fr.regs[d.Dst] = m.mem[d.Addr]
+	t.frameRegs(t.top())[d.Dst] = m.mem[d.Addr]
 	return StepResolve
 }
 
@@ -506,7 +609,7 @@ func (m *Machine) forcedResolveIdx(t *Thread, fr *frame, in *ir.Instr) int {
 	// dependency rule above would have fired instead.
 	switch in.Op {
 	case ir.OpLoad, ir.OpStore:
-		addr := fr.regs[in.A]
+		addr := t.frameRegs(fr)[in.A]
 		for i := range t.defq {
 			if t.defq[i].Addr == addr {
 				return i
@@ -523,7 +626,7 @@ func (m *Machine) forcedResolveIdx(t *Thread, fr *frame, in *ir.Instr) int {
 // entry goes first — store-store barriers can park the wanted address
 // behind entries of an earlier epoch, which must then drain first.
 func (m *Machine) forcedFlush(tid int, addr int64) StepKind {
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if m.model.RelaxesStoreStore() && addr >= 0 && !t.buf.EmptyFor(addr) {
 		if k := m.FlushOne(tid, addr); k != StepBlocked {
 			return k
@@ -544,7 +647,7 @@ func (m *Machine) StepThread(tid int) StepKind {
 	if m.violated != nil {
 		return StepBlocked
 	}
-	t := m.threads[tid]
+	t := &m.threads[tid]
 	if t.Finished() {
 		if t.buf.Empty() {
 			return StepBlocked
@@ -552,7 +655,7 @@ func (m *Machine) StepThread(tid int) StepKind {
 		fl := t.buf.FlushableAddrsView()
 		return m.FlushOne(tid, fl[0])
 	}
-	fr := &t.frames[len(t.frames)-1]
+	fr := t.top()
 	in := &fr.fn.code[fr.pc]
 
 	// Deferred loads the next instruction depends on (or that its
@@ -572,7 +675,7 @@ func (m *Machine) StepThread(tid int) StepKind {
 			return m.forcedFlush(tid, -1)
 		}
 	case ir.OpCas:
-		a := fr.regs[in.A]
+		a := t.frameRegs(fr)[in.A]
 		if !t.buf.EmptyFor(a) {
 			return m.forcedFlush(tid, a)
 		}
@@ -584,7 +687,7 @@ func (m *Machine) StepThread(tid int) StepKind {
 			return m.forcedFlush(tid, -1)
 		}
 	case ir.OpJoin:
-		if !m.joinReady(fr.regs[in.A]) {
+		if !m.joinReady(t.frameRegs(fr)[in.A]) {
 			return StepBlocked
 		}
 	}
@@ -595,39 +698,40 @@ func (m *Machine) StepThread(tid int) StepKind {
 
 func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 	pc := fr.pc // index of in within fr.fn (for the resolved side table)
+	regs := t.frameRegs(fr)
 	advance := true
 	kind := StepLocal
 	switch in.Op {
 	case ir.OpConst:
-		fr.regs[in.Dst] = in.Imm
+		regs[in.Dst] = in.Imm
 	case ir.OpGlobal:
-		fr.regs[in.Dst] = in.Imm
+		regs[in.Dst] = in.Imm
 	case ir.OpMov:
-		fr.regs[in.Dst] = fr.regs[in.A]
+		regs[in.Dst] = regs[in.A]
 	case ir.OpBin:
-		fr.regs[in.Dst] = in.Bin.Eval(fr.regs[in.A], fr.regs[in.B])
+		regs[in.Dst] = in.Bin.Eval(regs[in.A], regs[in.B])
 	case ir.OpNot:
-		if fr.regs[in.A] == 0 {
-			fr.regs[in.Dst] = 1
+		if regs[in.A] == 0 {
+			regs[in.Dst] = 1
 		} else {
-			fr.regs[in.Dst] = 0
+			regs[in.Dst] = 0
 		}
 	case ir.OpNeg:
-		fr.regs[in.Dst] = -fr.regs[in.A]
+		regs[in.Dst] = -regs[in.A]
 
 	case ir.OpLoad:
-		addr := fr.regs[in.A]
+		addr := regs[in.A]
 		if in.ThreadLocal {
 			if !m.checkAddr(t.ID, in.Label, addr, "load") {
 				return StepShared
 			}
-			fr.regs[in.Dst] = m.mem[addr]
+			regs[in.Dst] = m.mem[addr]
 			break // stays StepLocal
 		}
 		kind = StepShared
 		m.observe(t, in.Label, AccLoad, addr)
 		if v, ok := t.buf.Lookup(addr); ok {
-			fr.regs[in.Dst] = v // LOAD-B (store forwarding resolves at issue)
+			regs[in.Dst] = v // LOAD-B (store forwarding resolves at issue)
 		} else if m.model.DefersLoads() {
 			// LOAD-D: the read is deferred — the scheduler picks the moment
 			// (and hence the order) it reads memory via ResolveOne. The
@@ -637,12 +741,12 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 			if !m.checkAddr(t.ID, in.Label, addr, "load") {
 				return StepShared
 			}
-			fr.regs[in.Dst] = m.mem[addr] // LOAD-G
+			regs[in.Dst] = m.mem[addr] // LOAD-G
 		}
 
 	case ir.OpStore:
-		addr := fr.regs[in.A]
-		val := fr.regs[in.B]
+		addr := regs[in.A]
+		val := regs[in.B]
 		if in.ThreadLocal {
 			if !m.checkAddr(t.ID, in.Label, addr, "store") {
 				return StepShared
@@ -663,16 +767,16 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 
 	case ir.OpCas:
 		kind = StepShared
-		addr := fr.regs[in.A]
+		addr := regs[in.A]
 		m.observe(t, in.Label, AccCas, addr)
 		if !m.checkAddr(t.ID, in.Label, addr, "cas") {
 			return StepShared
 		}
-		if m.mem[addr] == fr.regs[in.B] {
-			m.mem[addr] = fr.regs[in.C]
-			fr.regs[in.Dst] = 1
+		if m.mem[addr] == regs[in.B] {
+			m.mem[addr] = regs[in.C]
+			regs[in.Dst] = 1
 		} else {
-			fr.regs[in.Dst] = 0
+			regs[in.Dst] = 0
 		}
 
 	case ir.OpFence:
@@ -693,7 +797,7 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		fr.pc = int(fr.fn.rx[pc].target)
 		advance = false
 	case ir.OpCondBr:
-		if fr.regs[in.A] != 0 {
+		if regs[in.A] != 0 {
 			fr.pc = int(fr.fn.rx[pc].target)
 		} else {
 			fr.pc = int(fr.fn.rx[pc].target2)
@@ -702,34 +806,35 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 
 	case ir.OpCall:
 		callee := &m.c.funcs[fr.fn.rx[pc].callee]
-		nf := frame{
-			fn:     callee,
-			regs:   m.getRegs(callee.numRegs),
-			retDst: in.Dst,
-		}
-		for i, a := range in.Args {
-			nf.regs[i] = fr.regs[a]
-		}
-		if callee.isOp && t.opDepth == 0 {
-			nf.isOp = true
+		isOp := false
+		if callee.isOp {
+			isOp = t.opDepth == 0
 			t.opDepth++
+		}
+		fr.pc++ // return lands after the call (before fr is invalidated)
+		nf := t.pushFrame(callee, in.Dst, isOp)
+		// pushFrame may move both the frame slice and the register arena:
+		// re-derive the caller's registers before seeding the callee's.
+		caller := &t.frames[len(t.frames)-2]
+		cregs := t.frameRegs(caller)
+		nregs := t.frameRegs(nf)
+		for i, a := range in.Args {
+			nregs[i] = cregs[a]
+		}
+		if isOp {
 			args := m.allocArgs(len(in.Args))
-			copy(args, nf.regs[:len(in.Args)])
+			copy(args, nregs[:len(in.Args)])
 			m.history = append(m.history, Event{
 				Kind: EventInvoke, Thread: t.ID, Op: callee.name, Args: args,
 			})
-		} else if callee.isOp {
-			t.opDepth++
 		}
-		fr.pc++ // return lands after the call
-		t.frames = append(t.frames, nf)
 		advance = false
 
 	case ir.OpRet:
 		var val int64
 		hasVal := in.HasVal
 		if hasVal {
-			val = fr.regs[in.A]
+			val = regs[in.A]
 		}
 		if fr.isOp {
 			m.history = append(m.history, Event{
@@ -740,52 +845,48 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 			t.opDepth--
 		}
 		retDst := fr.retDst
-		m.putRegs(fr.regs)
-		t.frames = t.frames[:len(t.frames)-1]
+		t.popFrame()
 		if len(t.frames) == 0 {
 			if t.ID == 0 {
 				m.exitCode = val
 			}
 		} else if hasVal && retDst != ir.NoReg {
-			caller := &t.frames[len(t.frames)-1]
-			caller.regs[retDst] = val
+			t.frameRegs(t.top())[retDst] = val
 		}
 		advance = false
 		kind = StepShared // returns are scheduling points (keeps POR honest)
 
 	case ir.OpFork:
 		callee := &m.c.funcs[fr.fn.rx[pc].callee]
-		nt := m.newThread(len(m.threads))
-		nf := frame{
-			fn:     callee,
-			regs:   m.getRegs(callee.numRegs),
-			retDst: ir.NoReg,
-		}
+		tid := t.ID
+		nt := m.newThread() // may move the thread table: t/fr/regs go stale
+		t = &m.threads[tid]
+		fr = t.top()
+		regs = t.frameRegs(fr)
+		nf := nt.pushFrame(callee, ir.NoReg, callee.isOp)
+		nregs := nt.frameRegs(nf)
 		for i, a := range in.Args {
-			nf.regs[i] = fr.regs[a]
+			nregs[i] = regs[a]
 		}
 		if callee.isOp {
-			nf.isOp = true
 			nt.opDepth++
 			args := m.allocArgs(len(in.Args))
-			copy(args, nf.regs[:len(in.Args)])
+			copy(args, nregs[:len(in.Args)])
 			m.history = append(m.history, Event{
 				Kind: EventInvoke, Thread: nt.ID, Op: callee.name, Args: args,
 			})
 		}
-		nt.frames = append(nt.frames, nf)
-		m.threads = append(m.threads, nt)
-		fr.regs[in.Dst] = int64(nt.ID)
+		regs[in.Dst] = int64(nt.ID)
 		kind = StepShared
 
 	case ir.OpJoin:
 		kind = StepShared // readiness checked by caller
 
 	case ir.OpSelf:
-		fr.regs[in.Dst] = int64(t.ID)
+		regs[in.Dst] = int64(t.ID)
 
 	case ir.OpAlloc:
-		size := fr.regs[in.A]
+		size := regs[in.A]
 		if size < 1 {
 			size = 1
 		}
@@ -801,11 +902,11 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 			m.mem = grown
 		}
 		m.units.add(base, size)
-		fr.regs[in.Dst] = base
+		regs[in.Dst] = base
 		kind = StepShared
 
 	case ir.OpFree:
-		addr := fr.regs[in.A]
+		addr := regs[in.A]
 		if !m.units.remove(addr) {
 			m.fail(&Violation{
 				Kind:   VMemSafety,
@@ -820,7 +921,7 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		kind = StepShared
 
 	case ir.OpAssert:
-		if fr.regs[in.A] == 0 {
+		if regs[in.A] == 0 {
 			m.fail(&Violation{
 				Kind:   VAssert,
 				Thread: t.ID,
@@ -831,7 +932,7 @@ func (m *Machine) exec(t *Thread, fr *frame, in *ir.Instr) StepKind {
 		}
 
 	case ir.OpPrint:
-		m.output = append(m.output, fr.regs[in.A])
+		m.output = append(m.output, regs[in.A])
 
 	default:
 		m.fail(&Violation{

@@ -34,7 +34,7 @@ func TestForkActsAsBarrier(t *testing.T) {
 	for seed := 0; seed < 30; seed++ {
 		m := NewMachine(p, memmodel.PSO, nil)
 		// Drive main: the store buffers, then the fork must force a flush.
-		stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 2 })
+		stepUntil(t, m, 0, func() bool { return m.NumThreads() == 2 })
 		if got, _ := m.GlobalValue("g"); got != 77 {
 			t.Fatalf("fork did not drain the parent's buffer: g = %d", got)
 		}
@@ -78,7 +78,7 @@ func TestThreadLocalAccessesBypassBuffers(t *testing.T) {
 	if m.ExitCode() != 5 {
 		t.Errorf("exit = %d, want 5", m.ExitCode())
 	}
-	if !m.Threads()[0].Buffers().Empty() {
+	if !m.Thread(0).Buffers().Empty() {
 		t.Error("thread-local store entered the buffer")
 	}
 }

@@ -81,7 +81,7 @@ func TestRMOLoadDefersAndResolves(t *testing.T) {
 	if n := m.DeferredCount(0); n != 1 {
 		t.Fatalf("DeferredCount = %d, want 1", n)
 	}
-	d := m.Threads()[0].DeferredLoads()[0]
+	d := m.Thread(0).DeferredLoads()[0]
 	if d.Addr != p.Global("x").Addr {
 		t.Fatalf("deferred addr = %d, want x", d.Addr)
 	}
@@ -113,7 +113,7 @@ func TestRMOLoadBuffering(t *testing.T) {
 	// both loads (deferring), run both stores and let them commit, then
 	// resolve both loads — each reads the other thread's store.
 	m := NewMachine(p, memmodel.RMO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 	stepUntil(t, m, 1, func() bool { return m.CanResolve(1) }) // t1 load y deferred
 	stepUntil(t, m, 2, func() bool { return m.CanResolve(2) }) // t2 load x deferred
 	// Run both threads until their first store is buffered, then flush.
@@ -262,7 +262,7 @@ func TestRMOFenceKindsGate(t *testing.T) {
 func TestRMOLBFenceRepairs(t *testing.T) {
 	p := buildLB(t, ir.FenceAcquire, true)
 	m := NewMachine(p, memmodel.RMO, nil)
-	stepUntil(t, m, 0, func() bool { return len(m.Threads()) == 3 })
+	stepUntil(t, m, 0, func() bool { return m.NumThreads() == 3 })
 	// Adversarial attempt: defer t1's load, then try to reach its store
 	// without resolving. The acquire fence must block that path.
 	stepUntil(t, m, 1, func() bool { return m.CanResolve(1) })

@@ -70,7 +70,8 @@ func (m *Machine) AppendStateKey(dst []byte) []byte {
 		}
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(m.threads)))
-	for _, t := range m.threads {
+	for ti := range m.threads {
+		t := &m.threads[ti]
 		dst = binary.AppendVarint(dst, int64(t.opDepth))
 		dst = binary.AppendUvarint(dst, uint64(len(t.frames)))
 		for i := range t.frames {
@@ -83,8 +84,9 @@ func (m *Machine) AppendStateKey(dst []byte) []byte {
 			} else {
 				dst = append(dst, 0)
 			}
-			dst = binary.AppendUvarint(dst, uint64(len(fr.regs)))
-			for _, r := range fr.regs {
+			regs := t.frameRegs(fr)
+			dst = binary.AppendUvarint(dst, uint64(len(regs)))
+			for _, r := range regs {
 				dst = binary.AppendVarint(dst, r)
 			}
 		}

@@ -212,8 +212,17 @@ type Buffers struct {
 
 	tso fifo // TSO: single FIFO
 
-	pso   map[int64]*fifo // per-address FIFO (entries persist across Reset, emptied not deleted)
-	order []int64         // addresses with pending entries, oldest-first insertion order (deterministic iteration)
+	// Per-address FIFOs. Program addresses are small dense integers
+	// (globals and arrays are laid out contiguously from 0), so the hot
+	// path indexes a slice grown to the highest buffered address —
+	// profiles showed the former map[int64]*fifo's hashing under every
+	// Put/Lookup/flush-candidate scan. Out-of-range addresses (negative
+	// or huge register garbage headed for a bad-address violation at
+	// flush time) fall back to a lazily-made map so a broken program
+	// cannot force a giant allocation.
+	pso     []fifo          // dense per-address FIFOs, index = address
+	psoWild map[int64]*fifo // rare fallback for addresses outside [0, denseAddrCap)
+	order   []int64         // addresses with pending entries, oldest-first insertion order (deterministic iteration)
 
 	scratch  [1]int64 // backing for the TSO PendingAddrsView result
 	fscratch []int64  // backing for the FlushableAddrsView result
@@ -240,6 +249,41 @@ func (q *fifo) pop() Entry {
 	return e
 }
 
+// denseAddrCap bounds the dense per-address table: any program address
+// below it gets an O(1) slice slot; anything at or above it (or negative)
+// is register garbage that will trip the bad-address check when it
+// flushes, and lives in the psoWild fallback map until then.
+const denseAddrCap = 1 << 16
+
+// queue returns addr's FIFO if it has ever buffered an entry, else nil.
+// The pointer aliases the dense table and is invalidated by the next
+// queueFor call — use immediately.
+func (b *Buffers) queue(addr int64) *fifo {
+	if uint64(addr) < uint64(len(b.pso)) {
+		return &b.pso[addr]
+	}
+	return b.psoWild[addr]
+}
+
+// queueFor returns addr's FIFO, creating its slot on first use.
+func (b *Buffers) queueFor(addr int64) *fifo {
+	if addr >= 0 && addr < denseAddrCap {
+		if int(addr) >= len(b.pso) {
+			b.pso = append(b.pso, make([]fifo, int(addr)+1-len(b.pso))...)
+		}
+		return &b.pso[addr]
+	}
+	if b.psoWild == nil {
+		b.psoWild = make(map[int64]*fifo)
+	}
+	q := b.psoWild[addr]
+	if q == nil {
+		q = &fifo{}
+		b.psoWild[addr] = q
+	}
+	return q
+}
+
 // New returns empty buffers for one thread under model m.
 func New(m Model) *Buffers {
 	b := &Buffers{}
@@ -256,13 +300,13 @@ func (b *Buffers) Reset(m Model) {
 	b.count = 0
 	b.epoch = 0
 	b.tso.reset()
+	// Non-empty queues are exactly the order-listed ones (Put appends an
+	// address on its first pending entry; FlushOldest delists it on its
+	// last), so resetting those — not the whole table — keeps Reset O(pending).
+	for _, a := range b.order {
+		b.queue(a).reset()
+	}
 	b.order = b.order[:0]
-	if m.perAddrBuffers() && b.pso == nil {
-		b.pso = make(map[int64]*fifo)
-	}
-	for _, q := range b.pso {
-		q.reset()
-	}
 }
 
 // Model returns the memory model these buffers implement.
@@ -285,7 +329,7 @@ func (b *Buffers) EmptyFor(addr int64) bool {
 	case TSO:
 		return b.tso.len() == 0
 	case PSO, RMO:
-		q := b.pso[addr]
+		q := b.queue(addr)
 		return q == nil || q.len() == 0
 	}
 	return true
@@ -300,11 +344,7 @@ func (b *Buffers) Put(addr, val int64, label ir.Label) {
 	case TSO:
 		b.tso.push(Entry{Addr: addr, Val: val, Label: label})
 	case PSO, RMO:
-		q := b.pso[addr]
-		if q == nil {
-			q = &fifo{}
-			b.pso[addr] = q
-		}
+		q := b.queueFor(addr)
 		if q.len() == 0 {
 			b.order = append(b.order, addr)
 		}
@@ -338,7 +378,7 @@ func (b *Buffers) minHeadEpoch() int32 {
 	min := int32(0)
 	first := true
 	for _, a := range b.order {
-		e := b.pso[a].slice()[0].Epoch
+		e := b.queue(a).slice()[0].Epoch
 		if first || e < min {
 			min, first = e, false
 		}
@@ -360,7 +400,7 @@ func (b *Buffers) Lookup(addr int64) (val int64, ok bool) {
 			}
 		}
 	case PSO, RMO:
-		if q := b.pso[addr]; q != nil && q.len() > 0 {
+		if q := b.queue(addr); q != nil && q.len() > 0 {
 			s := q.slice()
 			return s[len(s)-1].Val, true
 		}
@@ -385,7 +425,7 @@ func (b *Buffers) FlushOldest(addr int64) (Entry, bool) {
 		b.count--
 		return b.tso.pop(), true
 	case PSO, RMO:
-		q := b.pso[addr]
+		q := b.queue(addr)
 		if q == nil || q.len() == 0 {
 			return Entry{}, false
 		}
@@ -476,7 +516,7 @@ func (b *Buffers) FlushableAddrsView() []int64 {
 		min := b.minHeadEpoch()
 		out := b.fscratch[:0]
 		for _, a := range b.order {
-			if b.pso[a].slice()[0].Epoch == min {
+			if b.queue(a).slice()[0].Epoch == min {
 				out = append(out, a)
 			}
 		}
@@ -524,7 +564,7 @@ func (b *Buffers) AppendPendingOther(dst []Entry, exclude int64) []Entry {
 			if a == exclude {
 				continue
 			}
-			dst = append(dst, b.pso[a].slice()...)
+			dst = append(dst, b.queue(a).slice()...)
 		}
 	}
 	return dst

@@ -255,7 +255,7 @@ func (e *enumerator) replay(path []choice) (overBudget bool) {
 // prune reachable outcomes.
 func (e *enumerator) choices(dst []choice) []choice {
 	m := &e.m
-	n := len(m.Threads())
+	n := m.NumThreads()
 	for tid := 0; tid < n; tid++ {
 		if m.CanExec(tid) {
 			dst = append(dst, choice{tid: tid})
@@ -267,7 +267,7 @@ func (e *enumerator) choices(dst []choice) []choice {
 		}
 		// FlushableAddrs copies; the view would be invalidated by nothing
 		// here, but the copy keeps this loop obviously safe.
-		for _, addr := range m.Threads()[tid].Buffers().FlushableAddrs() {
+		for _, addr := range m.Thread(tid).Buffers().FlushableAddrs() {
 			dst = append(dst, choice{tid: tid, flush: true, addr: addr})
 		}
 	}

@@ -111,7 +111,11 @@ func (c *FuzzConfig) Fill() {
 		c.Models = []memmodel.Model{memmodel.TSO, memmodel.PSO, memmodel.RMO}
 	}
 	if c.Execs <= 0 {
-		c.Execs = 120
+		// Recalibrated from 120 when the scheduler switched PRNGs
+		// (sched.schedRNG): the new stream needs a slightly larger
+		// fixed-seed budget to expose the deepest RMO template
+		// residuals within the un-escalated pass.
+		c.Execs = 160
 	}
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 8

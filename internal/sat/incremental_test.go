@@ -1,0 +1,91 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randMonotone generates a random positive CNF over nvars variables,
+// shaped like a synthesis round's φ: clauses are disjunctions of 1..w
+// distinct variables.
+func randMonotone(rng *rand.Rand, nvars, nclauses, w int) [][]Lit {
+	out := make([][]Lit, 0, nclauses)
+	for i := 0; i < nclauses; i++ {
+		k := 1 + rng.Intn(w)
+		seen := map[int]bool{}
+		var c []Lit
+		for len(c) < k {
+			v := 1 + rng.Intn(nvars)
+			if !seen[v] {
+				seen[v] = true
+				c = append(c, Lit(v))
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestIncrementalMatchesFreshAcrossRounds is the solver-persistence
+// differential: a single Incremental carried across a staged sequence of
+// growing rounds must enumerate, in every round, exactly the minimal
+// models a fresh per-round solver finds — bit-identical sets in
+// identical order, regardless of the learnt clauses, activity, and saved
+// phases the persistent solver accumulated in earlier rounds.
+func TestIncrementalMatchesFreshAcrossRounds(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nvars := 4 + rng.Intn(10)
+		inc := NewIncremental()
+		inc.EnsureVars(nvars)
+		rounds := 2 + rng.Intn(4)
+		for r := 0; r < rounds; r++ {
+			if r > 0 {
+				inc.BeginRound()
+			}
+			clauses := randMonotone(rng, nvars, 1+rng.Intn(8), 4)
+			for _, c := range clauses {
+				inc.AddClause(c)
+			}
+			var pst, fst Stats
+			persistent, ptr := inc.MinimalModels(Budget{}, &pst)
+			fresh, ftr := MinimalModelsStats(nvars, clauses, Budget{}, &fst)
+			if fmt.Sprint(persistent) != fmt.Sprint(fresh) || ptr != ftr {
+				t.Fatalf("trial %d round %d: persistent solver diverged\npersistent: %v (trunc=%v)\nfresh:      %v (trunc=%v)",
+					trial, r, persistent, ptr, fresh, ftr)
+			}
+			if pst.Models != len(persistent) || fst.Models != len(fresh) {
+				t.Fatalf("trial %d round %d: stats model count mismatch", trial, r)
+			}
+		}
+	}
+}
+
+// TestIncrementalRetiredRoundsInert: clauses of retired rounds (including
+// their blocking clauses) must not constrain later rounds — a round whose
+// formula is a single unit clause has exactly one minimal model even if a
+// previous round blocked that very assignment.
+func TestIncrementalRetiredRoundsInert(t *testing.T) {
+	inc := NewIncremental()
+	inc.EnsureVars(3)
+	inc.AddClause([]Lit{1})
+	inc.AddClause([]Lit{2, 3})
+	first, _ := inc.MinimalModels(Budget{}, nil)
+	if len(first) != 2 {
+		t.Fatalf("round 0: got %v, want two minimal models", first)
+	}
+	inc.BeginRound()
+	inc.AddClause([]Lit{1})
+	second, _ := inc.MinimalModels(Budget{}, nil)
+	if len(second) != 1 || len(second[0]) != 1 || second[0][0] != 1 {
+		t.Fatalf("round 1: got %v, want [[1]]", second)
+	}
+	// A later round may also relax: a formula satisfied by the empty model
+	// after BeginRound must report it even though earlier rounds forced 1.
+	inc.BeginRound()
+	third, _ := inc.MinimalModels(Budget{}, nil)
+	if len(third) != 1 || len(third[0]) != 0 {
+		t.Fatalf("round 2 (empty formula): got %v, want [[]]", third)
+	}
+}

@@ -1,7 +1,6 @@
 package sat
 
 import (
-	"sort"
 	"time"
 )
 
@@ -22,13 +21,21 @@ type Budget struct {
 
 func (b Budget) unlimited() bool { return b.MaxModels <= 0 && b.Timeout <= 0 }
 
-// Stats reports one enumeration's solver effort, for telemetry.
+// Stats reports one enumeration's solver effort, for telemetry. All
+// counters are per-enumeration deltas, even when the enumeration ran on a
+// persistent Incremental solver.
 type Stats struct {
 	// Models is the number of distinct minimal models found.
 	Models int
 	// Conflicts is the CDCL conflict count across the enumeration's
 	// Solve calls.
 	Conflicts int64
+	// Decisions is the number of branching decisions.
+	Decisions int64
+	// Propagations is the number of literals unit-propagated.
+	Propagations int64
+	// Restarts is the number of search restarts.
+	Restarts int64
 	// Clauses is the number of input clauses (blocking clauses excluded).
 	Clauses int
 }
@@ -71,68 +78,17 @@ func MinimalModelsBudget(nvars int, clauses [][]Lit, budget Budget) (models [][]
 
 // MinimalModelsStats is MinimalModelsBudget additionally reporting the
 // enumeration's solver effort into st (ignored when nil). The models
-// returned are identical to MinimalModelsBudget's.
+// returned are identical to MinimalModelsBudget's. It runs a one-round
+// Incremental enumeration on a throwaway solver; long-lived callers whose
+// formula grows round over round should hold an Incremental instead and
+// reap the learnt-clause and activity carry-over.
 func MinimalModelsStats(nvars int, clauses [][]Lit, budget Budget, st *Stats) (models [][]int, truncated bool) {
-	s := NewSolver()
-	for i := 0; i < nvars; i++ {
-		s.NewVar()
-	}
+	inc := NewIncremental()
+	inc.EnsureVars(nvars)
 	for _, c := range clauses {
-		if err := s.AddClause(c...); err != nil {
-			// Unknown variable: programming error in the caller.
-			panic(err)
-		}
+		inc.AddClause(c)
 	}
-	var deadline time.Time
-	if budget.Timeout > 0 {
-		deadline = time.Now().Add(budget.Timeout)
-	}
-	seen := make(map[string]bool)
-	var out [][]int
-	_, err := s.SolveWithBlocking(func(model map[int]bool) []Lit {
-		min := shrink(nvars, clauses, model)
-		key := fmtKey(min)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, min)
-		}
-		if len(min) == 0 {
-			return nil // empty model satisfies everything: stop
-		}
-		if !budget.unlimited() {
-			if (budget.MaxModels > 0 && len(out) >= budget.MaxModels) ||
-				(!deadline.IsZero() && time.Now().After(deadline)) {
-				truncated = true
-				return nil // budget exhausted: keep what we have
-			}
-		}
-		block := make([]Lit, len(min))
-		for i, v := range min {
-			block[i] = Lit(-v)
-		}
-		return block
-	})
-	if err != nil {
-		panic(err)
-	}
-	if st != nil {
-		st.Models = len(out)
-		st.Conflicts = s.Conflicts()
-		st.Clauses = len(clauses)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-	return out, truncated
+	return inc.MinimalModels(budget, st)
 }
 
 // shrink reduces a model of a monotone formula to an irredundant one.

@@ -40,6 +40,8 @@ package sched
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -120,18 +122,22 @@ func RunBatchCompiled[T any](ctx context.Context, c *interp.Compiled, model memm
 		return reduce(i, w, obs, res, err)
 	}
 	if workers <= 1 {
-		var st worker
-		obs := obsFor(0)
-		for i := 0; i < n; i++ {
-			if ctx.Err() != nil {
-				break
+		// Label the serial path too, so CPU profiles separate execution
+		// time from solve/check phases regardless of worker count.
+		pprof.Do(ctx, pprof.Labels("dfence_phase", "execute", "dfence_worker", "0"), func(ctx context.Context) {
+			var st worker
+			obs := obsFor(0)
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				t, stop := exec(&st, 0, i, obs)
+				out[i] = t
+				if stop {
+					break
+				}
 			}
-			t, stop := exec(&st, 0, i, obs)
-			out[i] = t
-			if stop {
-				break
-			}
-		}
+		})
 		return out
 	}
 
@@ -143,20 +149,24 @@ func RunBatchCompiled[T any](ctx context.Context, c *interp.Compiled, model memm
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var st worker
-			obs := obsFor(w)
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			// Per-worker pprof labels: samples attribute to the batch
+			// execution phase and to the individual worker goroutine.
+			pprof.Do(ctx, pprof.Labels("dfence_phase", "execute", "dfence_worker", strconv.Itoa(w)), func(ctx context.Context) {
+				var st worker
+				obs := obsFor(w)
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					t, stop := exec(&st, w, i, obs)
+					out[i] = t
+					if stop {
+						cancel()
+						return
+					}
 				}
-				t, stop := exec(&st, w, i, obs)
-				out[i] = t
-				if stop {
-					cancel()
-					return
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

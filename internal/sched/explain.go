@@ -80,7 +80,7 @@ func ReplayExplained(prog *ir.Program, tr *Trace) (facts []StepFact, res *interp
 	// execution step) and appends its fact. Returns false when the
 	// machine reached a violation.
 	step := func(tid int, flushAddr int64, explicitFlush bool) bool {
-		t := m.Threads()[tid]
+		t := m.Thread(tid)
 		before := snapshotBuf(t)
 		fact := StepFact{Thread: tid}
 
@@ -145,7 +145,7 @@ func ReplayExplained(prog *ir.Program, tr *Trace) (facts []StepFact, res *interp
 	}
 
 	for _, d := range tr.Decisions {
-		if d.Thread >= len(m.Threads()) {
+		if d.Thread >= m.NumThreads() {
 			return facts, m.Result(false), false
 		}
 		if d.Flush {
@@ -170,14 +170,14 @@ func ReplayExplained(prog *ir.Program, tr *Trace) (facts []StepFact, res *interp
 	// is the recorded prefix).
 	for guard := 0; !m.Done() && guard < 1_000_000; guard++ {
 		moved := false
-		for tid := 0; tid < len(m.Threads()); tid++ {
+		for tid := 0; tid < m.NumThreads(); tid++ {
 			if m.CanExec(tid) {
 				m.StepThread(tid)
 				moved = true
 				break
 			}
 			if m.CanFlush(tid) {
-				pend := m.Threads()[tid].Buffers().PendingAddrs()
+				pend := m.Thread(tid).Buffers().PendingAddrs()
 				m.FlushOne(tid, pend[0])
 				moved = true
 				break

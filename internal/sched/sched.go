@@ -15,7 +15,6 @@ package sched
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime/debug"
 	"time"
 
@@ -165,8 +164,9 @@ func DefaultOptions(seed int64) Options {
 // in the package comment of batch.go. The zero worker is ready to use.
 type worker struct {
 	m          interp.Machine
-	rng        *rand.Rand
+	rng        schedRNG
 	actable    []int
+	census     []uint8
 	priorities []float64
 	// Starvation vow of the current execution (Options.Starve): once
 	// stChosen, thread stTid's buffer entries for stAddr are only flushed
@@ -221,15 +221,11 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 	}
 	m := &w.m
 	m.Reset(c, model, obs)
-	if w.rng == nil {
-		w.rng = rand.New(rand.NewSource(opts.Seed))
-	} else {
-		// Re-seeding a private rand.Rand restarts the exact stream a fresh
-		// rand.New(rand.NewSource(seed)) would produce, so reuse cannot
-		// perturb the schedule.
-		w.rng.Seed(opts.Seed)
-	}
-	rng := w.rng
+	// Re-seeding restarts the exact stream a fresh generator would
+	// produce (schedRNG's state is a pure function of the seed), so
+	// worker reuse cannot perturb the schedule.
+	w.rng.Seed(opts.Seed)
+	rng := &w.rng
 	w.stChosen = false
 	w.ldChosen = false
 	maxSteps := opts.MaxSteps
@@ -252,7 +248,27 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 	defer func() { w.priorities = priorities[:0] }()
 
 	actable := w.actable[:0]
-	defer func() { w.actable = actable[:0] }()
+	census := w.census
+	defer func() { w.actable = actable[:0]; w.census = census }()
+	// refresh tracks how much of the census the machine's last mutation
+	// could have invalidated. Deferral iterations whose coins all came up
+	// tails change only RNG and priority state, so the previous census
+	// (actable, anyExec — and the done/deadlock verdicts it implies) is
+	// still exact and no rescan runs. A mutation confined to one thread
+	// (flush, resolve, non-fork step) re-derives that thread's byte only;
+	// the full O(threads) frame-and-queue walk happens just when a fork
+	// changed the thread count or a thread became drained-finished (the
+	// one transition that can flip other threads' join readiness). The
+	// census values are pure derived state, so the rebuilt actable set —
+	// and hence the RNG-driven schedule — is bit-identical to a full
+	// rescan every iteration.
+	const (
+		refreshNone = iota
+		refreshThread
+		refreshAll
+	)
+	refresh, refreshTid := refreshAll, 0
+	var anyExec bool
 	for iter := 0; m.Steps() < maxSteps; iter++ {
 		if iter%budgetCheckEvery == 0 {
 			if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
@@ -261,29 +277,48 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 				return res
 			}
 		}
-		if m.Done() {
-			return m.Result(false)
-		}
-		actable = actable[:0]
-		anyExec := false
-		n := len(m.Threads())
-		for tid := 0; tid < n; tid++ {
-			if m.Actable(tid) {
-				actable = append(actable, tid)
-				if m.CanExec(tid) {
-					anyExec = true
+		if refresh != refreshNone {
+			if m.Violation() != nil {
+				return m.Result(false)
+			}
+			if refresh == refreshThread && m.NumThreads() == len(census) {
+				m.SchedCensusOne(census, refreshTid)
+				if census[refreshTid] == interp.CensusFinished {
+					refresh = refreshAll // newly joinable: others may wake
+				}
+			} else {
+				refresh = refreshAll // fork grew the thread set
+			}
+			if refresh == refreshAll {
+				census = m.SchedCensus(census[:0])
+			}
+			actable = actable[:0]
+			anyExec = false
+			done := true
+			for tid, f := range census {
+				if f&interp.CensusActable != 0 {
+					actable = append(actable, tid)
+					anyExec = anyExec || f&interp.CensusExec != 0
+					done = false
+				} else if f&interp.CensusFinished == 0 {
+					done = false // alive but join-blocked: not done, not actable
 				}
 			}
-		}
-		if len(actable) == 0 {
-			res := m.Result(false)
-			res.Violation = &interp.Violation{
-				Kind:  interp.VDeadlock,
-				Label: ir.NoLabel,
-				Msg:   "no thread can make progress",
+			if done {
+				return m.Result(false)
 			}
-			return res
+			if len(actable) == 0 {
+				res := m.Result(false)
+				res.Violation = &interp.Violation{
+					Kind:  interp.VDeadlock,
+					Label: ir.NoLabel,
+					Msg:   "no thread can make progress",
+				}
+				return res
+			}
+			refresh = refreshNone
 		}
+		n := m.NumThreads()
 		var tid int
 		switch opts.Strategy {
 		case Priority:
@@ -303,9 +338,9 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		default:
 			tid = actable[rng.Intn(len(actable))]
 		}
-		t := m.Threads()[tid]
+		t := m.Thread(tid)
 
-		if !m.CanExec(tid) {
+		if census[tid]&interp.CensusExec == 0 {
 			// Finished or join-blocked thread with pending stores or
 			// deferred loads: its only actions are flushes and resolves —
 			// but the delay coins apply here too. Acting unconditionally
@@ -316,8 +351,8 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			// the only possible one it is forced, which keeps every
 			// schedule live.
 			if !anyExec {
-				if !w.tryFlush(t, tid, opts.Starve, true, tr) {
-					w.tryResolve(tid, tr)
+				if w.tryFlush(t, tid, opts.Starve, true, tr) || w.tryResolve(tid, tr) {
+					refresh, refreshTid = refreshThread, tid
 				}
 				continue
 			}
@@ -327,6 +362,9 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			}
 			if !acted && m.CanResolve(tid) && rng.Float64() < resolveProb {
 				acted = w.tryResolve(tid, tr)
+			}
+			if acted {
+				refresh, refreshTid = refreshThread, tid
 			}
 			if !acted && opts.Strategy == Priority {
 				// Deferral must demote, or the highest-priority thread
@@ -342,7 +380,7 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			if !w.ldChosen && m.NextForcesResolve(tid) {
 				w.ldChosen, w.ldTid = true, tid
 			}
-			if w.ldChosen && w.ldTid == tid && m.NextForcesResolve(tid) && canExecOther(m, actable, tid) {
+			if w.ldChosen && w.ldTid == tid && m.NextForcesResolve(tid) && canExecOther(census, actable, tid) {
 				// Load-starvation vow: executing the victim's next
 				// instruction would end a deferred load's window. The flush
 				// coin still applies (committing the victim's earlier
@@ -356,8 +394,10 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 				if rng.Float64() < opts.FlushProb {
 					acted = w.tryFlush(t, tid, opts.Starve, false, tr)
 				}
-				if !acted && rng.Float64() < resolveProb {
-					w.tryResolveTail(tid, tr)
+				if acted {
+					refresh, refreshTid = refreshThread, tid
+				} else if rng.Float64() < resolveProb && w.tryResolveTail(tid, tr) {
+					refresh, refreshTid = refreshThread, tid
 				}
 				if opts.Strategy == Priority {
 					// Deferral must demote, or the highest-priority thread
@@ -369,6 +409,7 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		}
 		if !t.Buffers().Empty() && rng.Float64() < opts.FlushProb {
 			if w.tryFlush(t, tid, opts.Starve, false, tr) {
+				refresh, refreshTid = refreshThread, tid
 				continue
 			}
 			// Only the starvation victim is pending: execute instead of
@@ -376,9 +417,11 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 		}
 		if m.CanResolve(tid) && rng.Float64() < resolveProb {
 			if w.tryResolve(tid, tr) {
+				refresh, refreshTid = refreshThread, tid
 				continue
 			}
 		}
+		refresh, refreshTid = refreshThread, tid
 		kind := m.StepThread(tid)
 		if tr != nil {
 			tr.record(tid, false, 0)
@@ -407,10 +450,11 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 
 // canExecOther reports whether any actable thread other than tid can
 // execute its next instruction — the liveness guard of the
-// load-starvation vow.
-func canExecOther(m *interp.Machine, actable []int, tid int) bool {
+// load-starvation vow. census is the current iteration's census (no
+// machine step has happened since, so it is still accurate).
+func canExecOther(census []uint8, actable []int, tid int) bool {
 	for _, cand := range actable {
-		if cand != tid && m.CanExec(cand) {
+		if cand != tid && census[cand]&interp.CensusExec != 0 {
 			return true
 		}
 	}

@@ -90,7 +90,7 @@ func RunTraced(prog *ir.Program, model memmodel.Model, obs interp.Observer, opts
 func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Result, ok bool) {
 	m := interp.NewMachine(prog, tr.Model, obs)
 	for _, d := range tr.Decisions {
-		if d.Thread >= len(m.Threads()) {
+		if d.Thread >= m.NumThreads() {
 			return m.Result(false), false
 		}
 		if d.Flush {
@@ -123,7 +123,7 @@ func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Resul
 	// pending address); resolves retire the queue head.
 	for guard := 0; !m.Done() && guard < 1_000_000; guard++ {
 		moved := false
-		for tid := 0; tid < len(m.Threads()); tid++ {
+		for tid := 0; tid < m.NumThreads(); tid++ {
 			if m.CanExec(tid) {
 				m.StepThread(tid)
 				moved = true
@@ -135,7 +135,7 @@ func Replay(prog *ir.Program, obs interp.Observer, tr *Trace) (res *interp.Resul
 				break
 			}
 			if m.CanFlush(tid) {
-				fl := m.Threads()[tid].Buffers().FlushableAddrs()
+				fl := m.Thread(tid).Buffers().FlushableAddrs()
 				m.FlushOne(tid, fl[0])
 				moved = true
 				break

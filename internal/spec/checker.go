@@ -1,6 +1,10 @@
 package spec
 
-import "dfence/internal/interp"
+import (
+	"reflect"
+
+	"dfence/internal/interp"
+)
 
 // Checker is a reusable history checker: it owns the sequentialization
 // search's memo table, queue partition, key scratch, recycled spec
@@ -14,12 +18,25 @@ import "dfence/internal/interp"
 // IsLinearizable / Check functions, which simply run on a throwaway
 // Checker.
 type Checker struct {
+	// DisableAutomaton forces the legacy string-keyed dfs instead of the
+	// compiled-automaton search (see automaton.go). Verdicts are
+	// identical either way — the knob exists for differential tests and
+	// benchmarks.
+	DisableAutomaton bool
+
 	queues   [][]Op
 	idx      []int
-	memo     map[string]bool // failed (progress vector, spec state) pairs
+	memo     map[string]bool // legacy path: failed (progress, state) keys
 	keyBuf   []byte
 	free     []Sequential // dead states recycled by clone/recycle
 	realTime bool
+
+	// automaton path (automaton.go)
+	aut     automaton
+	imemo   map[autoKey]bool // failed (packed progress, state id) pairs
+	strides []uint64         // mixed-radix strides of the queue partition
+	oidbuf  []int32          // interned op ids, flat, parallel to qbuf
+	oqueues [][]int32        // per-thread views into oidbuf, parallel to queues
 
 	// partition scratch (check)
 	qbuf   []Op
@@ -163,11 +180,38 @@ func (c *Checker) check(ops []Op, newSpec func() Sequential, realTime bool) bool
 		c.idx = append(c.idx, 0)
 		start += n
 	}
-	if c.memo == nil {
-		c.memo = make(map[string]bool)
-	} else {
-		clear(c.memo) // buckets are retained: the next search reuses them
-	}
 	c.realTime = realTime
-	return c.dfs(newSpec())
+	init := newSpec()
+	if c.DisableAutomaton || !c.compileProgress() {
+		if c.memo == nil {
+			c.memo = make(map[string]bool)
+		} else {
+			clear(c.memo) // buckets are retained: the next search reuses them
+		}
+		return c.dfs(init)
+	}
+	c.aut.ensure(reflect.TypeOf(init))
+	// Intern each queue's ops once; the DFS then only touches ids.
+	c.oidbuf = c.oidbuf[:0]
+	for _, q := range c.queues {
+		for i := range q {
+			c.oidbuf = append(c.oidbuf, c.aut.internOp(q[i]))
+		}
+	}
+	c.oqueues = c.oqueues[:0]
+	for off, i := 0, 0; i < len(c.queues); i++ {
+		n := len(c.queues[i])
+		c.oqueues = append(c.oqueues, c.oidbuf[off:off+n])
+		off += n
+	}
+	sid, fresh := c.aut.intern(init)
+	if !fresh {
+		c.recycle(init)
+	}
+	if c.imemo == nil {
+		c.imemo = make(map[autoKey]bool)
+	} else {
+		clear(c.imemo) // per-check: progress packing depends on the queues
+	}
+	return c.dfsAuto(sid)
 }

@@ -420,9 +420,12 @@ type Metrics struct {
 	PrunedPredicates *Counter // predicates discarded by the static prune
 
 	// Solver counters (sat.Stats per minimal-model enumeration).
-	SolverModels    *Counter
-	SolverConflicts *Counter
-	SolverClauses   *Counter
+	SolverModels       *Counter
+	SolverConflicts    *Counter
+	SolverDecisions    *Counter
+	SolverPropagations *Counter
+	SolverRestarts     *Counter
+	SolverClauses      *Counter
 
 	// Fence lifecycle.
 	FencesInserted *Counter
@@ -439,28 +442,31 @@ func NewMetrics(reg *Registry) *Metrics {
 	stepBounds := []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
 	wallBounds := []int64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000, 10000000}
 	return &Metrics{
-		Registry:         reg,
-		Executions:       reg.NewCounter("dfence_executions", "program executions performed"),
-		Violations:       reg.NewCounter("dfence_violations", "executions that violated the specification"),
-		Clean:            reg.NewCounter("dfence_clean_executions", "executions that satisfied the specification"),
-		Inconclusive:     reg.NewCounter("dfence_inconclusive_executions", "executions cut off before a verdict"),
-		Timeouts:         reg.NewCounter("dfence_exec_timeouts", "executions cut by a wall-clock budget"),
-		Panics:           reg.NewCounter("dfence_exec_panics", "recovered interpreter/observer panics"),
-		Skipped:          reg.NewCounter("dfence_skipped_executions", "executions never started (round cut off)"),
-		CacheHits:        reg.NewCounter("dfence_exec_cache_hits", "verdicts answered by the execution caches"),
-		CacheMisses:      reg.NewCounter("dfence_exec_cache_misses", "verdicts computed afresh"),
-		Rounds:           reg.NewCounter("dfence_rounds", "repair rounds completed"),
-		CurrentRound:     reg.NewGauge("dfence_current_round", "repair round in progress (1-based)"),
-		Predicates:       reg.NewCounter("dfence_predicates", "distinct ordering predicates entering the repair formula"),
-		PrunedPredicates: reg.NewCounter("dfence_pruned_predicates", "predicates discarded by the static delay-set prune"),
-		SolverModels:     reg.NewCounter("dfence_solver_models", "minimal models enumerated by the SAT solver"),
-		SolverConflicts:  reg.NewCounter("dfence_solver_conflicts", "CDCL conflicts during minimal-model enumeration"),
-		SolverClauses:    reg.NewCounter("dfence_solver_clauses", "clauses handed to the SAT solver"),
-		FencesInserted:   reg.NewCounter("dfence_fences_inserted", "fences enforced across rounds"),
-		FencesRemoved:    reg.NewCounter("dfence_fences_removed", "fences removed as redundant (validation + merge)"),
-		ExecSteps:        reg.NewHistogram("dfence_exec_steps", "interpreter transitions per execution", stepBounds),
-		RoundWallUS:      reg.NewHistogram("dfence_round_wall_us", "round wall time in microseconds", wallBounds),
-		SolverWallUS:     reg.NewHistogram("dfence_solver_wall_us", "solver enumeration wall time in microseconds", wallBounds),
+		Registry:           reg,
+		Executions:         reg.NewCounter("dfence_executions", "program executions performed"),
+		Violations:         reg.NewCounter("dfence_violations", "executions that violated the specification"),
+		Clean:              reg.NewCounter("dfence_clean_executions", "executions that satisfied the specification"),
+		Inconclusive:       reg.NewCounter("dfence_inconclusive_executions", "executions cut off before a verdict"),
+		Timeouts:           reg.NewCounter("dfence_exec_timeouts", "executions cut by a wall-clock budget"),
+		Panics:             reg.NewCounter("dfence_exec_panics", "recovered interpreter/observer panics"),
+		Skipped:            reg.NewCounter("dfence_skipped_executions", "executions never started (round cut off)"),
+		CacheHits:          reg.NewCounter("dfence_exec_cache_hits", "verdicts answered by the execution caches"),
+		CacheMisses:        reg.NewCounter("dfence_exec_cache_misses", "verdicts computed afresh"),
+		Rounds:             reg.NewCounter("dfence_rounds", "repair rounds completed"),
+		CurrentRound:       reg.NewGauge("dfence_current_round", "repair round in progress (1-based)"),
+		Predicates:         reg.NewCounter("dfence_predicates", "distinct ordering predicates entering the repair formula"),
+		PrunedPredicates:   reg.NewCounter("dfence_pruned_predicates", "predicates discarded by the static delay-set prune"),
+		SolverModels:       reg.NewCounter("dfence_solver_models", "minimal models enumerated by the SAT solver"),
+		SolverConflicts:    reg.NewCounter("dfence_solver_conflicts", "CDCL conflicts during minimal-model enumeration"),
+		SolverDecisions:    reg.NewCounter("dfence_solver_decisions", "CDCL branching decisions during minimal-model enumeration"),
+		SolverPropagations: reg.NewCounter("dfence_solver_propagations", "literals unit-propagated during minimal-model enumeration"),
+		SolverRestarts:     reg.NewCounter("dfence_solver_restarts", "CDCL search restarts during minimal-model enumeration"),
+		SolverClauses:      reg.NewCounter("dfence_solver_clauses", "clauses handed to the SAT solver"),
+		FencesInserted:     reg.NewCounter("dfence_fences_inserted", "fences enforced across rounds"),
+		FencesRemoved:      reg.NewCounter("dfence_fences_removed", "fences removed as redundant (validation + merge)"),
+		ExecSteps:          reg.NewHistogram("dfence_exec_steps", "interpreter transitions per execution", stepBounds),
+		RoundWallUS:        reg.NewHistogram("dfence_round_wall_us", "round wall time in microseconds", wallBounds),
+		SolverWallUS:       reg.NewHistogram("dfence_solver_wall_us", "solver enumeration wall time in microseconds", wallBounds),
 	}
 }
 
