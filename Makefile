@@ -32,6 +32,11 @@
 #                       expected fence, the memo answers a resubmission,
 #                       and SIGTERM drains cleanly (artifacts under
 #                       SMOKE_DIR)
+#   make trace-smoke    record a span trace with -trace, validate it
+#                       against the strict trace reader, and render the
+#                       terminal summary with `dfence trace` — fails if
+#                       the trace-event schema drifted or the summary no
+#                       longer renders (artifact at TRACE_JSON)
 #   make fuzz-smoke     differential fuzzing campaign at a fixed seed:
 #                       200 generated programs cross-checked between
 #                       exhaustive enumeration, static analysis, and
@@ -45,6 +50,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON ?= BENCH_pr9.json
 JOURNAL ?= /tmp/dfence_journal_smoke.jsonl
+TRACE_JSON ?= /tmp/dfence_trace_smoke.trace.json
 SMOKE_DIR ?= /tmp/dfence_serve_smoke
 FUZZ_SEED ?= 1
 FUZZ_N ?= 200
@@ -66,7 +72,7 @@ GATE_RAW ?= /tmp/dfence_bench_gate.txt
 OLD ?= bench_old.txt
 NEW ?= bench_new.txt
 
-.PHONY: build test race vet lint bench bench-json bench-compare bench-gate journal-smoke serve-smoke fuzz-smoke ci
+.PHONY: build test race vet lint bench bench-json bench-compare bench-gate journal-smoke serve-smoke trace-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -125,6 +131,17 @@ journal-smoke:
 serve-smoke:
 	GO="$(GO)" SMOKE_DIR="$(SMOKE_DIR)" sh scripts/serve_smoke.sh
 
+# Trace schema smoke: record a real run's span trace, then replay it
+# through the strict trace reader and the terminal summarizer. Read
+# rejects unknown fields, malformed events, and format-version drift,
+# and `dfence trace` exits non-zero on a file it cannot summarize, so
+# this trips on trace-event schema drift end to end.
+trace-smoke:
+	$(GO) run ./cmd/dfence -model pso -spec safety -execs 300 \
+		-trace $(TRACE_JSON) examples/mailbox.mc >/dev/null
+	$(GO) run ./cmd/dfence trace $(TRACE_JSON) >/dev/null
+	@echo "trace-smoke: ok ($(TRACE_JSON) summarized cleanly)"
+
 # Differential fuzzing smoke: a fixed-seed campaign over FUZZ_N programs
 # (critical-cycle litmus templates + seeded random mini-C programs),
 # each cross-checked between exhaustive interleaving+flush+resolve
@@ -135,4 +152,4 @@ serve-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/dfence fuzz -seed $(FUZZ_SEED) -n $(FUZZ_N) -out $(FUZZ_OUT)
 
-ci: build vet lint test race journal-smoke serve-smoke fuzz-smoke
+ci: build vet lint test race journal-smoke serve-smoke trace-smoke fuzz-smoke

@@ -41,11 +41,20 @@
 //	              Violation, SolverResult, FenceChange, RoundEnd,
 //	              Converged) that fully reconstructs the run
 //	-listen       serve /metrics (OpenMetrics), /runz (JSON run status),
-//	              and /debug/pprof on this address (e.g. :6060)
+//	              /tracez (live trace summary), and /debug/pprof on this
+//	              address (e.g. :6060)
 //	-metrics-out  write an OpenMetrics snapshot to this file at exit
+//	-trace        write the run's span trace (Chrome trace-event JSON,
+//	              viewable in Perfetto) to this file at exit
 //	-explain      render the violation witness as a human-readable
 //	              interleaving report (also shown automatically when the
 //	              program is unfixable)
+//
+// The `trace` subcommand summarizes a recorded trace file in the
+// terminal — per-phase and per-round wall breakdown, worker utilization,
+// and portfolio-phase attribution (including deferral-loop spin counts):
+//
+//	dfence trace run.trace.json
 //
 // The `analyze` subcommand runs only the static passes — the IR verifier
 // and the delay-set analysis — and prints candidate pairs, delay pairs,
@@ -103,6 +112,7 @@ import (
 	"dfence/internal/staticanalysis"
 	"dfence/internal/synth"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 func main() {
@@ -116,6 +126,9 @@ func main() {
 			return
 		case "fuzz":
 			runFuzz(os.Args[2:])
+			return
+		case "trace":
+			runTraceCmd(os.Args[2:])
 			return
 		}
 	}
@@ -145,6 +158,8 @@ func main() {
 		journalF = flag.String("journal", "", "write a JSONL run journal to this file")
 		listenF  = flag.String("listen", "", "serve /metrics, /runz, and /debug/pprof on this address (e.g. :6060)")
 		metOut   = flag.String("metrics-out", "", "write an OpenMetrics snapshot to this file at exit")
+		traceF   = flag.String("trace", "", "write the run's span trace (Perfetto-loadable JSON) to this file at exit")
+		maxIters = flag.Int("max-iters", 0, "deterministic scheduler-iteration budget per execution (0 = none); over-budget runs count as inconclusive")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
@@ -223,20 +238,21 @@ func main() {
 		}
 
 		cfg = core.Config{
-			Model:          model,
-			Criterion:      crit,
-			ExecsPerRound:  *execs,
-			MaxRounds:      *rounds,
-			FlushProb:      *flushP,
-			Seed:           *seed,
-			Workers:        *jobs,
-			ValidateFences: *validate,
-			EnforceWithCAS: *withCAS,
-			ExecTimeout:    *execTO,
-			Deadline:       *deadline,
-			MinConclusive:  *minConc,
-			MaxModels:      *maxMod,
-			StaticPrune:    *static,
+			Model:           model,
+			Criterion:       crit,
+			ExecsPerRound:   *execs,
+			MaxRounds:       *rounds,
+			FlushProb:       *flushP,
+			Seed:            *seed,
+			Workers:         *jobs,
+			ValidateFences:  *validate,
+			EnforceWithCAS:  *withCAS,
+			ExecTimeout:     *execTO,
+			Deadline:        *deadline,
+			MinConclusive:   *minConc,
+			MaxModels:       *maxMod,
+			MaxItersPerExec: *maxIters,
+			StaticPrune:     *static,
 		}
 		if benchmark != nil {
 			cfg.NewSpec = benchmark.NewSpec()
@@ -281,10 +297,18 @@ func main() {
 		reg = telemetry.NewRegistry(workers)
 		cfg.Metrics = telemetry.NewMetrics(reg)
 	}
+	var tracer *trace.Tracer
+	if *traceF != "" {
+		tracer = trace.New(trace.Options{Lanes: workers})
+		cfg.Tracer = tracer
+	}
 	if *listenF != "" {
 		status := &telemetry.Status{}
 		sinks = append(sinks, status)
 		srv := &telemetry.Server{Registry: reg, Status: status}
+		if tracer != nil {
+			srv.Tracez = tracer.Summary
+		}
 		bound, shutdown, err := srv.Start(*listenF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfence:", err)
@@ -310,6 +334,11 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "dfence: metrics-out:", err)
+			}
+		}
+		if tracer != nil {
+			if err := tracer.WriteJSONFile(*traceF); err != nil {
+				fmt.Fprintln(os.Stderr, "dfence: trace:", err)
 			}
 		}
 	}
@@ -348,6 +377,7 @@ func main() {
 			CAS:           *withCAS,
 			MinConclusive: *minConc,
 			MaxModels:     *maxMod,
+			MaxIters:      *maxIters,
 		})
 	}
 
@@ -501,6 +531,7 @@ func openResume(path string) (resumedRun, error) {
 		MinConclusive:   jr.Start.MinConclusive,
 		MaxModels:       jr.Start.MaxModels,
 		MaxStepsPerExec: jr.Start.MaxSteps,
+		MaxItersPerExec: jr.Start.MaxIters,
 	}
 	if benchmark != nil {
 		rr.cfg.NewSpec = benchmark.NewSpec()

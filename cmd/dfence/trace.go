@@ -1,0 +1,32 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfence/internal/trace"
+)
+
+// runTraceCmd implements `dfence trace run.trace.json`: read a recorded
+// span trace (strictly — a malformed file is an error, not a partial
+// summary) and print the terminal breakdown.
+func runTraceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dfence trace run.trace.json")
+		fmt.Fprintln(os.Stderr, "\nSummarizes a span trace recorded with -trace: per-phase and per-round")
+		fmt.Fprintln(os.Stderr, "wall breakdown, worker utilization, and portfolio-phase attribution.")
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	d, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfence:", err)
+		os.Exit(1)
+	}
+	fmt.Print(trace.Summarize(d))
+}

@@ -24,6 +24,7 @@ import (
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 func main() {
@@ -39,7 +40,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "base random seed")
 		jobs   = flag.Int("j", 0, "parallel workers for the execution engine (0 = NumCPU); artifacts are identical for any value")
 		jdir   = flag.String("journal-dir", "", "write one JSONL run journal per Table 3 cell into this directory")
-		listen = flag.String("listen", "", "serve /metrics, /runz, and /debug/pprof on this address (e.g. :6060)")
+		listen = flag.String("listen", "", "serve /metrics, /runz, /tracez, and /debug/pprof on this address (e.g. :6060)")
+		traceF = flag.String("trace", "", "write the run's span trace (Perfetto-loadable JSON) to this file at exit")
 		cpuP   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memP   = flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	)
@@ -60,6 +62,15 @@ func main() {
 		os.Exit(code)
 	}
 	opts := eval.Options{ExecsPerRound: *execs, Seed: *seed, Validate: true, Workers: *jobs}
+	var tracer *trace.Tracer
+	if *traceF != "" {
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		tracer = trace.New(trace.Options{Lanes: workers})
+		opts.Tracer = tracer
+	}
 	if *jdir != "" {
 		if err := os.MkdirAll(*jdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -77,6 +88,9 @@ func main() {
 		status := &telemetry.Status{}
 		opts.Sink = status
 		srv := &telemetry.Server{Registry: reg, Status: status}
+		if tracer != nil {
+			srv.Tracez = tracer.Summary
+		}
 		bound, shutdown, err := srv.Start(*listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -154,6 +168,11 @@ func main() {
 				fmt.Printf("p=%.2f:%d  ", p, res[p])
 			}
 			fmt.Println()
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteJSONFile(*traceF); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace:", err)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"dfence/internal/staticanalysis"
 	"dfence/internal/synth"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 // Config controls one synthesis run.
@@ -99,6 +100,13 @@ type Config struct {
 	// cannot bound in time. Wall-clock cuts are machine-dependent, so
 	// leave it zero when bit-identical results across runs matter.
 	ExecTimeout time.Duration
+	// MaxItersPerExec bounds each execution's scheduler-loop iterations
+	// (0 = none) — the deterministic analogue of ExecTimeout. The
+	// load-starving portfolio phases can spin in deferral loops that make
+	// no machine steps, so MaxStepsPerExec never trips; this budget counts
+	// every loop iteration and cuts such executions identically on every
+	// machine (they are judged Inconclusive, like a step-limit hit).
+	MaxItersPerExec int
 	// RoundTimeout bounds each round's execution batch (0 = none).
 	// Executions still in flight when it expires stop and count
 	// Inconclusive; not-yet-started ones are Skipped.
@@ -169,6 +177,13 @@ type Config struct {
 	// Synthesize. Emission happens on the coordinating goroutine only
 	// (never inside worker executions), so a Sink adds no hot-path cost.
 	Sink telemetry.Sink
+	// Tracer, when non-nil, receives the run's timeline: run/round/phase
+	// spans on the coordinator lane, sampled per-execution spans with
+	// portfolio attribution on worker lanes, and instants for violations,
+	// checkpoints, cache hits, and solver restarts. Purely observational —
+	// results are bit-identical with tracing on or off, and nil costs the
+	// instrumented sites one pointer check (no allocations).
+	Tracer *trace.Tracer
 	// Interrupt, when non-nil, requests a graceful stop: the loop polls it
 	// (non-blocking) at each round boundary, right after journaling the
 	// boundary's Checkpoint, and if it is closed the run ends with
@@ -532,6 +547,8 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	if cfg.Criterion != spec.MemorySafety && cfg.NewSpec == nil {
 		return nil, fmt.Errorf("core: criterion %v requires a sequential specification", cfg.Criterion)
 	}
+	runSpan := cfg.Tracer.Begin(0, trace.SpanRun, 0)
+	defer runSpan.End()
 	work := prog.Clone()
 	result := &Result{Program: work}
 
@@ -590,6 +607,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	// instead), which guarantees a resumed loop only re-enters rounds the
 	// uninterrupted run also executed.
 	checkpoint := func(completed int) (stop bool) {
+		cfg.Tracer.Instant(0, trace.InstantCheckpoint, completed, 0)
 		telemetry.Emit(cfg.Sink, telemetry.Checkpoint{
 			Round:             completed,
 			Fences:            telemetry.FencesOf(result.Fences),
@@ -610,10 +628,12 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	}
 
 	// endRound is the single exit path of a round's bookkeeping: it
-	// appends the statistics, feeds the round-level metrics, and emits the
-	// RoundEnd journal event — so every break/continue below reports
-	// identically.
+	// appends the statistics, feeds the round-level metrics, closes the
+	// round's trace span, and emits the RoundEnd journal event — so every
+	// break/continue below reports identically.
+	var roundSpan trace.Span
 	endRound := func(stats *Round, round int) {
+		roundSpan.End()
 		result.Rounds = append(result.Rounds, *stats)
 		cfg.mv.Rounds.Inc(0)
 		cfg.mv.Skipped.Add(0, int64(stats.Skipped))
@@ -662,6 +682,8 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 		cfg.mv.CurrentRound.Set(int64(round + 1))
 		telemetry.Emit(cfg.Sink, telemetry.RoundStart{Round: round + 1, DelayPairs: stats.StaticDelayPairs})
+		roundSpan = cfg.Tracer.Begin(0, trace.SpanRound, round+1)
+		collectSpan := cfg.Tracer.Begin(0, trace.SpanCollect, round+1)
 		started := time.Now()
 		// Fan the round's K executions across cfg.Workers goroutines; the
 		// outcome slots come back in execution order, so the merge below is
@@ -772,6 +794,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		stats.Predicates = formula.NumPredicates()
 		stats.Wall = time.Since(started)
 		stats.ExecsPerSec = execRate(stats.Executions, stats.Wall)
+		collectSpan.End()
 		if witnessIdx >= 0 && result.Witness == nil && !witnessDone && !cfg.NoWitness {
 			// Re-run the lowest violating seed traced to capture a
 			// reproducible counterexample schedule (the same execution the
@@ -828,11 +851,16 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 		var sst sat.Stats
 		var sols [][]synth.Predicate
 		var truncated bool
+		solveSpan := cfg.Tracer.Begin(0, trace.SpanSolve, round+1)
 		solveStart := time.Now()
 		pprof.Do(ctx, pprof.Labels("dfence_phase", "solve"), func(context.Context) {
 			sols, truncated = formula.MinimalSolutionsStats(cfg.solverBudget(), &sst)
 		})
 		solverWall := time.Since(solveStart)
+		solveSpan.End()
+		if sst.Restarts > 0 {
+			cfg.Tracer.Instant(0, trace.InstantSolverRestarts, round+1, sst.Restarts)
+		}
 		cfg.mv.SolverModels.Add(0, int64(sst.Models))
 		cfg.mv.SolverConflicts.Add(0, sst.Conflicts)
 		cfg.mv.SolverDecisions.Add(0, sst.Decisions)
@@ -860,14 +888,17 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			}
 		}
 		telemetry.Emit(cfg.Sink, telemetry.SolverResult{
-			Round:      round + 1,
-			Clauses:    sst.Clauses,
-			Predicates: stats.Predicates,
-			Models:     sst.Models,
-			Conflicts:  sst.Conflicts,
-			Truncated:  truncated,
-			WallUS:     solverWall.Microseconds(),
-			Chosen:     telemetry.PredsOf(chosen),
+			Round:        round + 1,
+			Clauses:      sst.Clauses,
+			Predicates:   stats.Predicates,
+			Models:       sst.Models,
+			Conflicts:    sst.Conflicts,
+			Decisions:    sst.Decisions,
+			Propagations: sst.Propagations,
+			Restarts:     sst.Restarts,
+			Truncated:    truncated,
+			WallUS:       solverWall.Microseconds(),
+			Chosen:       telemetry.PredsOf(chosen),
 		})
 		var fences []synth.InsertedFence
 		var err error
@@ -916,6 +947,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 	}
 	result.SynthesizedFences = len(result.Fences)
 	if cfg.ValidateFences && !cfg.EnforceWithCAS && result.Converged && len(result.Fences) > 0 {
+		validateSpan := cfg.Tracer.Begin(0, trace.SpanValidate, 0)
 		handled := false
 		if !cfg.NoExecCache {
 			var err error
@@ -929,8 +961,10 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		validateSpan.End()
 	}
 	if cfg.MergeFences {
+		minimizeSpan := cfg.Tracer.Begin(0, trace.SpanMinimize, 0)
 		merged, err := synth.MergeFences(result.Program)
 		if err != nil {
 			return nil, err
@@ -940,6 +974,7 @@ func Synthesize(prog *ir.Program, cfg Config) (*Result, error) {
 			cfg.mv.FencesRemoved.Add(0, int64(merged))
 			telemetry.Emit(cfg.Sink, telemetry.FenceChange{Action: "merge", Count: merged})
 		}
+		minimizeSpan.End()
 	}
 	tallyJudgeCaches(jcs, result)
 	emitConverged(&cfg, result)
@@ -1152,7 +1187,9 @@ func CheckOnly(prog *ir.Program, cfg Config, n int) (violations int) {
 			Seed:      cfg.Seed + int64(i),
 			FlushProb: cfg.FlushProb,
 			MaxSteps:  cfg.MaxStepsPerExec,
+			MaxIters:  cfg.MaxItersPerExec,
 			PORWindow: 64,
+			Tracer:    cfg.Tracer,
 		}
 	})
 	return violations

@@ -162,16 +162,6 @@ func TestIncrementalSolverMatchesFresh(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, model := range models {
-			if name == "ms2-queue" && model == memmodel.RMO {
-				// Pre-existing pathology, unrelated to the solver path
-				// this test gates: the RMO scheduler portfolio's
-				// load-starving phases crawl on ms2-queue (minutes per
-				// synthesis; reproduced at the commit before the
-				// persistent solver landed). ExecTimeout would bound it
-				// but is wall-clock-dependent, which this bit-identity
-				// test cannot tolerate. Tracked in ROADMAP.md.
-				continue
-			}
 			crit := spec.SeqConsistency
 			if b.SkipSeqCheck {
 				crit = spec.MemorySafety
@@ -197,6 +187,16 @@ func TestIncrementalSolverMatchesFresh(t *testing.T) {
 				MaxRounds:        3,
 				FlushProb:        fp,
 				Seed:             11,
+				// Deterministic budget on scheduler-loop iterations. The RMO
+				// portfolio's load-starving phases used to crawl on ms2-queue
+				// for minutes per synthesis — deferral-loop spins make no
+				// machine steps, so MaxStepsPerExec never trips, and
+				// ExecTimeout is wall-clock-dependent, which a bit-identity
+				// test cannot tolerate. The budget cuts the spinners
+				// identically in every configuration (over-budget runs are
+				// judged inconclusive) while staying far above what any
+				// healthy execution in this corpus uses.
+				MaxItersPerExec: 200_000,
 			}
 			var keys []string
 			for _, mode := range []struct {

@@ -41,6 +41,7 @@ import (
 	"dfence/internal/spec"
 	"dfence/internal/synth"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 // maxJudgeMemoEntries bounds each worker's verdict memo. At the cap the
@@ -99,6 +100,7 @@ func judgeWorker(cfg *Config, jcs []judgeCache, worker int, res *interp.Result) 
 	if v, ok := jc.memo[string(jc.key)]; ok {
 		jc.hits++
 		cfg.mv.CacheHits.Inc(worker)
+		cfg.Tracer.InstantSampled(worker+1, trace.InstantCacheHit, 0, 0)
 		return v
 	}
 	v := judgeMiss(cfg, jc, res)

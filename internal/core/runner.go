@@ -16,6 +16,7 @@ import (
 	"dfence/internal/ir"
 	"dfence/internal/sched"
 	"dfence/internal/synth"
+	"dfence/internal/trace"
 )
 
 // execOutcome is the per-execution record the engine hands back to the
@@ -81,7 +82,9 @@ func portfolioPhases(cfg *Config) int {
 // vow is deliberately absent there, since vowing a store away blocks
 // the commit an LB cycle needs.
 func portfolioPhase(cfg *Config, opts sched.Options, i int) sched.Options {
-	switch i % portfolioPhases(cfg) {
+	phase := i % portfolioPhases(cfg)
+	opts.Portfolio = uint8(phase) // trace attribution tag; observational
+	switch phase {
 	case 1:
 		opts.Strategy = sched.Priority
 	case 2:
@@ -119,8 +122,10 @@ func roundOpts(cfg *Config, round, i int) sched.Options {
 		Seed:      cfg.Seed + int64(round)*int64(cfg.ExecsPerRound) + int64(i),
 		FlushProb: cfg.FlushProb,
 		MaxSteps:  cfg.MaxStepsPerExec,
+		MaxIters:  cfg.MaxItersPerExec,
 		PORWindow: 64,
 		Timeout:   cfg.ExecTimeout,
+		Tracer:    cfg.Tracer,
 	}, i)
 	if cfg.OptionsHook != nil {
 		opts = cfg.OptionsHook(round, i, opts)
@@ -142,7 +147,9 @@ func trialOpts(cfg *Config, seedBase int64, i int) sched.Options {
 		Seed:      seedBase + int64(i),
 		FlushProb: probs[i%len(probs)],
 		MaxSteps:  cfg.MaxStepsPerExec,
+		MaxIters:  cfg.MaxItersPerExec,
 		PORWindow: 64,
+		Tracer:    cfg.Tracer,
 	}, i)
 }
 
@@ -184,6 +191,7 @@ func runRound(ctx context.Context, work *ir.Program, cfg *Config, jcs []judgeCac
 			return execOutcome{ran: true}, false
 		}
 		cfg.mv.Violations.Inc(worker)
+		cfg.Tracer.Instant(worker+1, trace.InstantViolation, round+1, roundOpts(cfg, round, i).Seed)
 		out := execOutcome{ran: true, violated: true, repairs: coll.TakeDisjunction()}
 		if len(out.repairs) == 0 {
 			out.desc = describeViolation(cfg, res)
@@ -213,6 +221,7 @@ func violationBatch(prog *ir.Program, cfg *Config, jcs []judgeCache, n int, stop
 			v := judgeWorker(cfg, jcs, worker, res) == verdictViolation
 			if v {
 				cfg.mv.Violations.Inc(worker)
+				cfg.Tracer.Instant(worker+1, trace.InstantViolation, 0, 0)
 			}
 			return v, v && stopEarly
 		})

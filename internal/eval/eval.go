@@ -20,6 +20,7 @@ import (
 	"dfence/internal/spec"
 	"dfence/internal/synth"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 // Options tunes an evaluation run. Zero values select the paper's
@@ -58,6 +59,9 @@ type Options struct {
 	// addition to the per-cell journal.
 	Metrics *telemetry.Metrics
 	Sink    telemetry.Sink
+	// Tracer, when non-nil, records every cell's spans into one shared
+	// trace (cells are sequential, so round spans never interleave).
+	Tracer *trace.Tracer
 }
 
 func (o *Options) fill() {
@@ -174,6 +178,7 @@ func SynthesizeCell(b *progs.Benchmark, crit spec.Criterion, model memmodel.Mode
 		ExecTimeout:      o.ExecTimeout,
 		Deadline:         o.Deadline,
 		Metrics:          o.Metrics,
+		Tracer:           o.Tracer,
 	}
 	sink := o.Sink
 	var journal *telemetry.Journal

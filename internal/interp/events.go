@@ -157,4 +157,12 @@ type Result struct {
 	// compiled without a watch list. The execution cache uses it to decide
 	// which candidate fence sets could possibly change this execution.
 	FenceTouched uint64
+	// SchedIters counts scheduler-loop iterations: machine steps plus
+	// iterations that deferred (made no step). Filled by the sched runner;
+	// the basis for the deterministic sched.Options.MaxIters budget.
+	SchedIters int
+	// SchedSpins counts just the no-step deferral iterations — the spin
+	// share a starving portfolio phase burns without progressing. Filled
+	// by the sched runner; surfaced via trace portfolio aggregates.
+	SchedSpins int
 }

@@ -115,7 +115,9 @@ func RunBatchCompiled[T any](ctx context.Context, c *interp.Compiled, model memm
 		return newObs(w)
 	}
 	exec := func(st *worker, w, i int, obs interp.Observer) (T, bool) {
-		res, err := st.runSafe(ctx, c, model, obs, optsFor(i))
+		opts := optsFor(i)
+		opts.traceLane = w + 1 // lane 0 is the coordinator
+		res, err := st.runSafe(ctx, c, model, obs, opts)
 		if err != nil {
 			err.Index = i
 		}

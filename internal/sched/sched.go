@@ -15,12 +15,14 @@ package sched
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"time"
 
 	"dfence/internal/interp"
 	"dfence/internal/ir"
 	"dfence/internal/memmodel"
+	"dfence/internal/trace"
 )
 
 // Strategy selects how the demonic scheduler picks among enabled threads.
@@ -112,6 +114,25 @@ type Options struct {
 	// this depends on machine speed, so it trades determinism for liveness;
 	// leave it zero when bit-identical results matter.
 	Timeout time.Duration
+	// MaxIters bounds scheduler-loop iterations (0 = none). MaxSteps only
+	// counts machine steps, so a portfolio phase whose delay disciplines
+	// keep deferring — the starve-loads phases on programs where every pick
+	// lands on the vowed victim — can spin indefinitely without ever
+	// tripping it; Timeout cuts such runs but is machine-dependent. MaxIters
+	// is the deterministic budget: a run that exceeds it stops with
+	// StepLimitHit set (inconclusive), identically on every machine.
+	MaxIters int
+	// Portfolio tags this execution with its scheduler-portfolio phase
+	// (core.portfolioPhase's cycle index) for trace attribution. Purely
+	// observational.
+	Portfolio uint8
+	// Tracer, if non-nil, receives one ExecDone per execution (exact
+	// per-portfolio aggregates plus sampled exec spans) on lane traceLane.
+	// Purely observational: results are bit-identical with or without it.
+	Tracer *trace.Tracer
+	// traceLane is the Tracer lane this execution reports to; batch
+	// runners set it to worker+1 (lane 0 is the coordinator).
+	traceLane int
 	// Wrap, if non-nil, wraps the observer for this execution only. It is
 	// invoked once per run with the caller's observer (possibly nil) and
 	// its result receives the execution's notifications. This is the
@@ -212,7 +233,14 @@ func (w *worker) runSafe(ctx context.Context, c *interp.Compiled, model memmodel
 			err = &ExecError{Round: -1, Index: -1, Seed: opts.Seed, Panic: p, Stack: string(debug.Stack())}
 		}
 	}()
-	return w.run(ctx, c, model, obs, opts, nil), nil
+	if opts.Tracer == nil {
+		// Disabled hot path: no clock reads, no extra branches inside run.
+		return w.run(ctx, c, model, obs, opts, nil), nil
+	}
+	start := time.Now()
+	r := w.run(ctx, c, model, obs, opts, nil)
+	opts.Tracer.ExecDone(opts.traceLane, opts.Portfolio, time.Since(start), r.SchedIters, r.Steps, r.SchedSpins, opts.Seed)
+	return r, nil
 }
 
 func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Model, obs interp.Observer, opts Options, tr *Trace) *interp.Result {
@@ -269,17 +297,29 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 	)
 	refresh, refreshTid := refreshAll, 0
 	var anyExec bool
-	for iter := 0; m.Steps() < maxSteps; iter++ {
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = math.MaxInt
+	}
+	// iter counts scheduler-loop iterations (steps + deferrals); spins
+	// counts just the iterations that deferred without acting. Both land in
+	// the Result at every return below — observational bookkeeping the
+	// tracer and the MaxIters budget share.
+	iter, spins := 0, 0
+	for ; m.Steps() < maxSteps && iter < maxIters; iter++ {
 		if iter%budgetCheckEvery == 0 {
 			if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
 				res := m.Result(false)
 				res.TimedOut = true
+				res.SchedIters, res.SchedSpins = iter, spins
 				return res
 			}
 		}
 		if refresh != refreshNone {
 			if m.Violation() != nil {
-				return m.Result(false)
+				res := m.Result(false)
+				res.SchedIters, res.SchedSpins = iter, spins
+				return res
 			}
 			if refresh == refreshThread && m.NumThreads() == len(census) {
 				m.SchedCensusOne(census, refreshTid)
@@ -305,7 +345,9 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 				}
 			}
 			if done {
-				return m.Result(false)
+				res := m.Result(false)
+				res.SchedIters, res.SchedSpins = iter, spins
+				return res
 			}
 			if len(actable) == 0 {
 				res := m.Result(false)
@@ -314,6 +356,7 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 					Label: ir.NoLabel,
 					Msg:   "no thread can make progress",
 				}
+				res.SchedIters, res.SchedSpins = iter, spins
 				return res
 			}
 			refresh = refreshNone
@@ -353,6 +396,8 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			if !anyExec {
 				if w.tryFlush(t, tid, opts.Starve, true, tr) || w.tryResolve(tid, tr) {
 					refresh, refreshTid = refreshThread, tid
+				} else {
+					spins++
 				}
 				continue
 			}
@@ -365,6 +410,8 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			}
 			if acted {
 				refresh, refreshTid = refreshThread, tid
+			} else {
+				spins++
 			}
 			if !acted && opts.Strategy == Priority {
 				// Deferral must demote, or the highest-priority thread
@@ -397,7 +444,11 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 				if acted {
 					refresh, refreshTid = refreshThread, tid
 				} else if rng.Float64() < resolveProb && w.tryResolveTail(tid, tr) {
+					acted = true
 					refresh, refreshTid = refreshThread, tid
+				}
+				if !acted {
+					spins++
 				}
 				if opts.Strategy == Priority {
 					// Deferral must demote, or the highest-priority thread
@@ -445,7 +496,9 @@ func (w *worker) run(ctx context.Context, c *interp.Compiled, model memmodel.Mod
 			}
 		}
 	}
-	return m.Result(true)
+	res := m.Result(true)
+	res.SchedIters, res.SchedSpins = iter, spins
+	return res
 }
 
 // canExecOther reports whether any actable thread other than tid can

@@ -6,11 +6,16 @@
 //	GET  /jobs               all job records
 //	GET  /jobs/{id}          one job record
 //	GET  /jobs/{id}/journal  the job's run journal (JSONL)
-//	/metrics /runz /healthz /readyz /debug/pprof/
+//	GET  /jobs/{id}/trace    the job's span trace (Chrome trace-event
+//	                         JSON, written after each attempt; load in
+//	                         Perfetto or summarize with `dfence trace`)
+//	/metrics /runz /tracez /healthz /readyz /debug/pprof/
 //	                         the shared introspection surface
-//	                         (internal/telemetry.Server); /readyz turns 503
-//	                         the moment a drain starts, so load balancers
-//	                         stop routing before shutdown completes
+//	                         (internal/telemetry.Server); /tracez shows the
+//	                         live summaries of running attempts; /readyz
+//	                         turns 503 the moment a drain starts, so load
+//	                         balancers stop routing before shutdown
+//	                         completes
 package serve
 
 import (
@@ -40,7 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/journal", s.handleJournal)
-	ts := &telemetry.Server{Registry: s.registry, Status: s.status, Ready: s.Ready}
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	ts := &telemetry.Server{Registry: s.registry, Status: s.status, Ready: s.Ready, Tracez: s.Tracez}
 	mux.Handle("/", ts.Handler())
 	return mux
 }
@@ -112,5 +118,20 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.JobByID(id); !ok {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := os.ReadFile(s.sp.tracePath(id))
+	if err != nil {
+		http.Error(w, "no trace recorded for this job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
 }

@@ -20,12 +20,15 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dfence/internal/core"
 	"dfence/internal/ir"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 // Options configures a Server.
@@ -92,6 +95,7 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	timers   map[string]*time.Timer
+	tracers  map[string]*trace.Tracer // live per-job tracers (running attempts)
 	draining bool
 	seq      int64
 	rng      *rand.Rand // backoff jitter; guarded by mu
@@ -121,6 +125,7 @@ func New(opts Options) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		jobs:     make(map[string]*Job),
 		timers:   make(map[string]*time.Timer),
+		tracers:  make(map[string]*trace.Tracer),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	existing, err := sp.loadJobs()
@@ -318,6 +323,34 @@ func (s *Server) JobByID(id string) (*Job, bool) {
 // journal endpoint and the smoke tests).
 func (s *Server) JournalPath(id string) string { return s.sp.journalPath(id) }
 
+// TracePath exposes where a job's span-trace file lives (written after
+// each attempt; absent until the job has run at least once).
+func (s *Server) TracePath(id string) string { return s.sp.tracePath(id) }
+
+// Tracez renders the live span-trace summary of every attempt currently
+// running — the body dfenced serves at /tracez.
+func (s *Server) Tracez() string {
+	s.mu.Lock()
+	type entry struct {
+		id string
+		tr *trace.Tracer
+	}
+	live := make([]entry, 0, len(s.tracers))
+	for id, tr := range s.tracers {
+		live = append(live, entry{id, tr})
+	}
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return "no jobs running\n"
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].id < live[b].id })
+	var b strings.Builder
+	for _, e := range live {
+		fmt.Fprintf(&b, "== job %s ==\n%s\n", e.id, e.tr.Summary())
+	}
+	return b.String()
+}
+
 func sortJobs(jobs []*Job) {
 	for i := 1; i < len(jobs); i++ {
 		for k := i; k > 0 && jobs[k].ID < jobs[k-1].ID; k-- {
@@ -398,6 +431,25 @@ func (s *Server) runJob(id string) {
 	cfg.Sink = telemetry.MultiSink(journal, s.status)
 	cfg.Interrupt = s.drainCh
 	cfg.Metrics = s.metrics
+
+	// Every attempt gets its own span tracer: the job span's "round" slot
+	// carries the attempt number, worker lanes match the job's Workers
+	// setting, and the snapshot is written to the spool whatever the
+	// outcome — best-effort observability, never job-fatal. While the
+	// attempt runs the tracer is also registered for the live /tracez view.
+	tracer := trace.New(trace.Options{Lanes: cfg.Workers})
+	cfg.Tracer = tracer
+	jobSpan := tracer.Begin(0, trace.SpanJob, j.Attempts+1)
+	s.mu.Lock()
+	s.tracers[id] = tracer
+	s.mu.Unlock()
+	defer func() {
+		jobSpan.End()
+		s.mu.Lock()
+		delete(s.tracers, id)
+		s.mu.Unlock()
+		_ = tracer.WriteJSONFile(s.sp.tracePath(id))
+	}()
 
 	if hook := s.opts.FaultHook; hook != nil {
 		if herr := hook(j, j.Attempts+1); herr != nil {

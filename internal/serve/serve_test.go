@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
@@ -13,6 +17,7 @@ import (
 	"dfence/internal/progs"
 	"dfence/internal/spec"
 	"dfence/internal/telemetry"
+	"dfence/internal/trace"
 )
 
 // mailboxSrc is the examples/mailbox.mc program: one st-st fence under
@@ -145,6 +150,62 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 	}
 	if !third.FromMemo {
 		t.Fatal("worker-count-only change missed the memo")
+	}
+}
+
+// TestJobTraceRecorded: every completed attempt leaves a span trace in
+// the spool that survives the strict trace reader, and the HTTP surface
+// serves it at /jobs/{id}/trace (404 for jobs without one).
+func TestJobTraceRecorded(t *testing.T) {
+	s := newServer(t, t.TempDir(), nil)
+	s.Start()
+	defer drain(t, s)
+
+	job, _, err := s.Submit(mailboxSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateDone)
+
+	data, err := os.ReadFile(s.TracePath(job.ID))
+	if err != nil {
+		t.Fatalf("no trace in the spool: %v", err)
+	}
+	d, err := trace.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("spooled trace fails the strict reader: %v", err)
+	}
+	var haveJob, haveRound bool
+	for _, ev := range d.TraceEvents {
+		switch ev.Name {
+		case "job":
+			haveJob = true
+		case "round":
+			haveRound = true
+		}
+	}
+	if !haveJob || !haveRound {
+		t.Errorf("trace missing spans: job=%v round=%v", haveJob, haveRound)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/{id}/trace: %d %s", resp.StatusCode, body)
+	}
+	if _, err := trace.Read(bytes.NewReader(body)); err != nil {
+		t.Errorf("served trace fails the strict reader: %v", err)
+	}
+	if resp, err := http.Get(srv.URL + "/jobs/nope/trace"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: err=%v status=%v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
 	}
 }
 

@@ -1,8 +1,9 @@
 // The on-disk spool: dfenced's only durable state.
 //
-//	<dir>/jobs/<id>.json       one Job record per submission
-//	<dir>/journals/<id>.jsonl  the job's run journal (checkpointed)
-//	<dir>/memo/<key>.json      memoized JobResult per result-identity key
+//	<dir>/jobs/<id>.json           one Job record per submission
+//	<dir>/journals/<id>.jsonl      the job's run journal (checkpointed)
+//	<dir>/memo/<key>.json          memoized JobResult per result-identity key
+//	<dir>/traces/<id>.trace.json   the job's span trace (best-effort)
 //
 // Job records are written atomically (temp file + rename in the same
 // directory), so a crash mid-write leaves either the old record or the
@@ -25,7 +26,7 @@ type spool struct {
 }
 
 func openSpool(dir string) (*spool, error) {
-	for _, sub := range []string{"jobs", "journals", "memo"} {
+	for _, sub := range []string{"jobs", "journals", "memo", "traces"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
@@ -36,6 +37,9 @@ func openSpool(dir string) (*spool, error) {
 func (sp *spool) jobPath(id string) string     { return filepath.Join(sp.dir, "jobs", id+".json") }
 func (sp *spool) journalPath(id string) string { return filepath.Join(sp.dir, "journals", id+".jsonl") }
 func (sp *spool) memoPath(key string) string   { return filepath.Join(sp.dir, "memo", key+".json") }
+func (sp *spool) tracePath(id string) string {
+	return filepath.Join(sp.dir, "traces", id+".trace.json")
+}
 
 // writeFileAtomic replaces path with data via a same-directory temp file
 // and rename, fsyncing before the rename so the new content is durable

@@ -160,6 +160,7 @@ type RunStart struct {
 	// Workers above is deliberately not among them: results are
 	// bit-identical for every worker count.
 	MaxSteps      int     `json:"max_steps,omitempty"`
+	MaxIters      int     `json:"max_iters,omitempty"`
 	Validate      bool    `json:"validate"`
 	Static        bool    `json:"static,omitempty"`
 	CAS           bool    `json:"cas,omitempty"`
@@ -198,16 +199,22 @@ type Violation struct {
 
 func (Violation) Kind() string { return "Violation" }
 
-// SolverResult records one round's minimal-model enumeration.
+// SolverResult records one round's minimal-model enumeration. The
+// Decisions/Propagations/Restarts counters are additive optional fields
+// (schema stays at version 1): journals written before them decode with
+// the counters zero.
 type SolverResult struct {
-	Round      int    `json:"round"`
-	Clauses    int    `json:"clauses"`
-	Predicates int    `json:"predicates"`
-	Models     int    `json:"models"`
-	Conflicts  int64  `json:"conflicts"`
-	Truncated  bool   `json:"truncated,omitempty"`
-	WallUS     int64  `json:"wall_us"`
-	Chosen     []Pred `json:"chosen"` // the assignment Algorithm 2 enforces
+	Round        int    `json:"round"`
+	Clauses      int    `json:"clauses"`
+	Predicates   int    `json:"predicates"`
+	Models       int    `json:"models"`
+	Conflicts    int64  `json:"conflicts"`
+	Decisions    int64  `json:"decisions,omitempty"`
+	Propagations int64  `json:"propagations,omitempty"`
+	Restarts     int64  `json:"restarts,omitempty"`
+	Truncated    bool   `json:"truncated,omitempty"`
+	WallUS       int64  `json:"wall_us"`
+	Chosen       []Pred `json:"chosen"` // the assignment Algorithm 2 enforces
 }
 
 func (SolverResult) Kind() string { return "SolverResult" }
@@ -316,21 +323,42 @@ func (m multiSink) Emit(e Event) {
 	}
 }
 
+// maxRoundWallSamples bounds the per-round solve-time list RunStatus
+// carries; beyond it the list stops growing and Truncated counts the
+// overflow, so a pathological many-round run cannot grow /runz without
+// limit.
+const maxRoundWallSamples = 64
+
+// SolverStatus is the live solver section of /runz: cumulative effort
+// counters folded from SolverResult events plus the per-round solve-time
+// list (microseconds, in round order, capped at maxRoundWallSamples).
+type SolverStatus struct {
+	Rounds       int     `json:"rounds"`
+	Models       int     `json:"models"`
+	Conflicts    int64   `json:"conflicts"`
+	Decisions    int64   `json:"decisions"`
+	Propagations int64   `json:"propagations"`
+	Restarts     int64   `json:"restarts"`
+	RoundWallUS  []int64 `json:"round_wall_us,omitempty"`
+	Truncated    int     `json:"round_wall_truncated,omitempty"`
+}
+
 // RunStatus is the live view /runz serves: where the run is and what it
 // has seen so far, folded from the event stream.
 type RunStatus struct {
-	Round           int    `json:"round"`
-	Rounds          int    `json:"rounds_completed"`
-	Executions      int    `json:"executions"`
-	Violations      int    `json:"violations"`
-	Inconclusive    int    `json:"inconclusive"`
-	Skipped         int    `json:"skipped"`
-	DistinctClauses int    `json:"distinct_clauses"`
-	FencesInserted  int    `json:"fences_inserted"`
-	FencesRemoved   int    `json:"fences_removed"`
-	CacheHits       int    `json:"cache_hits"`
-	CacheMisses     int    `json:"cache_misses"`
-	Outcome         string `json:"outcome"` // "" while running
+	Round           int          `json:"round"`
+	Rounds          int          `json:"rounds_completed"`
+	Executions      int          `json:"executions"`
+	Violations      int          `json:"violations"`
+	Inconclusive    int          `json:"inconclusive"`
+	Skipped         int          `json:"skipped"`
+	DistinctClauses int          `json:"distinct_clauses"`
+	FencesInserted  int          `json:"fences_inserted"`
+	FencesRemoved   int          `json:"fences_removed"`
+	CacheHits       int          `json:"cache_hits"`
+	CacheMisses     int          `json:"cache_misses"`
+	Solver          SolverStatus `json:"solver"`
+	Outcome         string       `json:"outcome"` // "" while running
 }
 
 // Status is a Sink that folds the event stream into a RunStatus.
@@ -353,6 +381,19 @@ func (st *Status) Emit(e Event) {
 		st.cur.Inconclusive += ev.Inconclusive
 		st.cur.Skipped += ev.Skipped
 		st.cur.DistinctClauses += ev.DistinctClauses
+	case SolverResult:
+		s := &st.cur.Solver
+		s.Rounds++
+		s.Models += ev.Models
+		s.Conflicts += ev.Conflicts
+		s.Decisions += ev.Decisions
+		s.Propagations += ev.Propagations
+		s.Restarts += ev.Restarts
+		if len(s.RoundWallUS) < maxRoundWallSamples {
+			s.RoundWallUS = append(s.RoundWallUS, ev.WallUS)
+		} else {
+			s.Truncated++
+		}
 	case FenceChange:
 		switch ev.Action {
 		case "insert":
@@ -369,9 +410,12 @@ func (st *Status) Emit(e Event) {
 	}
 }
 
-// Snapshot returns the current view.
+// Snapshot returns the current view. The solve-time list is copied so
+// callers can serialize it while Emit keeps appending.
 func (st *Status) Snapshot() RunStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.cur
+	out := st.cur
+	out.Solver.RoundWallUS = append([]int64(nil), st.cur.Solver.RoundWallUS...)
+	return out
 }

@@ -4,6 +4,7 @@
 //
 //	/metrics       the metrics registry in OpenMetrics text format
 //	/runz          the live run status + merged metrics snapshot as JSON
+//	/tracez        the live span-trace summary (404 unless tracing is on)
 //	/healthz       process liveness (200 while the server runs)
 //	/readyz        readiness (503 while draining or not yet ready)
 //	/debug/pprof/  the standard runtime profiles
@@ -32,6 +33,10 @@ type Server struct {
 	// Ready, when non-nil, gates /readyz: a non-nil error serves 503 with
 	// the error text — how dfenced reports "draining" to load balancers.
 	Ready func() error
+	// Tracez, when non-nil, serves /tracez: the live terminal summary of
+	// the run's span tracer (trace.Tracer.Summary). A func field rather
+	// than a tracer value keeps this package ignorant of internal/trace.
+	Tracez func() string
 }
 
 // runzPayload is the /runz response body.
@@ -46,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/runz", s.serveRunz)
+	mux.HandleFunc("/tracez", s.serveTracez)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/readyz", s.serveReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -81,6 +87,15 @@ func (s *Server) serveRunz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(p)
 }
 
+func (s *Server) serveTracez(w http.ResponseWriter, _ *http.Request) {
+	if s.Tracez == nil {
+		http.Error(w, "tracing not enabled (run with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.Tracez())
+}
+
 // serveHealthz is pure liveness: if this handler runs at all, the process
 // is alive. Readiness is /readyz's job.
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -105,7 +120,7 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "dfence introspection\n\n  /metrics        OpenMetrics exposition\n  /runz           run status + metrics snapshot (JSON)\n  /healthz        liveness\n  /readyz         readiness\n  /debug/pprof/   runtime profiles\n")
+	fmt.Fprint(w, "dfence introspection\n\n  /metrics        OpenMetrics exposition\n  /runz           run status + metrics snapshot (JSON)\n  /tracez         live span-trace summary (text; 404 unless -trace)\n  /healthz        liveness\n  /readyz         readiness\n  /debug/pprof/   runtime profiles\n")
 }
 
 // ShutdownGrace bounds how long Start's shutdown function waits for

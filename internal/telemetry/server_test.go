@@ -16,6 +16,7 @@ func serverFixture() *Server {
 	m.Violations.Add(1, 7)
 	st := &Status{}
 	st.Emit(RoundStart{Round: 1})
+	st.Emit(SolverResult{Round: 1, Models: 3, Conflicts: 5, Decisions: 40, Propagations: 200, Restarts: 1, WallUS: 120})
 	st.Emit(RoundEnd{Round: 1, Executions: 100, Violations: 7, DistinctClauses: 2})
 	st.Emit(FenceChange{Round: 1, Action: "insert", Fences: []Fence{{After: 1, Label: 9, Kind: "fence", Func: "f"}}})
 	st.Emit(Converged{Outcome: "converged", CacheHits: 90, CacheMisses: 10})
@@ -67,6 +68,14 @@ func TestServerRunz(t *testing.T) {
 	}
 	if p.Run.Outcome != "converged" || p.Run.CacheHits != 90 {
 		t.Errorf("terminal fields not folded: %+v", p.Run)
+	}
+	s := p.Run.Solver
+	if s.Rounds != 1 || s.Models != 3 || s.Conflicts != 5 || s.Decisions != 40 ||
+		s.Propagations != 200 || s.Restarts != 1 {
+		t.Errorf("solver status not folded: %+v", s)
+	}
+	if len(s.RoundWallUS) != 1 || s.RoundWallUS[0] != 120 || s.Truncated != 0 {
+		t.Errorf("solver round wall not folded: %+v", s)
 	}
 	if len(p.Metrics.Counters) == 0 {
 		t.Error("metrics snapshot empty")
